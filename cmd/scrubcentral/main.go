@@ -1,0 +1,96 @@
+// Command scrubcentral runs the central half of a Scrub deployment in one
+// process: the query server and ScrubCentral, fronted by three TCP
+// listeners — client (troubleshooters), control (host agents register and
+// receive query objects), and data (tuple batches).
+//
+// The event catalog comes from a schema file (see internal/event schema-
+// file syntax) or, with -adplatform, the simulated ad platform's types.
+//
+// Usage:
+//
+//	scrubcentral -schema events.schema \
+//	    -client :7700 -control :7701 -data :7702
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/central"
+	"scrub/internal/cluster"
+	"scrub/internal/event"
+	"scrub/internal/server"
+)
+
+func main() {
+	schemaPath := flag.String("schema", "", "schema file declaring the event types")
+	useAdPlatform := flag.Bool("adplatform", false, "register the simulated ad platform's event types")
+	clientAddr := flag.String("client", "127.0.0.1:7700", "client (troubleshooter) listen address")
+	controlAddr := flag.String("control", "127.0.0.1:7701", "agent control listen address")
+	dataAddr := flag.String("data", "127.0.0.1:7702", "agent data listen address")
+	shards := flag.Int("shards", 1, "ScrubCentral shards (>1 runs the sharded cluster)")
+	flag.Parse()
+
+	catalog := event.NewCatalog()
+	if *useAdPlatform {
+		adplatform.RegisterEventTypes(catalog)
+	}
+	if *schemaPath != "" {
+		text, err := os.ReadFile(*schemaPath)
+		if err != nil {
+			log.Fatalf("scrubcentral: read schema: %v", err)
+		}
+		schemas, err := event.ParseSchemas(string(text))
+		if err != nil {
+			log.Fatalf("scrubcentral: %v", err)
+		}
+		for _, s := range schemas {
+			if err := catalog.Register(s); err != nil {
+				log.Fatalf("scrubcentral: %v", err)
+			}
+		}
+	}
+	if catalog.Len() == 0 {
+		log.Fatal("scrubcentral: no event types; pass -schema or -adplatform")
+	}
+
+	registry := cluster.NewRegistry()
+	hub, err := server.NewHub(registry, *clientAddr, *controlAddr, *dataAddr)
+	if err != nil {
+		log.Fatalf("scrubcentral: %v", err)
+	}
+	var engine central.Executor = central.NewEngine()
+	if *shards > 1 {
+		se, err := central.NewShardedEngine(*shards)
+		if err != nil {
+			log.Fatalf("scrubcentral: %v", err)
+		}
+		engine = se
+	}
+	srv, err := server.New(server.Config{
+		Catalog:    catalog,
+		Registry:   registry,
+		Engine:     engine,
+		Dispatcher: hub,
+	})
+	if err != nil {
+		log.Fatalf("scrubcentral: %v", err)
+	}
+	hub.SetServer(srv)
+	hub.Serve()
+
+	fmt.Printf("scrubcentral up\n  client:  %s\n  control: %s\n  data:    %s\n  event types: %v\n",
+		hub.ClientAddr(), hub.ControlAddr(), hub.DataAddr(), catalog.Names())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("scrubcentral: shutting down")
+	srv.Close()
+	hub.Close()
+}

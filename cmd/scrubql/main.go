@@ -1,0 +1,132 @@
+// Command scrubql is the troubleshooter's CLI: it submits a Scrub query
+// to a running query server and streams result windows until the query's
+// span ends (or -windows are collected, or ^C).
+//
+// Usage:
+//
+//	scrubql -server 127.0.0.1:7700 'select bid.user_id, count(*) from bid group by bid.user_id window 10s duration 1m'
+//	echo 'select count(*) from bid' | scrubql -server 127.0.0.1:7700
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"scrub/internal/server"
+	"scrub/internal/transport"
+)
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:7700", "query server client address")
+	maxWindows := flag.Int("windows", 0, "stop after this many windows (0 = run to span end)")
+	quiet := flag.Bool("quiet", false, "suppress per-window headers")
+	list := flag.Bool("list", false, "list the server's active queries and exit")
+	flag.Parse()
+
+	if *list {
+		client, err := server.DialClient(*serverAddr)
+		if err != nil {
+			log.Fatalf("scrubql: %v", err)
+		}
+		defer client.Close()
+		queries, err := client.List()
+		if err != nil {
+			log.Fatalf("scrubql: %v", err)
+		}
+		if len(queries) == 0 {
+			fmt.Println("no active queries")
+			return
+		}
+		for _, q := range queries {
+			fmt.Printf("query %d  hosts=%d  ends=%s  windows=%d rows=%d tuples=%d drops=%d\n  %s\n",
+				q.QueryID, q.Hosts, time.Unix(0, q.EndNanos).Format(time.RFC3339),
+				q.Stats.Windows, q.Stats.Rows, q.Stats.TuplesIn,
+				q.Stats.HostDrops+q.Stats.LateDrops,
+				strings.Join(strings.Fields(q.Text), " "))
+		}
+		return
+	}
+
+	query := strings.Join(flag.Args(), " ")
+	if strings.TrimSpace(query) == "" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			log.Fatalf("scrubql: read stdin: %v", err)
+		}
+		query = string(data)
+	}
+	if strings.TrimSpace(query) == "" {
+		log.Fatal("scrubql: no query given (argument or stdin)")
+	}
+
+	client, err := server.DialClient(*serverAddr)
+	if err != nil {
+		log.Fatalf("scrubql: %v", err)
+	}
+	defer client.Close()
+
+	qs, err := client.Query(query)
+	if err != nil {
+		log.Fatalf("scrubql: %v", err)
+	}
+	fmt.Printf("query %d accepted: %d/%d hosts, columns %v, runs until %s\n",
+		qs.Info.QueryID, qs.Info.SampledHosts, qs.Info.NumHosts, qs.Info.Columns,
+		time.Unix(0, qs.Info.EndNanos).Format(time.RFC3339))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "scrubql: cancelling")
+		_ = qs.Cancel()
+	}()
+
+	n := 0
+	for rw := range qs.Windows {
+		printWindow(rw, *quiet)
+		n++
+		if *maxWindows > 0 && n >= *maxWindows {
+			_ = qs.Cancel()
+			break
+		}
+	}
+	stats, err := qs.Final()
+	if err != nil {
+		log.Fatalf("scrubql: %v", err)
+	}
+	fmt.Printf("done: %d windows, %d rows, %d tuples in (host drops %d, late drops %d)\n",
+		stats.Windows, stats.Rows, stats.TuplesIn, stats.HostDrops, stats.LateDrops)
+}
+
+func printWindow(rw transport.ResultWindow, quiet bool) {
+	if !quiet {
+		approx := ""
+		if rw.Approx {
+			approx = " (approximate)"
+		}
+		fmt.Printf("-- window [%s, %s)%s  tuples=%d hosts=%d drops=%d\n",
+			time.Unix(0, rw.WindowStart).Format("15:04:05"),
+			time.Unix(0, rw.WindowEnd).Format("15:04:05"),
+			approx, rw.Stats.TuplesIn, rw.Stats.HostsReporting,
+			rw.Stats.HostDrops+rw.Stats.LateDrops)
+		fmt.Println(strings.Join(rw.Columns, "\t"))
+	}
+	for _, row := range rw.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+			if rw.Approx && i < len(rw.ErrBounds) && !math.IsNaN(rw.ErrBounds[i]) {
+				parts[i] += fmt.Sprintf("±%.3g", rw.ErrBounds[i])
+			}
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+}

@@ -1,0 +1,122 @@
+// A/B testing of ad targeting models (paper §8.3): model A runs on half
+// the machines, model B on the other half. Scrub queries — the paper's
+// Figure 13/14 templates, parameterized by host list — compute each
+// side's CPM and CTR live, in production, without touching the models.
+//
+// Run with:
+//
+//	go run ./examples/abtesting
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/core"
+	"scrub/internal/workload"
+)
+
+func main() {
+	// The line item whose targeting is being A/B tested.
+	li := &adplatform.LineItem{ID: 7777, CampaignID: 9, AdvisoryPrice: 2.0}
+	li.SetBudget(1e9)
+	items := append([]*adplatform.LineItem{li}, adplatform.GenerateLineItems(40, 3)...)
+
+	platform, err := adplatform.New(adplatform.Config{
+		NumBidServers: 2, NumAdServers: 4, NumPresentationServers: 4,
+		LineItems: items,
+		// Machines 0-1 run the incumbent model A; 2-3 run candidate B.
+		ModelForAdServer: func(i int) adplatform.TargetingModel {
+			if i < 2 {
+				return adplatform.BaselineModel{}
+			}
+			return adplatform.ImprovedModel{}
+		},
+		ExternalWinRate: 0.5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	gen, err := workload.NewGenerator(workload.Spec{
+		Seed: 11, NumUsers: 4000, MeanPageViewsPerMin: 4,
+	}, time.Now().Add(5*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.InstallProfiles(platform.Store)
+
+	// Build one CPM query and two count queries per model, targeting
+	// that model's machines (the paper's `@[Servers in (list)]`).
+	hostList := func(model string) string {
+		hosts := platform.PresentationHostsForModel(model)
+		quoted := make([]string, len(hosts))
+		for i, h := range hosts {
+			quoted[i] = fmt.Sprintf("%q", h)
+		}
+		return strings.Join(quoted, ", ")
+	}
+	submit := func(q string) *core.Stream {
+		st, err := platform.Cluster.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return st
+	}
+	type side struct {
+		model             string
+		cpm, imps, clicks *core.Stream
+	}
+	sides := []side{}
+	for _, m := range []string{"A", "B"} {
+		list := hostList(m)
+		sides = append(sides, side{
+			model: m,
+			cpm: submit(fmt.Sprintf(
+				`select 1000*avg(impression.cost) from impression where impression.line_item_id = 7777 window 30m duration 1h @[Servers in (%s)]`, list)),
+			imps: submit(fmt.Sprintf(
+				`select count(*) from impression where impression.line_item_id = 7777 window 30m duration 1h @[Servers in (%s)]`, list)),
+			clicks: submit(fmt.Sprintf(
+				`select count(*) from click where click.line_item_id = 7777 window 30m duration 1h @[Servers in (%s)]`, list)),
+		})
+	}
+
+	n := gen.Run(4*time.Minute, func(r adplatform.BidRequest) { platform.Process(r) })
+	fmt.Printf("processed %d bid requests (4 virtual minutes)\n\n", n)
+	platform.Cluster.FlushAgents()
+	platform.Cluster.FlushAgents()
+
+	collect := func(st *core.Stream) float64 {
+		_ = platform.Cluster.Cancel(st.Info.ID)
+		var total float64
+		seen := false
+		for rw := range st.Windows {
+			for _, row := range rw.Rows {
+				if f, ok := row[0].AsFloat(); ok {
+					total += f
+					seen = true
+				}
+			}
+		}
+		if !seen {
+			return 0
+		}
+		return total
+	}
+	fmt.Printf("%-6s  %-10s  %-12s  %-8s  %-8s\n", "model", "CPM ($)", "impressions", "clicks", "CTR")
+	var ctr [2]float64
+	for i, s := range sides {
+		cpm := collect(s.cpm)
+		imps := collect(s.imps)
+		clicks := collect(s.clicks)
+		if imps > 0 {
+			ctr[i] = clicks / imps
+		}
+		fmt.Printf("%-6s  %-10.2f  %-12.0f  %-8.0f  %.4f\n", s.model, cpm, imps, clicks, ctr[i])
+	}
+	fmt.Printf("\nCTR lift B over A: %.2fx at roughly constant CPM — ship model B.\n", ctr[1]/ctr[0])
+}

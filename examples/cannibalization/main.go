@@ -1,0 +1,123 @@
+// Line-item cannibalization (paper §8.5): line item λ has budget and
+// relaxed targeting but never delivers. The §8.5 query joins auction and
+// impression events on the request id, restricted to auctions where λ
+// participated, and reports each winner's win count and average winning
+// bid price — revealing that λ's whole advisory-price band sits below
+// every winner's. Bumping λ's price fixes delivery immediately.
+//
+// Run with:
+//
+//	go run ./examples/cannibalization
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/workload"
+)
+
+const lambdaID = 4242
+
+func main() {
+	fmt.Println("— phase 1: λ advisory price $1.00 (the advertiser's complaint) —")
+	wins, winners := run(1.00)
+	printFindings(wins, winners, 1.00)
+
+	fmt.Println("\n— phase 2: after bumping λ's advisory price to $4.00 —")
+	wins, winners = run(4.00)
+	printFindings(wins, winners, 4.00)
+}
+
+// run simulates the platform with λ at the given advisory price and
+// returns λ's win count plus every winner's (wins, avg price).
+func run(lambdaPrice float64) (int64, map[string][2]float64) {
+	lambda := &adplatform.LineItem{ID: lambdaID, CampaignID: 1, AdvisoryPrice: lambdaPrice}
+	lambda.SetBudget(1e9)
+	rivalA := &adplatform.LineItem{ID: 4243, CampaignID: 2, AdvisoryPrice: 3.0}
+	rivalA.SetBudget(1e9)
+	rivalB := &adplatform.LineItem{ID: 4244, CampaignID: 2, AdvisoryPrice: 2.6}
+	rivalB.SetBudget(1e9)
+
+	platform, err := adplatform.New(adplatform.Config{
+		NumBidServers: 2, NumAdServers: 2, NumPresentationServers: 2,
+		LineItems:       []*adplatform.LineItem{lambda, rivalA, rivalB},
+		EmitAuctions:    true,
+		ExternalWinRate: 0.6,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	gen, err := workload.NewGenerator(workload.Spec{
+		Seed: 13, NumUsers: 1000, MeanPageViewsPerMin: 3,
+	}, time.Now().Add(5*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.InstallProfiles(platform.Store)
+
+	// The §8.5 query: for auctions λ participated in that led to a served
+	// ad, who won and at what price?
+	stream, err := platform.Cluster.Query(fmt.Sprintf(`
+		select auction.winner_line_item_id, count(*), avg(auction.winner_bid_price)
+		from auction, impression
+		where auction.line_item_ids contains %d
+		group by auction.winner_line_item_id
+		window 30s duration 1h @[all]`, lambdaID))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	winners := map[string][2]float64{} // id -> {wins, weighted price sum}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rw := range stream.Windows {
+			for _, row := range rw.Rows {
+				id := row[0].String()
+				n, _ := row[1].AsInt()
+				avg, _ := row[2].AsFloat()
+				cur := winners[id]
+				winners[id] = [2]float64{cur[0] + float64(n), cur[1] + avg*float64(n)}
+			}
+		}
+	}()
+
+	gen.Run(90*time.Second, func(r adplatform.BidRequest) { platform.Process(r) })
+	platform.Cluster.FlushAgents()
+	platform.Cluster.FlushAgents()
+	_ = platform.Cluster.Cancel(stream.Info.ID)
+	<-done
+
+	var lambdaWins int64
+	if v, ok := winners[fmt.Sprint(lambdaID)]; ok {
+		lambdaWins = int64(v[0])
+		delete(winners, fmt.Sprint(lambdaID))
+	}
+	return lambdaWins, winners
+}
+
+func printFindings(lambdaWins int64, winners map[string][2]float64, lambdaPrice float64) {
+	var ids []string
+	for id := range winners {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	fmt.Printf("  λ (%d) wins: %d\n", lambdaID, lambdaWins)
+	for _, id := range ids {
+		v := winners[id]
+		fmt.Printf("  line item %s: %d wins at avg $%.2f\n", id, int64(v[0]), v[1]/v[0])
+	}
+	lo, hi := lambdaPrice*0.85, lambdaPrice*1.15
+	fmt.Printf("  λ's possible bid band: $%.2f – $%.2f\n", lo, hi)
+	if lambdaWins == 0 {
+		fmt.Println("  diagnosis: every winner's average sits above λ's entire band — λ is cannibalized.")
+	} else {
+		fmt.Println("  λ is delivering again.")
+	}
+}

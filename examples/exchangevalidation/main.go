@@ -1,0 +1,109 @@
+// Validating a new ad exchange (paper §8.2): a new exchange joins the
+// ecosystem mid-run. The Figure-11 query counts impressions per exchange
+// in 10-second windows — sampling 10% of the PresentationServers and 10%
+// of their events, because only statistical information is needed — and
+// shows the newcomer ramping from zero, confirming a healthy integration
+// while the platform stays in production.
+//
+// Run with:
+//
+//	go run ./examples/exchangevalidation
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"sort"
+	"time"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/workload"
+)
+
+func main() {
+	platform, err := adplatform.New(adplatform.Config{
+		NumBidServers: 4, NumAdServers: 4, NumPresentationServers: 10,
+		LineItems:       adplatform.GenerateLineItems(80, 5),
+		ExternalWinRate: 0.25,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	start := time.Now().Add(5 * time.Second)
+	const onboardAt = 90 * time.Second // exchange 4 goes live here
+	gen, err := workload.NewGenerator(workload.Spec{
+		Seed: 5, NumUsers: 2500, MeanPageViewsPerMin: 4,
+		Exchanges: []workload.Exchange{
+			{ID: 1, Weight: 1},
+			{ID: 2, Weight: 1},
+			{ID: 3, Weight: 1},
+			{ID: 4, Weight: 2, EnableAt: onboardAt},
+		},
+	}, start)
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.InstallProfiles(platform.Store)
+
+	// Figure 11: sampled, grouped impression counts.
+	stream, err := platform.Cluster.Query(`
+		select impression.exchange_id, count(*)
+		from impression
+		group by impression.exchange_id
+		window 10s duration 1h
+		@[Service in PresentationServers and DC = DC1]
+		sample hosts 10% events 10%`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query on %d of %d PresentationServers (host sampling)\n\n",
+		stream.Info.SampledHosts, stream.Info.NumHosts)
+
+	type point struct {
+		winStart int64
+		counts   map[string]int64
+		bounds   map[string]float64
+	}
+	var series []point
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rw := range stream.Windows {
+			p := point{winStart: rw.WindowStart, counts: map[string]int64{}, bounds: map[string]float64{}}
+			for _, row := range rw.Rows {
+				n, _ := row[1].AsInt()
+				p.counts[row[0].String()] = n
+				if len(rw.ErrBounds) > 1 && !math.IsNaN(rw.ErrBounds[1]) {
+					p.bounds[row[0].String()] = rw.ErrBounds[1]
+				}
+			}
+			series = append(series, p)
+		}
+	}()
+
+	n := gen.Run(3*time.Minute, func(r adplatform.BidRequest) { platform.Process(r) })
+	fmt.Printf("processed %d bid requests (3 virtual minutes; exchange 4 onboarded at +%s)\n\n", n, onboardAt)
+	platform.Cluster.FlushAgents()
+	platform.Cluster.FlushAgents()
+	_ = platform.Cluster.Cancel(stream.Info.ID)
+	<-done
+
+	sort.Slice(series, func(i, j int) bool { return series[i].winStart < series[j].winStart })
+	boundary := start.Add(onboardAt).UnixNano()
+	fmt.Println("estimated impressions per 10s window (scaled up from the 10%/10% sample):")
+	fmt.Printf("%-8s  %8s  %8s  %8s  %8s\n", "t (s)", "exch 1", "exch 2", "exch 3", "exch 4")
+	for _, p := range series {
+		marker := ""
+		if p.winStart >= boundary && p.winStart-boundary < int64(10*time.Second) {
+			marker = "  <- exchange 4 live"
+		}
+		fmt.Printf("%-8d  %8d  %8d  %8d  %8d%s\n",
+			(p.winStart-start.UnixNano())/int64(time.Second),
+			p.counts["1"], p.counts["2"], p.counts["3"], p.counts["4"], marker)
+	}
+	fmt.Println("\nexchange 4 shows zero impressions before onboarding and a healthy ramp after —")
+	fmt.Println("the integration is validated in realtime, from a 1% effective sample of events.")
+}

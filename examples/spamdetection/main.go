@@ -1,0 +1,113 @@
+// Spam detection (paper §8.1): run the Figure-9 query against the
+// simulated bidding platform with two bots hidden in a human population,
+// and flag the users whose per-window request counts are inhuman.
+//
+// Run with:
+//
+//	go run ./examples/spamdetection
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/workload"
+)
+
+func main() {
+	platform, err := adplatform.New(adplatform.Config{
+		NumBidServers: 1, NumAdServers: 2, NumPresentationServers: 2,
+		LineItems: adplatform.GenerateLineItems(100, 1),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer platform.Close()
+
+	// A human population plus two scripted bots issuing large batches of
+	// fake page views.
+	gen, err := workload.NewGenerator(workload.Spec{
+		Seed: 7, NumUsers: 1000, MeanPageViewsPerMin: 2,
+		Bots: []workload.BotSpec{
+			{UserID: 900001, BatchSize: 400, Period: 20 * time.Second},
+			{UserID: 900002, BatchSize: 250, Period: 30 * time.Second, StartAt: 45 * time.Second},
+		},
+	}, time.Now().Add(5*time.Second))
+	if err != nil {
+		log.Fatal(err)
+	}
+	gen.InstallProfiles(platform.Store)
+
+	// The paper's Figure-9 query: per-user bid counts in 10s windows on
+	// one BidServer.
+	stream, err := platform.Cluster.Query(`
+		select bid.user_id, count(*)
+		from bid
+		group by bid.user_id
+		window 10s duration 1h
+		@[Service in BidServers and Server = "bid-DC1-000"]`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxPerUser := map[string]int64{}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for rw := range stream.Windows {
+			for _, row := range rw.Rows {
+				if n, _ := row[1].AsInt(); n > maxPerUser[row[0].String()] {
+					maxPerUser[row[0].String()] = n
+				}
+			}
+		}
+	}()
+
+	// Five virtual minutes of traffic, as fast as the machine allows.
+	n := gen.Run(5*time.Minute, func(r adplatform.BidRequest) { platform.Process(r) })
+	fmt.Printf("processed %d bid requests (5 virtual minutes)\n", n)
+
+	platform.Cluster.FlushAgents()
+	platform.Cluster.FlushAgents()
+	if err := platform.Cluster.Cancel(stream.Info.ID); err != nil {
+		log.Fatal(err)
+	}
+	<-done
+
+	// Humans view a handful of pages a minute; >50 requests inside 10
+	// seconds is scripted traffic.
+	const threshold = 50
+	type suspect struct {
+		user string
+		max  int64
+	}
+	var suspects []suspect
+	histogram := map[string]int{}
+	for user, max := range maxPerUser {
+		switch {
+		case max <= 3:
+			histogram["1-3 (normal browsing)"]++
+		case max <= 10:
+			histogram["4-10 (busy pages)"]++
+		case max <= threshold:
+			histogram["11-50 (heavy)"]++
+		default:
+			suspects = append(suspects, suspect{user, max})
+		}
+	}
+	fmt.Println("\npeak requests per 10s window, by user:")
+	for _, k := range []string{"1-3 (normal browsing)", "4-10 (busy pages)", "11-50 (heavy)"} {
+		fmt.Printf("  %-24s %d users\n", k, histogram[k])
+	}
+	sort.Slice(suspects, func(i, j int) bool { return suspects[i].max > suspects[j].max })
+	fmt.Println("\nbots detected (blacklist these):")
+	for _, s := range suspects {
+		fmt.Printf("  user %s: %d requests in one 10s window\n", s.user, s.max)
+	}
+	if len(suspects) == 0 {
+		fmt.Println("  (none)")
+	}
+}

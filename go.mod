@@ -1,0 +1,3 @@
+module scrub
+
+go 1.22

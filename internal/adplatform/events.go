@@ -1,0 +1,70 @@
+package adplatform
+
+import (
+	"scrub/internal/event"
+)
+
+// Scrub event types the platform defines (paper §7: "tens of Scrub event
+// types are defined"; these are the ones the case studies use).
+var (
+	// BidEventSchema mirrors the paper's Figure 1 bid-response event.
+	BidEventSchema = event.MustSchema("bid",
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "city", Kind: event.KindString},
+		event.FieldDef{Name: "country", Kind: event.KindString},
+		event.FieldDef{Name: "bid_price", Kind: event.KindFloat},
+		event.FieldDef{Name: "campaign_id", Kind: event.KindInt},
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "model", Kind: event.KindString},
+	)
+
+	// ExclusionEventSchema is generated per filtered line item at the
+	// AdServers (§8.4).
+	ExclusionEventSchema = event.MustSchema("exclusion",
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "reason", Kind: event.KindString},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "publisher_id", Kind: event.KindInt},
+	)
+
+	// AuctionEventSchema is generated per internal auction (§8.5), with
+	// the participating line items and their bid prices.
+	AuctionEventSchema = event.MustSchema("auction",
+		event.FieldDef{Name: "line_item_ids", Kind: event.KindList, Elem: event.KindInt},
+		event.FieldDef{Name: "bid_prices", Kind: event.KindList, Elem: event.KindFloat},
+		event.FieldDef{Name: "winner_line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "winner_bid_price", Kind: event.KindFloat},
+		event.FieldDef{Name: "num_candidates", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+	)
+
+	// ImpressionEventSchema is generated at the PresentationServers when
+	// an ad is actually shown (§8.2, §8.3).
+	ImpressionEventSchema = event.MustSchema("impression",
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "cost", Kind: event.KindFloat},
+		event.FieldDef{Name: "model", Kind: event.KindString},
+		event.FieldDef{Name: "serve_count", Kind: event.KindInt},
+	)
+
+	// ClickEventSchema is generated when the user interacts with a shown
+	// ad (§8.3).
+	ClickEventSchema = event.MustSchema("click",
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "model", Kind: event.KindString},
+	)
+)
+
+// RegisterEventTypes installs the platform's event types into a catalog.
+func RegisterEventTypes(cat *event.Catalog) {
+	cat.MustRegister(BidEventSchema)
+	cat.MustRegister(ExclusionEventSchema)
+	cat.MustRegister(AuctionEventSchema)
+	cat.MustRegister(ImpressionEventSchema)
+	cat.MustRegister(ClickEventSchema)
+}

@@ -1,0 +1,49 @@
+package adplatform
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GenerateLineItems builds a varied portfolio of n active line items for
+// simulations: mixed targeting tightness, advisory prices log-uniform in
+// roughly [$0.50, $8], moderate budgets, and a minority of
+// frequency-capped items. Deterministic for a seed.
+func GenerateLineItems(n int, seed int64) []*LineItem {
+	rng := rand.New(rand.NewSource(seed))
+	countries := []string{"US", "GB", "DE", "FR", "BR"}
+	out := make([]*LineItem, 0, n)
+	for i := 0; i < n; i++ {
+		li := &LineItem{
+			ID:            int64(1000 + i),
+			CampaignID:    int64(100 + i/5), // ~5 line items per campaign
+			AdvisoryPrice: 0.5 * math.Pow(16, rng.Float64()),
+		}
+		// ~40% geo-targeted to 1–2 countries.
+		if rng.Float64() < 0.4 {
+			k := 1 + rng.Intn(2)
+			perm := rng.Perm(len(countries))[:k]
+			for _, idx := range perm {
+				li.Countries = append(li.Countries, countries[idx])
+			}
+		}
+		// ~30% exchange-targeted.
+		if rng.Float64() < 0.3 {
+			li.Exchanges = []int64{int64(1 + rng.Intn(4))}
+		}
+		// ~50% segment-targeted to 1–3 segments.
+		if rng.Float64() < 0.5 {
+			k := 1 + rng.Intn(3)
+			for s := 0; s < k; s++ {
+				li.Segments = append(li.Segments, int64(1+rng.Intn(50)))
+			}
+		}
+		// ~20% frequency-capped at 1–3 per day.
+		if rng.Float64() < 0.2 {
+			li.FrequencyCap = 1 + rng.Intn(3)
+		}
+		li.SetBudget(50 + rng.Float64()*450)
+		out = append(out, li)
+	}
+	return out
+}

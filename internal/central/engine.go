@@ -1,0 +1,612 @@
+package central
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"scrub/internal/agg"
+	"scrub/internal/event"
+	"scrub/internal/expr"
+	"scrub/internal/sampling"
+	"scrub/internal/stats"
+	"scrub/internal/transport"
+	"scrub/internal/window"
+)
+
+// EmitFunc receives each closed window's results. It is called with the
+// engine lock held; implementations must be fast (enqueue and return).
+type EmitFunc func(transport.ResultWindow)
+
+// Engine executes the central half of Scrub queries: windowing, the
+// request-id equi-join, grouping, aggregation, sampling scale-up, and
+// error bounds.
+type Engine struct {
+	mu      sync.Mutex
+	queries map[uint64]*queryState
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine {
+	return &Engine{queries: make(map[uint64]*queryState)}
+}
+
+type hostTypeKey struct {
+	host    string
+	typeIdx uint8
+}
+
+type hostCounters struct {
+	matched uint64
+	sampled uint64
+	drops   uint64
+}
+
+type queryState struct {
+	plan Plan
+	comp *compiled
+	win  *window.SlidingManager[*winState]
+	emit EmitFunc
+
+	counters map[hostTypeKey]hostCounters
+	// lastTs tracks each reporting (host, type) stream's max event time.
+	// The query watermark is the minimum across streams, so hosts whose
+	// shipping (or simulated clock) lags never see their tuples declared
+	// late by a faster peer — only genuinely late events within one
+	// stream are dropped.
+	lastTs   map[hostTypeKey]int64
+	stats    transport.QueryStats
+	overflow uint64 // raw-row + join-pending drops
+}
+
+// watermark returns the min of per-stream max event times, and false when
+// nothing has reported yet.
+func (qs *queryState) watermark() (int64, bool) {
+	first := true
+	var wm int64
+	for _, ts := range qs.lastTs {
+		if first || ts < wm {
+			wm = ts
+			first = false
+		}
+	}
+	return wm, !first
+}
+
+type group struct {
+	keyVals []event.Value
+	aggs    []agg.Aggregator
+}
+
+type joinCell struct {
+	sides [2][]transport.Tuple
+}
+
+type winState struct {
+	tuples       uint64
+	hosts        map[string]struct{}
+	groups       map[string]*group
+	rawRows      [][]event.Value
+	pending      map[uint64]*joinCell
+	pendingCount int
+	// perHost tracks per-host reading moments per aggregate for the
+	// Eq. 1–3 error bounds; only maintained for ungrouped scalable
+	// aggregates under sampling.
+	perHost map[string][]stats.Running
+}
+
+// StartQuery installs a central query object.
+func (e *Engine) StartQuery(p Plan, emit EmitFunc) error {
+	if emit == nil {
+		return fmt.Errorf("central: nil emit")
+	}
+	if err := p.fillDefaults(); err != nil {
+		return err
+	}
+	comp, err := compile(&p)
+	if err != nil {
+		return fmt.Errorf("central: compile plan: %w", err)
+	}
+	// Validate aggregator specs up front so a bad plan fails at start,
+	// not at the first tuple.
+	if _, err := p.newAggSet(); err != nil {
+		return err
+	}
+	win, err := window.NewSlidingManager(p.Window, p.Slide, p.Lateness, func(start, end int64) *winState {
+		return &winState{
+			hosts:   make(map[string]struct{}),
+			groups:  make(map[string]*group),
+			pending: make(map[uint64]*joinCell),
+			perHost: make(map[string][]stats.Running),
+		}
+	})
+	if err != nil {
+		return err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if _, dup := e.queries[p.QueryID]; dup {
+		return fmt.Errorf("central: query %d already active", p.QueryID)
+	}
+	e.queries[p.QueryID] = &queryState{
+		plan:     p,
+		comp:     comp,
+		win:      win,
+		emit:     emit,
+		counters: make(map[hostTypeKey]hostCounters),
+		lastTs:   make(map[hostTypeKey]int64),
+	}
+	return nil
+}
+
+// ActiveQueries returns the installed query ids.
+func (e *Engine) ActiveQueries() []uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	out := make([]uint64, 0, len(e.queries))
+	for id := range e.queries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HandleBatch folds a host's tuple batch into the query's window state.
+// Batches for unknown queries are dropped silently (they race with query
+// teardown by design).
+func (e *Engine) HandleBatch(b transport.TupleBatch) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, ok := e.queries[b.QueryID]
+	if !ok {
+		return
+	}
+	if int(b.TypeIdx) >= len(qs.plan.Types) {
+		return
+	}
+	key := hostTypeKey{host: b.HostID, typeIdx: b.TypeIdx}
+	qs.counters[key] = hostCounters{
+		matched: b.MatchedTotal, sampled: b.SampledTotal, drops: b.QueueDrops,
+	}
+	var maxTs int64
+	hasTs := false
+	for i := range b.Tuples {
+		t := &b.Tuples[i]
+		if qs.plan.StartNanos != 0 && t.TsNanos < qs.plan.StartNanos {
+			continue
+		}
+		if qs.plan.EndNanos != 0 && t.TsNanos >= qs.plan.EndNanos {
+			continue
+		}
+		for _, ws := range qs.win.GetAll(t.TsNanos) {
+			e.processTuple(qs, ws, b.HostID, b.TypeIdx, t)
+		}
+		if !hasTs || t.TsNanos > maxTs {
+			maxTs = t.TsNanos
+			hasTs = true
+		}
+	}
+	if hasTs {
+		if maxTs > qs.lastTs[key] {
+			qs.lastTs[key] = maxTs
+		}
+		if wm, ok := qs.watermark(); ok {
+			for _, closed := range qs.win.Observe(wm) {
+				e.emitWindow(qs, closed)
+			}
+		}
+	}
+}
+
+// processTuple routes one in-window tuple through join (if any), the
+// residual predicate, and accumulation.
+func (e *Engine) processTuple(qs *queryState, ws *winState, host string, typeIdx uint8, t *transport.Tuple) {
+	ws.tuples++
+	qs.stats.TuplesIn++
+	ws.hosts[host] = struct{}{}
+
+	if !qs.plan.IsJoin() {
+		row := sideRow{c: qs.comp, types: qs.plan.Types, typeIdx: int(typeIdx), tuple: t}
+		if qs.comp.centralPred != nil && !qs.comp.centralPred(row) {
+			return
+		}
+		e.accumulate(qs, ws, row, host)
+		return
+	}
+
+	// Equi-join on the request identifier, within the window.
+	cell := ws.pending[t.RequestID]
+	if cell == nil {
+		cell = &joinCell{}
+		ws.pending[t.RequestID] = cell
+	}
+	other := 1 - int(typeIdx)
+	for i := range cell.sides[other] {
+		var row joinRow
+		if typeIdx == 0 {
+			row = joinRow{c: qs.comp, types: qs.plan.Types, left: t, right: &cell.sides[other][i]}
+		} else {
+			row = joinRow{c: qs.comp, types: qs.plan.Types, left: &cell.sides[other][i], right: t}
+		}
+		if qs.comp.centralPred != nil && !qs.comp.centralPred(row) {
+			continue
+		}
+		e.accumulate(qs, ws, row, host)
+	}
+	if ws.pendingCount >= qs.plan.MaxJoinPending {
+		qs.overflow++
+		return
+	}
+	cell.sides[typeIdx] = append(cell.sides[typeIdx], *t)
+	ws.pendingCount++
+}
+
+// accumulate folds a (possibly joined) row into the window's groups, or
+// collects it as a raw result row for non-aggregate queries.
+func (e *Engine) accumulate(qs *queryState, ws *winState, row expr.Row, host string) {
+	p := &qs.plan
+	if !p.HasAgg() && !p.Grouped() {
+		if len(ws.rawRows) >= p.MaxRawRows {
+			qs.overflow++
+			return
+		}
+		out := make([]event.Value, len(qs.comp.selectEvals))
+		for i, ev := range qs.comp.selectEvals {
+			out[i] = ev(row)
+		}
+		ws.rawRows = append(ws.rawRows, out)
+		return
+	}
+
+	keyVals := make([]event.Value, len(qs.comp.groupEvals))
+	for i, ev := range qs.comp.groupEvals {
+		keyVals[i] = ev(row)
+	}
+	key := encodeKey(keyVals)
+	g := ws.groups[key]
+	if g == nil {
+		aggs, err := p.newAggSet()
+		if err != nil {
+			return // validated at StartQuery; unreachable
+		}
+		g = &group{keyVals: keyVals, aggs: aggs}
+		ws.groups[key] = g
+	}
+	for i, ag := range g.aggs {
+		if qs.comp.aggArgEvals[i] == nil {
+			ag.Add(event.Bool(true)) // COUNT(*): any valid value
+		} else {
+			ag.Add(qs.comp.aggArgEvals[i](row))
+		}
+	}
+
+	// Error-bound moments: ungrouped scalable aggregates under sampling.
+	if !p.Grouped() && p.scaleFactor() != 1 {
+		moments := ws.perHost[host]
+		if moments == nil {
+			moments = make([]stats.Running, len(p.Aggs))
+			ws.perHost[host] = moments
+		}
+		for i, a := range p.Aggs {
+			if !a.Spec.Scalable() {
+				continue
+			}
+			if qs.comp.aggArgEvals[i] == nil {
+				moments[i].Add(1) // COUNT(*): reading of 1
+			} else if f, ok := qs.comp.aggArgEvals[i](row).AsFloat(); ok {
+				moments[i].Add(f)
+			}
+		}
+		ws.perHost[host] = moments
+	}
+}
+
+// renderWindow turns a closed window's accumulated state into result
+// rows: group ordering, aggregate rendering with Horvitz-Thompson
+// scale-up, HAVING, error bounds, ORDER BY and LIMIT. Shared by the
+// single-node engine and the sharded merger.
+func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) transport.ResultWindow {
+	rw := transport.ResultWindow{
+		QueryID:     p.QueryID,
+		WindowStart: start,
+		WindowEnd:   end,
+		Columns:     p.ColumnLabels(),
+	}
+
+	factor := p.scaleFactor()
+	rw.Approx = factor != 1
+
+	switch {
+	case !p.HasAgg() && !p.Grouped():
+		rw.Rows = ws.rawRows
+
+	default:
+		// Deterministic group order: sort by encoded key.
+		keys := make([]string, 0, len(ws.groups))
+		for k := range ws.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		// An ungrouped aggregate query emits one row even for an empty
+		// window (COUNT(*) = 0), matching SQL semantics.
+		if len(keys) == 0 && p.HasAgg() && !p.Grouped() {
+			if aggs, err := p.newAggSet(); err == nil {
+				ws.groups[""] = &group{aggs: aggs}
+				keys = append(keys, "")
+			}
+		}
+		var bounds []float64
+		if rw.Approx && !p.Grouped() {
+			bounds = computeBounds(p, comp, ws)
+		}
+		for _, k := range keys {
+			g := ws.groups[k]
+			aggVals := make([]event.Value, len(g.aggs))
+			for i, ag := range g.aggs {
+				v := ag.Result()
+				if p.Aggs[i].Spec.Scalable() {
+					v = agg.ScaleResult(v, factor)
+				}
+				aggVals[i] = v
+			}
+			row := resultRow{groupBy: p.GroupBy, keyVals: g.keyVals, aggVals: aggVals}
+			if comp.havingPred != nil && !comp.havingPred(row) {
+				continue
+			}
+			out := make([]event.Value, len(comp.selectEvals))
+			for i, ev := range comp.selectEvals {
+				out[i] = ev(row)
+			}
+			rw.Rows = append(rw.Rows, out)
+		}
+		rw.ErrBounds = bounds
+	}
+	orderAndLimit(p, &rw)
+	rw.Stats.TuplesIn = ws.tuples
+	rw.Stats.HostsReporting = uint32(len(ws.hosts))
+	return rw
+}
+
+// emitWindow renders a closed window into a ResultWindow and hands it to
+// the query's emit callback.
+func (e *Engine) emitWindow(qs *queryState, closed window.Closed[*winState]) {
+	rw := renderWindow(&qs.plan, qs.comp, closed.Start, closed.End, closed.State)
+
+	var hostDrops uint64
+	for _, c := range qs.counters {
+		hostDrops += c.drops
+	}
+	rw.Stats.HostDrops = hostDrops
+	rw.Stats.LateDrops = qs.win.LateDrops() + qs.overflow
+	qs.stats.Windows++
+	qs.stats.Rows += uint64(len(rw.Rows))
+	qs.stats.HostDrops = hostDrops
+	qs.stats.LateDrops = qs.win.LateDrops() + qs.overflow
+	qs.emit(rw)
+}
+
+// computeBounds applies the paper's Eq. 1–3 per select column. Only
+// columns that are directly a scalable aggregate get a bound; others are
+// NaN. Per-host cluster sizes Mᵢ are estimated as mᵢ/q when event
+// sampling is in effect (the host's exact matched totals are cumulative
+// across windows, so the per-window Mᵢ is recovered from the sampling
+// rate).
+func computeBounds(p *Plan, comp *compiled, ws *winState) []float64 {
+	bounds := make([]float64, len(p.Select))
+	for i := range bounds {
+		bounds[i] = math.NaN()
+	}
+	for col, aggIdx := range comp.directAgg {
+		if aggIdx < 0 || !p.Aggs[aggIdx].Spec.Scalable() {
+			continue
+		}
+		hosts := make([]sampling.HostMoments, 0, len(ws.perHost))
+		for host, moments := range ws.perHost {
+			r := moments[aggIdx]
+			if r.N() == 0 {
+				continue
+			}
+			m := uint64(math.Round(float64(r.N()) / p.SampleEvents))
+			if m < uint64(r.N()) {
+				m = uint64(r.N())
+			}
+			hosts = append(hosts, sampling.HostMoments{
+				HostID: host, M: m, N: r.N(), Sum: r.Sum(), Var: r.Var(),
+			})
+		}
+		if len(hosts) == 0 {
+			continue
+		}
+		total := p.TotalHosts
+		if total < len(hosts) {
+			total = len(hosts)
+		}
+		est, err := sampling.EstimateSumMoments(total, hosts, p.Confidence)
+		if err == nil {
+			bounds[col] = est.Err
+		}
+	}
+	return bounds
+}
+
+// Tick closes windows by wall clock so idle streams still emit: every
+// window ending at or before now−lateness is emitted. Call it
+// periodically (the query server runs a ticker).
+func (e *Engine) Tick(nowNanos int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, qs := range e.queries {
+		for _, closed := range qs.win.ForceBefore(nowNanos - int64(qs.plan.Lateness)) {
+			e.emitWindow(qs, closed)
+		}
+	}
+}
+
+// StopQuery flushes and removes a query, returning its final stats.
+func (e *Engine) StopQuery(id uint64) (transport.QueryStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, ok := e.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	for _, closed := range qs.win.Flush() {
+		e.emitWindow(qs, closed)
+	}
+	var hostDrops uint64
+	for _, c := range qs.counters {
+		hostDrops += c.drops
+	}
+	qs.stats.HostDrops = hostDrops
+	qs.stats.LateDrops = qs.win.LateDrops() + qs.overflow
+	delete(e.queries, id)
+	return qs.stats, true
+}
+
+// Stats returns a query's running stats.
+func (e *Engine) Stats(id uint64) (transport.QueryStats, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, ok := e.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	return qs.stats, true
+}
+
+// orderAndLimit applies the plan's ORDER BY keys and LIMIT to an emitted
+// window's rows. Sorting is stable; incomparable values fall back to
+// their string forms so the order stays total and deterministic.
+func orderAndLimit(p *Plan, rw *transport.ResultWindow) {
+	if len(p.OrderBy) > 0 {
+		sort.SliceStable(rw.Rows, func(i, j int) bool {
+			for _, key := range p.OrderBy {
+				if key.Col >= len(rw.Rows[i]) || key.Col >= len(rw.Rows[j]) {
+					continue
+				}
+				a, b := rw.Rows[i][key.Col], rw.Rows[j][key.Col]
+				c, ok := a.Compare(b)
+				if !ok {
+					c = compareStrings(a.String(), b.String())
+				}
+				if c == 0 {
+					continue
+				}
+				if key.Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+	}
+	if p.Limit > 0 && len(rw.Rows) > p.Limit {
+		rw.Rows = rw.Rows[:p.Limit]
+	}
+}
+
+func compareStrings(a, b string) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// --- internal surface for the sharded engine (same package) ---
+
+// startQueryDriven installs a query whose window lifecycle is driven
+// externally: the caller pulls closed windows with forceCloseQuery and
+// stopQueryDriven instead of receiving rendered emissions. Shards of a
+// ShardedEngine run in this mode with effectively unbounded lateness, so
+// no internal path ever closes a window on its own.
+func (e *Engine) startQueryDriven(p Plan) error {
+	return e.StartQuery(p, func(transport.ResultWindow) {
+		// Unreachable by construction (driven queries close only via the
+		// pull methods); tolerate rather than panic if it ever fires.
+	})
+}
+
+// forceCloseQuery closes and returns the query's windows ending at or
+// before bound, without rendering them.
+func (e *Engine) forceCloseQuery(id uint64, bound int64) []window.Closed[*winState] {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, ok := e.queries[id]
+	if !ok {
+		return nil
+	}
+	return qs.win.ForceBefore(bound)
+}
+
+// stopQueryDriven removes a driven query, returning its still-open
+// windows and drop counters.
+func (e *Engine) stopQueryDriven(id uint64) (partials []window.Closed[*winState], lateDrops uint64, ok bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, exists := e.queries[id]
+	if !exists {
+		return nil, 0, false
+	}
+	partials = qs.win.Flush()
+	lateDrops = qs.win.LateDrops() + qs.overflow
+	delete(e.queries, id)
+	return partials, lateDrops, true
+}
+
+// dropsOf reports a query's current late/overflow drop count.
+func (e *Engine) dropsOf(id uint64) (uint64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	qs, ok := e.queries[id]
+	if !ok {
+		return 0, false
+	}
+	return qs.win.LateDrops() + qs.overflow, true
+}
+
+// mergeWinStates folds src into dst: groups merge through the mergeable
+// aggregators, raw rows concatenate (bounded), per-host moments combine,
+// and counters add. Join pending state is irrelevant post-close — shards
+// route by request id, so both sides of a request land on one shard and
+// were joined there.
+func mergeWinStates(p *Plan, dst, src *winState) {
+	dst.tuples += src.tuples
+	for h := range src.hosts {
+		dst.hosts[h] = struct{}{}
+	}
+	for key, sg := range src.groups {
+		dg, ok := dst.groups[key]
+		if !ok {
+			dst.groups[key] = sg
+			continue
+		}
+		for i := range dg.aggs {
+			// Same plan, same spec order; Merge errors only on kind
+			// mismatch, impossible here.
+			_ = dg.aggs[i].Merge(sg.aggs[i])
+		}
+	}
+	room := p.MaxRawRows - len(dst.rawRows)
+	if room > 0 {
+		if len(src.rawRows) > room {
+			src.rawRows = src.rawRows[:room]
+		}
+		dst.rawRows = append(dst.rawRows, src.rawRows...)
+	}
+	for host, sm := range src.perHost {
+		dm, ok := dst.perHost[host]
+		if !ok {
+			dst.perHost[host] = sm
+			continue
+		}
+		for i := range dm {
+			dm[i].Merge(sm[i])
+		}
+		dst.perHost[host] = dm
+	}
+}

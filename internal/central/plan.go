@@ -1,0 +1,255 @@
+// Package central implements ScrubCentral, the dedicated facility where
+// all joins, group-bys and aggregations run (paper §4). Hosts ship only
+// selected, projected, sampled tuples; everything expensive happens here,
+// off the application machines — the inversion of classical "move the
+// query to the data" optimization that defines Scrub.
+package central
+
+import (
+	"fmt"
+	"time"
+
+	"scrub/internal/agg"
+	"scrub/internal/event"
+	"scrub/internal/expr"
+	"scrub/internal/ql"
+)
+
+// Plan is the central-side query object the query server installs. It is
+// derived from a validated ql.Plan plus the resolved deployment facts
+// (absolute span, host counts for estimator scaling).
+type Plan struct {
+	QueryID uint64
+	Types   []string   // event types in FROM order (1 or 2)
+	Columns [][]string // per type: projected column names, HostQuery order
+
+	GroupBy     []expr.FieldRef
+	Aggs        []ql.AggPlan
+	Select      []ql.PlannedItem
+	CentralPred expr.Node
+	Having      expr.Node
+	OrderBy     []ql.OrderKey
+	Limit       int
+
+	Window   time.Duration
+	Slide    time.Duration // sliding interval; == Window for tumbling
+	Lateness time.Duration // extra event-time slack before closing a window
+
+	StartNanos int64
+	EndNanos   int64
+
+	// Estimator inputs (paper Eq. 1–3): how many hosts matched the target
+	// spec (N), how many were activated after host sampling (n), and the
+	// per-host event sampling rate (q).
+	TotalHosts   int
+	SampledHosts int
+	SampleEvents float64
+	Confidence   float64 // default 0.95
+
+	// MaxRawRows bounds collected rows per window for non-aggregate
+	// queries; MaxJoinPending bounds buffered join tuples per window.
+	// Overflow is counted and dropped — bounded state, always.
+	MaxRawRows     int
+	MaxJoinPending int
+}
+
+// FromPlan assembles a central Plan from an analyzed query.
+func FromPlan(p *ql.Plan, queryID uint64, startNanos, endNanos int64, totalHosts, sampledHosts int) Plan {
+	types := p.TypeNames()
+	cols := make([][]string, len(types))
+	for i, t := range types {
+		cols[i] = p.Columns[t]
+	}
+	return Plan{
+		QueryID:      queryID,
+		Types:        types,
+		Columns:      cols,
+		GroupBy:      p.GroupBy,
+		Aggs:         p.Aggs,
+		Select:       p.Select,
+		CentralPred:  p.CentralPred,
+		Having:       p.Having,
+		OrderBy:      p.OrderBy,
+		Limit:        p.Limit,
+		Window:       p.Window,
+		Slide:        p.Slide,
+		StartNanos:   startNanos,
+		EndNanos:     endNanos,
+		TotalHosts:   totalHosts,
+		SampledHosts: sampledHosts,
+		SampleEvents: p.SampleEvents,
+	}
+}
+
+func (p *Plan) fillDefaults() error {
+	if p.QueryID == 0 {
+		return fmt.Errorf("central: zero query id")
+	}
+	if len(p.Types) == 0 || len(p.Types) > 2 {
+		return fmt.Errorf("central: plan must cover 1 or 2 event types, got %d", len(p.Types))
+	}
+	if len(p.Columns) != len(p.Types) {
+		return fmt.Errorf("central: %d column sets for %d types", len(p.Columns), len(p.Types))
+	}
+	if len(p.Select) == 0 {
+		return fmt.Errorf("central: empty select list")
+	}
+	if p.Window <= 0 {
+		return fmt.Errorf("central: window must be positive")
+	}
+	if p.Slide == 0 {
+		p.Slide = p.Window
+	}
+	if p.Slide < 0 || p.Slide > p.Window || p.Window%p.Slide != 0 {
+		return fmt.Errorf("central: slide %v must divide the window %v", p.Slide, p.Window)
+	}
+	if p.Lateness < 0 {
+		return fmt.Errorf("central: negative lateness")
+	}
+	if p.Lateness == 0 {
+		p.Lateness = 2 * time.Second
+	}
+	if p.SampleEvents <= 0 || p.SampleEvents > 1 {
+		p.SampleEvents = 1
+	}
+	if p.TotalHosts < p.SampledHosts {
+		return fmt.Errorf("central: total hosts %d < sampled %d", p.TotalHosts, p.SampledHosts)
+	}
+	if p.Confidence == 0 {
+		p.Confidence = 0.95
+	}
+	if p.Confidence <= 0 || p.Confidence >= 1 {
+		return fmt.Errorf("central: confidence must be in (0,1)")
+	}
+	if p.MaxRawRows <= 0 {
+		p.MaxRawRows = 100000
+	}
+	if p.MaxJoinPending <= 0 {
+		p.MaxJoinPending = 1 << 20
+	}
+	return nil
+}
+
+// IsJoin reports whether the plan joins two event types.
+func (p *Plan) IsJoin() bool { return len(p.Types) == 2 }
+
+// HasAgg reports whether the plan aggregates.
+func (p *Plan) HasAgg() bool { return len(p.Aggs) > 0 }
+
+// Grouped reports whether results are grouped (explicitly or because an
+// ungrouped aggregate forms one global group).
+func (p *Plan) Grouped() bool { return len(p.GroupBy) > 0 }
+
+// ColumnLabels returns the result column headers.
+func (p *Plan) ColumnLabels() []string {
+	out := make([]string, len(p.Select))
+	for i, s := range p.Select {
+		out[i] = s.Label
+	}
+	return out
+}
+
+// scaleFactor is the Horvitz-Thompson factor applied to scalable
+// aggregates: (N/n) for host sampling times (1/q) for event sampling.
+func (p *Plan) scaleFactor() float64 {
+	f := 1.0
+	if p.SampledHosts > 0 && p.TotalHosts > p.SampledHosts {
+		f *= float64(p.TotalHosts) / float64(p.SampledHosts)
+	}
+	if p.SampleEvents > 0 && p.SampleEvents < 1 {
+		f /= p.SampleEvents
+	}
+	return f
+}
+
+// compiled holds the evaluators derived from a Plan once at StartQuery.
+type compiled struct {
+	colIdx      []map[string]int // per type: column name → tuple value index
+	groupEvals  []expr.Evaluator
+	aggArgEvals []expr.Evaluator // nil entry for COUNT(*)
+	selectEvals []expr.Evaluator
+	centralPred func(expr.Row) bool // nil when no residual predicate
+	havingPred  func(expr.Row) bool // nil when no HAVING
+	// directAgg[i] >= 0 when select column i is exactly AggRef #n —
+	// those columns carry estimator error bounds.
+	directAgg []int
+}
+
+func compile(p *Plan) (*compiled, error) {
+	c := &compiled{}
+	c.colIdx = make([]map[string]int, len(p.Types))
+	for i, cols := range p.Columns {
+		m := make(map[string]int, len(cols))
+		for j, name := range cols {
+			m[name] = j
+		}
+		c.colIdx[i] = m
+	}
+	for _, g := range p.GroupBy {
+		ev, err := expr.Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		c.groupEvals = append(c.groupEvals, ev)
+	}
+	for _, a := range p.Aggs {
+		if a.Arg == nil {
+			c.aggArgEvals = append(c.aggArgEvals, nil)
+			continue
+		}
+		ev, err := expr.Compile(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		c.aggArgEvals = append(c.aggArgEvals, ev)
+	}
+	for _, s := range p.Select {
+		ev, err := expr.Compile(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		c.selectEvals = append(c.selectEvals, ev)
+		if ar, ok := s.Expr.(expr.AggRef); ok {
+			c.directAgg = append(c.directAgg, ar.Index)
+		} else {
+			c.directAgg = append(c.directAgg, -1)
+		}
+	}
+	if p.CentralPred != nil {
+		ev, err := expr.Compile(p.CentralPred)
+		if err != nil {
+			return nil, err
+		}
+		c.centralPred = expr.Predicate(ev)
+	}
+	if p.Having != nil {
+		ev, err := expr.Compile(p.Having)
+		if err != nil {
+			return nil, err
+		}
+		c.havingPred = expr.Predicate(ev)
+	}
+	return c, nil
+}
+
+// newAggSet instantiates the plan's aggregators for one group.
+func (p *Plan) newAggSet() ([]agg.Aggregator, error) {
+	out := make([]agg.Aggregator, len(p.Aggs))
+	for i, a := range p.Aggs {
+		ag, err := agg.New(a.Spec)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ag
+	}
+	return out, nil
+}
+
+// encodeKey builds a map key from group-by values.
+func encodeKey(vals []event.Value) string {
+	buf := make([]byte, 0, 32)
+	for _, v := range vals {
+		buf = event.AppendValue(buf, v)
+	}
+	return string(buf)
+}

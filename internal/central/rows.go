@@ -1,0 +1,95 @@
+package central
+
+import (
+	"scrub/internal/event"
+	"scrub/internal/expr"
+	"scrub/internal/transport"
+)
+
+// sideRow adapts a single shipped tuple as an expr.Row. Field lookups use
+// the per-type column index built at plan compile time.
+type sideRow struct {
+	c       *compiled
+	types   []string
+	typeIdx int
+	tuple   *transport.Tuple
+}
+
+// Field implements expr.Row.
+func (r sideRow) Field(typ, name string) event.Value {
+	if typ != "" && typ != r.types[r.typeIdx] {
+		return event.Invalid
+	}
+	switch name {
+	case event.FieldRequestID:
+		return event.Int(int64(r.tuple.RequestID))
+	case event.FieldTimestamp:
+		return event.TimeNanos(r.tuple.TsNanos)
+	}
+	idx, ok := r.c.colIdx[r.typeIdx][name]
+	if !ok || idx >= len(r.tuple.Values) {
+		return event.Invalid
+	}
+	return r.tuple.Values[idx]
+}
+
+// Agg implements expr.Row; tuples carry no aggregates.
+func (sideRow) Agg(int) event.Value { return event.Invalid }
+
+// joinRow adapts a joined tuple pair. Qualified lookups pick the side by
+// type; unqualified lookups resolve against side 0 first (matching the
+// resolver's determinism for system fields — user fields were qualified
+// during validation).
+type joinRow struct {
+	c     *compiled
+	types []string
+	left  *transport.Tuple // side 0
+	right *transport.Tuple // side 1
+}
+
+// Field implements expr.Row.
+func (r joinRow) Field(typ, name string) event.Value {
+	switch typ {
+	case r.types[0]:
+		return sideRow{c: r.c, types: r.types, typeIdx: 0, tuple: r.left}.Field(typ, name)
+	case r.types[1]:
+		return sideRow{c: r.c, types: r.types, typeIdx: 1, tuple: r.right}.Field(typ, name)
+	case "":
+		if v := (sideRow{c: r.c, types: r.types, typeIdx: 0, tuple: r.left}).Field("", name); v.IsValid() {
+			return v
+		}
+		return sideRow{c: r.c, types: r.types, typeIdx: 1, tuple: r.right}.Field("", name)
+	default:
+		return event.Invalid
+	}
+}
+
+// Agg implements expr.Row.
+func (joinRow) Agg(int) event.Value { return event.Invalid }
+
+// resultRow is the evaluation context when a window closes: group-by key
+// values for field references, scaled aggregate results for AggRefs.
+type resultRow struct {
+	groupBy []expr.FieldRef
+	keyVals []event.Value
+	aggVals []event.Value
+}
+
+// Field implements expr.Row: only group-by keys are addressable in result
+// expressions (enforced at validation).
+func (r resultRow) Field(typ, name string) event.Value {
+	for i, g := range r.groupBy {
+		if g.Name == name && (typ == "" || typ == g.Type) {
+			return r.keyVals[i]
+		}
+	}
+	return event.Invalid
+}
+
+// Agg implements expr.Row.
+func (r resultRow) Agg(i int) event.Value {
+	if i < 0 || i >= len(r.aggVals) {
+		return event.Invalid
+	}
+	return r.aggVals[i]
+}

@@ -1,0 +1,279 @@
+package central
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scrub/internal/transport"
+	"scrub/internal/window"
+)
+
+// Executor is the central-execution surface the query server drives. Both
+// the single-node Engine and the ShardedEngine satisfy it.
+type Executor interface {
+	StartQuery(p Plan, emit EmitFunc) error
+	HandleBatch(b transport.TupleBatch)
+	Tick(nowNanos int64)
+	StopQuery(id uint64) (transport.QueryStats, bool)
+	Stats(id uint64) (transport.QueryStats, bool)
+	ActiveQueries() []uint64
+}
+
+var (
+	_ Executor = (*Engine)(nil)
+	_ Executor = (*ShardedEngine)(nil)
+)
+
+// shardLateness effectively disables event-time closing inside shards:
+// the merger is the only component that closes windows, at barriers that
+// cover every shard, so a window it flushes is complete by construction.
+const shardLateness = 365 * 24 * time.Hour
+
+// ShardedEngine is a multi-shard ScrubCentral — the paper's "small
+// ScrubCentral cluster" (§8.1). Tuples route to shards by request id, so
+// the request-identifier equi-join stays shard-local; group and raw
+// window state is merged across shards at window close through the
+// mergeable aggregators, then rendered exactly like the single-node
+// engine (scale-up, bounds, HAVING, ORDER BY, LIMIT).
+type ShardedEngine struct {
+	shards []*Engine
+
+	mu      sync.Mutex
+	queries map[uint64]*shardedQuery
+}
+
+type shardedQuery struct {
+	plan Plan // real lateness, post-defaults
+	comp *compiled
+	emit EmitFunc
+
+	counters map[hostTypeKey]hostCounters
+	// pending holds merged-but-unflushed window partials by start time.
+	pending map[int64]*winState
+	stats   transport.QueryStats
+}
+
+// NewShardedEngine creates an engine with n shards (n >= 1).
+func NewShardedEngine(n int) (*ShardedEngine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("central: shard count must be >= 1, got %d", n)
+	}
+	se := &ShardedEngine{queries: make(map[uint64]*shardedQuery)}
+	for i := 0; i < n; i++ {
+		se.shards = append(se.shards, NewEngine())
+	}
+	return se, nil
+}
+
+// NumShards returns the shard count.
+func (se *ShardedEngine) NumShards() int { return len(se.shards) }
+
+// StartQuery implements Executor.
+func (se *ShardedEngine) StartQuery(p Plan, emit EmitFunc) error {
+	if emit == nil {
+		return fmt.Errorf("central: nil emit")
+	}
+	if err := p.fillDefaults(); err != nil {
+		return err
+	}
+	comp, err := compile(&p)
+	if err != nil {
+		return fmt.Errorf("central: compile plan: %w", err)
+	}
+	if _, err := p.newAggSet(); err != nil {
+		return err
+	}
+
+	se.mu.Lock()
+	if _, dup := se.queries[p.QueryID]; dup {
+		se.mu.Unlock()
+		return fmt.Errorf("central: query %d already active", p.QueryID)
+	}
+	se.queries[p.QueryID] = &shardedQuery{
+		plan: p, comp: comp, emit: emit,
+		counters: make(map[hostTypeKey]hostCounters),
+		pending:  make(map[int64]*winState),
+	}
+	se.mu.Unlock()
+
+	for i, sh := range se.shards {
+		sp := p
+		sp.Lateness = shardLateness
+		if err := sh.startQueryDriven(sp); err != nil {
+			// Roll back the shards already started.
+			for j := 0; j < i; j++ {
+				se.shards[j].stopQueryDriven(p.QueryID)
+			}
+			se.mu.Lock()
+			delete(se.queries, p.QueryID)
+			se.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleBatch implements Executor: counters stay at the merger; tuples
+// split across shards by request id.
+func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
+	se.mu.Lock()
+	sq, ok := se.queries[b.QueryID]
+	if ok {
+		sq.counters[hostTypeKey{host: b.HostID, typeIdx: b.TypeIdx}] = hostCounters{
+			matched: b.MatchedTotal, sampled: b.SampledTotal, drops: b.QueueDrops,
+		}
+	}
+	se.mu.Unlock()
+	if !ok || len(b.Tuples) == 0 {
+		return
+	}
+	n := uint64(len(se.shards))
+	sub := make([][]transport.Tuple, len(se.shards))
+	for _, t := range b.Tuples {
+		i := int(t.RequestID % n)
+		sub[i] = append(sub[i], t)
+	}
+	for i, tuples := range sub {
+		if len(tuples) == 0 {
+			continue
+		}
+		se.shards[i].HandleBatch(transport.TupleBatch{
+			QueryID: b.QueryID, HostID: b.HostID, TypeIdx: b.TypeIdx,
+			Tuples: tuples,
+		})
+	}
+}
+
+// Tick implements Executor: a barrier across every shard. All windows
+// ending at or before now − lateness are pulled from all shards, merged,
+// rendered and emitted in start order. Because the same bound reaches
+// every shard before any flush, a flushed window can never receive more
+// tuples from a shard (they would be late there too).
+func (se *ShardedEngine) Tick(nowNanos int64) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	for id, sq := range se.queries {
+		bound := nowNanos - int64(sq.plan.Lateness)
+		se.collectLocked(id, sq, bound)
+		se.flushLocked(sq, bound)
+	}
+}
+
+// collectLocked pulls closed windows from every shard and merges them
+// into the query's pending set.
+func (se *ShardedEngine) collectLocked(id uint64, sq *shardedQuery, bound int64) {
+	for _, sh := range se.shards {
+		for _, closed := range sh.forceCloseQuery(id, bound) {
+			se.mergePendingLocked(sq, closed)
+		}
+	}
+}
+
+func (se *ShardedEngine) mergePendingLocked(sq *shardedQuery, closed window.Closed[*winState]) {
+	if dst, ok := sq.pending[closed.Start]; ok {
+		mergeWinStates(&sq.plan, dst, closed.State)
+	} else {
+		sq.pending[closed.Start] = closed.State
+	}
+}
+
+// flushLocked renders and emits pending windows ending at or before
+// bound, in start order.
+func (se *ShardedEngine) flushLocked(sq *shardedQuery, bound int64) {
+	var starts []int64
+	winSize := int64(sq.plan.Window)
+	for start := range sq.pending {
+		if start+winSize <= bound {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, start := range starts {
+		se.emitLocked(sq, start, sq.pending[start])
+		delete(sq.pending, start)
+	}
+}
+
+func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState) {
+	rw := renderWindow(&sq.plan, sq.comp, start, start+int64(sq.plan.Window), ws)
+	var hostDrops uint64
+	for _, c := range sq.counters {
+		hostDrops += c.drops
+	}
+	var lateDrops uint64
+	for _, sh := range se.shards {
+		if d, ok := sh.dropsOf(sq.plan.QueryID); ok {
+			lateDrops += d
+		}
+	}
+	rw.Stats.HostDrops = hostDrops
+	rw.Stats.LateDrops = lateDrops
+	sq.stats.Windows++
+	sq.stats.Rows += uint64(len(rw.Rows))
+	sq.stats.TuplesIn += ws.tuples
+	sq.stats.HostDrops = hostDrops
+	sq.stats.LateDrops = lateDrops
+	sq.emit(rw)
+}
+
+// StopQuery implements Executor: drains every shard, merges, emits the
+// remainder, and returns the final stats.
+func (se *ShardedEngine) StopQuery(id uint64) (transport.QueryStats, bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	sq, ok := se.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	var lateDrops uint64
+	for _, sh := range se.shards {
+		partials, drops, ok := sh.stopQueryDriven(id)
+		if !ok {
+			continue
+		}
+		lateDrops += drops
+		for _, closed := range partials {
+			se.mergePendingLocked(sq, closed)
+		}
+	}
+	se.flushLocked(sq, int64(1)<<62-1)
+	sq.stats.LateDrops = lateDrops
+	delete(se.queries, id)
+	return sq.stats, true
+}
+
+// Stats implements Executor.
+func (se *ShardedEngine) Stats(id uint64) (transport.QueryStats, bool) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	sq, ok := se.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	// TuplesIn so far is what the shards have absorbed.
+	st := sq.stats
+	var tuples uint64
+	for _, sh := range se.shards {
+		if s, ok := sh.Stats(id); ok {
+			tuples += s.TuplesIn
+		}
+	}
+	if tuples > st.TuplesIn {
+		st.TuplesIn = tuples
+	}
+	return st, true
+}
+
+// ActiveQueries implements Executor.
+func (se *ShardedEngine) ActiveQueries() []uint64 {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	out := make([]uint64, 0, len(se.queries))
+	for id := range se.queries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

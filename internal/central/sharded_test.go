@@ -1,0 +1,359 @@
+package central
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/transport"
+)
+
+func TestNewShardedEngineValidation(t *testing.T) {
+	if _, err := NewShardedEngine(0); err == nil {
+		t.Error("0 shards should fail")
+	}
+	se, err := NewShardedEngine(4)
+	if err != nil || se.NumShards() != 4 {
+		t.Fatalf("NewShardedEngine: %v", err)
+	}
+	p := buildPlan(t, `select count(*) from bid`, 1, 1, 1)
+	if err := se.StartQuery(p, nil); err == nil {
+		t.Error("nil emit should fail")
+	}
+	if err := se.StartQuery(p, func(transport.ResultWindow) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := se.StartQuery(p, func(transport.ResultWindow) {}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+	if got := se.ActiveQueries(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("active = %v", got)
+	}
+}
+
+// runBoth feeds identical batches into a single-node Engine and a
+// ShardedEngine and returns both result sets, flushed the same way.
+func runBoth(t *testing.T, src string, shards int, batches []transport.TupleBatch, tickAt int64) (single, sharded []transport.ResultWindow) {
+	t.Helper()
+
+	run := func(ex Executor) []transport.ResultWindow {
+		c := &collector{}
+		p := buildPlan(t, src, 1, 1, 1)
+		// Ample lateness: the equivalence subject is the cross-shard merge,
+		// not watermark behavior, and the synthetic feeding order (hosts
+		// appearing one after another with full time ranges) would trip
+		// event-driven closing on the single node — real agents heartbeat
+		// from the start, so their streams anchor the min-watermark early.
+		p.Lateness = time.Hour
+		if err := ex.StartQuery(p, c.emit); err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range batches {
+			// Deep-copy tuples: engines share nothing.
+			cp := b
+			cp.Tuples = append([]transport.Tuple(nil), b.Tuples...)
+			ex.HandleBatch(cp)
+		}
+		if tickAt != 0 {
+			ex.Tick(tickAt)
+		}
+		ex.StopQuery(1)
+		return c.all()
+	}
+
+	se, err := NewShardedEngine(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run(NewEngine()), run(se)
+}
+
+// windowsEqual compares result sets window by window.
+func windowsEqual(t *testing.T, single, sharded []transport.ResultWindow) {
+	t.Helper()
+	if len(single) != len(sharded) {
+		t.Fatalf("window counts differ: single %d, sharded %d", len(single), len(sharded))
+	}
+	for i := range single {
+		a, b := single[i], sharded[i]
+		if a.WindowStart != b.WindowStart || a.WindowEnd != b.WindowEnd {
+			t.Errorf("window %d bounds differ: [%d,%d) vs [%d,%d)", i, a.WindowStart, a.WindowEnd, b.WindowStart, b.WindowEnd)
+		}
+		if !rowsAlmostEqual(a.Rows, b.Rows) {
+			t.Errorf("window %d rows differ:\n single:  %v\n sharded: %v", i, a.Rows, b.Rows)
+		}
+		if a.Stats.TuplesIn != b.Stats.TuplesIn {
+			t.Errorf("window %d tuples differ: %d vs %d", i, a.Stats.TuplesIn, b.Stats.TuplesIn)
+		}
+	}
+}
+
+// rowsAlmostEqual compares result rows, allowing last-ulp float drift:
+// merging partial sums across shards reassociates floating-point
+// addition, which legitimately perturbs SUM/AVG in the ~1e-15 relative
+// range.
+func rowsAlmostEqual(a, b [][]event.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			x, y := a[i][j], b[i][j]
+			fx, okx := x.AsFloat()
+			fy, oky := y.AsFloat()
+			if okx && oky {
+				diff := fx - fy
+				if diff < 0 {
+					diff = -diff
+				}
+				scale := 1.0
+				if fx > scale {
+					scale = fx
+				} else if -fx > scale {
+					scale = -fx
+				}
+				if diff > 1e-9*scale {
+					return false
+				}
+				continue
+			}
+			if !reflect.DeepEqual(x, y) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestShardedEquivalenceGrouped(t *testing.T) {
+	// Random grouped workload: single-node and sharded must render
+	// identical windows (mergeable aggregates make this exact).
+	rng := rand.New(rand.NewSource(42))
+	var batches []transport.TupleBatch
+	req := uint64(0)
+	for b := 0; b < 20; b++ {
+		tuples := make([]transport.Tuple, 64)
+		for i := range tuples {
+			req++
+			tuples[i] = transport.Tuple{
+				RequestID: req,
+				TsNanos:   sec(int64(rng.Intn(50))) + 1,
+				Values: []event.Value{
+					event.Int(int64(rng.Intn(20))),
+					event.Float(rng.Float64() * 10),
+				},
+			}
+		}
+		batches = append(batches, transport.TupleBatch{
+			QueryID: 1, HostID: fmt.Sprintf("h%d", b%4), TypeIdx: 0, Tuples: tuples,
+		})
+	}
+	src := `select bid.user_id, count(*), sum(bid.bid_price), avg(bid.bid_price), min(bid.bid_price), max(bid.bid_price)
+		from bid group by bid.user_id window 10s`
+	single, sharded := runBoth(t, src, 4, batches, sec(200))
+	windowsEqual(t, single, sharded)
+	if len(single) == 0 {
+		t.Fatal("no windows emitted")
+	}
+}
+
+func TestShardedEquivalenceJoin(t *testing.T) {
+	// Join routing: both sides of a request land on one shard, so join
+	// results match the single node exactly.
+	rng := rand.New(rand.NewSource(7))
+	var batches []transport.TupleBatch
+	for b := 0; b < 10; b++ {
+		var bids, excls []transport.Tuple
+		for i := 0; i < 40; i++ {
+			req := uint64(b*100 + i)
+			ts := sec(int64(rng.Intn(30))) + 1
+			bids = append(bids, transport.Tuple{RequestID: req, TsNanos: ts})
+			if rng.Intn(2) == 0 {
+				excls = append(excls, transport.Tuple{RequestID: req, TsNanos: ts,
+					Values: []event.Value{event.Str([]string{"budget", "geo", "freq"}[rng.Intn(3)])}})
+			}
+		}
+		batches = append(batches,
+			transport.TupleBatch{QueryID: 1, HostID: "bid-h", TypeIdx: 0, Tuples: bids},
+			transport.TupleBatch{QueryID: 1, HostID: "ad-h", TypeIdx: 1, Tuples: excls},
+		)
+	}
+	src := `select exclusion.reason, count(*) from bid, exclusion group by exclusion.reason window 10s`
+	single, sharded := runBoth(t, src, 3, batches, sec(100))
+	windowsEqual(t, single, sharded)
+}
+
+func TestShardedEquivalenceRawOrderLimit(t *testing.T) {
+	var tuples []transport.Tuple
+	for i := 0; i < 50; i++ {
+		tuples = append(tuples, transport.Tuple{
+			RequestID: uint64(i + 1), TsNanos: sec(1),
+			Values: []event.Value{event.Int(int64(i)), event.Float(float64(i % 13))},
+		})
+	}
+	batches := []transport.TupleBatch{{QueryID: 1, HostID: "h", TypeIdx: 0, Tuples: tuples}}
+	src := `select bid.user_id, bid.bid_price from bid order by 2 desc, 1 limit 5 window 10s`
+	single, sharded := runBoth(t, src, 4, batches, sec(100))
+	windowsEqual(t, single, sharded)
+	if len(single) != 1 || len(single[0].Rows) != 5 {
+		t.Fatalf("rows = %+v", single)
+	}
+}
+
+func TestShardedScaleUpAndBounds(t *testing.T) {
+	se, err := NewShardedEngine(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s sample hosts 50% events 50%`, 1, 4, 2)
+	if err := se.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	for h := 0; h < 2; h++ {
+		tuples := make([]transport.Tuple, 10)
+		for i := range tuples {
+			tuples[i] = transport.Tuple{RequestID: uint64(h*100 + i), TsNanos: sec(1)}
+		}
+		se.HandleBatch(transport.TupleBatch{QueryID: 1, HostID: fmt.Sprintf("h%d", h), TypeIdx: 0, Tuples: tuples})
+	}
+	se.Tick(sec(100))
+	wins := c.all()
+	if len(wins) != 1 {
+		t.Fatalf("wins = %d", len(wins))
+	}
+	// 20 tuples × factor 4 = 80.
+	if wins[0].Rows[0][0].String() != "80" {
+		t.Errorf("scaled count = %v", wins[0].Rows[0][0])
+	}
+	if !wins[0].Approx || len(wins[0].ErrBounds) != 1 {
+		t.Errorf("approx metadata missing: %+v", wins[0])
+	}
+	se.StopQuery(1)
+}
+
+func TestShardedHostDropCounters(t *testing.T) {
+	se, _ := NewShardedEngine(2)
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s`, 1, 1, 1)
+	if err := se.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	se.HandleBatch(transport.TupleBatch{
+		QueryID: 1, HostID: "h1", TypeIdx: 0,
+		Tuples:     []transport.Tuple{{RequestID: 1, TsNanos: sec(1)}},
+		QueueDrops: 9,
+	})
+	se.Tick(sec(100))
+	wins := c.all()
+	if len(wins) != 1 || wins[0].Stats.HostDrops != 9 {
+		t.Fatalf("host drops = %+v", wins)
+	}
+	stats, ok := se.StopQuery(1)
+	if !ok || stats.HostDrops != 9 || stats.TuplesIn != 1 {
+		t.Errorf("final stats = %+v", stats)
+	}
+	if _, ok := se.StopQuery(1); ok {
+		t.Error("double stop should miss")
+	}
+	// Batches after stop are ignored.
+	se.HandleBatch(transport.TupleBatch{QueryID: 1, HostID: "h1"})
+}
+
+func TestShardedConcurrentStress(t *testing.T) {
+	se, _ := NewShardedEngine(4)
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 1s`, 1, 1, 1)
+	if err := se.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	const hosts = 6
+	const batches = 40
+	const perBatch = 25
+	var wg sync.WaitGroup
+	for h := 0; h < hosts; h++ {
+		wg.Add(1)
+		go func(h int) {
+			defer wg.Done()
+			for b := 0; b < batches; b++ {
+				tuples := make([]transport.Tuple, perBatch)
+				for i := range tuples {
+					tuples[i] = transport.Tuple{
+						RequestID: uint64(h*1_000_000 + b*1000 + i),
+						TsNanos:   sec(int64(b%8)) + 1,
+					}
+				}
+				se.HandleBatch(transport.TupleBatch{
+					QueryID: 1, HostID: fmt.Sprintf("h%d", h), TypeIdx: 0, Tuples: tuples,
+				})
+			}
+		}(h)
+	}
+	stop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				se.Tick(0) // far past: closes nothing
+				se.Stats(1)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	<-tickDone
+	stats, ok := se.StopQuery(1)
+	if !ok {
+		t.Fatal("query vanished")
+	}
+	const want = hosts * batches * perBatch
+	if stats.TuplesIn != want {
+		t.Errorf("tuples = %d, want %d", stats.TuplesIn, want)
+	}
+	var emitted int64
+	for _, w := range c.all() {
+		for _, row := range w.Rows {
+			n, _ := row[0].AsInt()
+			emitted += n
+		}
+	}
+	if emitted != want {
+		t.Errorf("emitted sum = %d, want %d", emitted, want)
+	}
+}
+
+func TestShardedThroughWholeCluster(t *testing.T) {
+	// Integration smoke via the central plan only (core wiring is tested
+	// in internal/core): sliding windows through shards.
+	se, _ := NewShardedEngine(2)
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s slide 5s`, 1, 1, 1)
+	if err := se.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	se.HandleBatch(transport.TupleBatch{QueryID: 1, HostID: "h", TypeIdx: 0,
+		Tuples: []transport.Tuple{
+			{RequestID: 1, TsNanos: sec(7)},
+			{RequestID: 2, TsNanos: sec(12)},
+		}})
+	se.Tick(sec(100))
+	counts := map[int64]string{}
+	for _, w := range c.all() {
+		counts[w.WindowStart/int64(time.Second)] = w.Rows[0][0].String()
+	}
+	if counts[0] != "1" || counts[5] != "2" || counts[10] != "1" {
+		t.Errorf("sliding sharded counts = %v", counts)
+	}
+	se.StopQuery(1)
+}

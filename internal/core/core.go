@@ -1,0 +1,254 @@
+// Package core is Scrub's embedding and assembly layer: it wires the host
+// agents, ScrubCentral, and the query server into a running system and
+// exposes the two things a user touches — the application-side event API
+// (define types, log events) and the troubleshooter-side query API
+// (submit a query, stream windows).
+//
+// Two assemblies exist:
+//
+//   - LocalCluster runs everything in one process with direct calls —
+//     the substrate for tests, benchmarks, and the simulator.
+//   - NetCluster (net.go) runs the same components over real TCP — the
+//     shape of a production deployment, used by the cmd/ binaries.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"scrub/internal/central"
+	"scrub/internal/cluster"
+	"scrub/internal/event"
+	"scrub/internal/host"
+	"scrub/internal/server"
+	"scrub/internal/transport"
+)
+
+// HostSpec declares one simulated or real application host.
+type HostSpec struct {
+	Name    string
+	Service string
+	DC      string
+}
+
+// LocalConfig parametrizes a LocalCluster.
+type LocalConfig struct {
+	Catalog *event.Catalog
+	Hosts   []HostSpec
+	// Agent forwards host.Config tuning (queue size, batch size, flush
+	// interval) to every agent.
+	Agent host.Config
+	// AgentSink, when set, replaces the default engine-backed sink for
+	// every agent. Overhead measurements use an encode-and-discard sink
+	// to model the paper's deployment, where ScrubCentral is a dedicated
+	// remote facility whose work never lands on application hosts.
+	AgentSink host.Sink
+	// CentralShards runs ScrubCentral as a sharded cluster with this many
+	// shards (the paper's "small ScrubCentral cluster"). 0 or 1 uses the
+	// single-node engine.
+	CentralShards int
+}
+
+// LocalCluster is a complete single-process Scrub deployment: one agent
+// per declared host, ScrubCentral, and the query server, connected by
+// direct calls.
+type LocalCluster struct {
+	Catalog  *event.Catalog
+	Registry *cluster.Registry
+	Engine   central.Executor
+	Server   *server.Server
+
+	mu     sync.Mutex
+	agents map[string]*host.Agent
+	closed bool
+}
+
+// NewLocalCluster builds and starts the deployment.
+func NewLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
+	if cfg.Catalog == nil {
+		return nil, fmt.Errorf("core: nil catalog")
+	}
+	if len(cfg.Hosts) == 0 {
+		return nil, fmt.Errorf("core: no hosts")
+	}
+	var engine central.Executor = central.NewEngine()
+	if cfg.CentralShards > 1 {
+		se, err := central.NewShardedEngine(cfg.CentralShards)
+		if err != nil {
+			return nil, err
+		}
+		engine = se
+	}
+	lc := &LocalCluster{
+		Catalog:  cfg.Catalog,
+		Registry: cluster.NewRegistry(),
+		Engine:   engine,
+		agents:   make(map[string]*host.Agent),
+	}
+
+	var sink host.Sink = host.SinkFunc(func(b transport.TupleBatch) error {
+		lc.Engine.HandleBatch(b)
+		return nil
+	})
+	if cfg.AgentSink != nil {
+		sink = cfg.AgentSink
+	}
+	for _, h := range cfg.Hosts {
+		if err := lc.Registry.Register(cluster.HostInfo{Name: h.Name, Service: h.Service, DC: h.DC}); err != nil {
+			lc.Close()
+			return nil, err
+		}
+		acfg := cfg.Agent
+		acfg.HostID = h.Name
+		acfg.Service = h.Service
+		acfg.DC = h.DC
+		acfg.Catalog = cfg.Catalog
+		acfg.Sink = sink
+		agent, err := host.New(acfg)
+		if err != nil {
+			lc.Close()
+			return nil, err
+		}
+		lc.agents[h.Name] = agent
+	}
+
+	dispatcher := server.DispatcherFunc(func(hostName string, msg transport.Message) error {
+		lc.mu.Lock()
+		agent := lc.agents[hostName]
+		lc.mu.Unlock()
+		if agent == nil {
+			return fmt.Errorf("core: unknown host %q", hostName)
+		}
+		switch m := msg.(type) {
+		case transport.HostQuery:
+			return agent.Start(m)
+		case transport.StopQuery:
+			agent.Stop(m.QueryID)
+			return nil
+		default:
+			return fmt.Errorf("core: unexpected dispatch %s", transport.Name(msg))
+		}
+	})
+
+	srv, err := server.New(server.Config{
+		Catalog:    cfg.Catalog,
+		Registry:   lc.Registry,
+		Engine:     lc.Engine,
+		Dispatcher: dispatcher,
+	})
+	if err != nil {
+		lc.Close()
+		return nil, err
+	}
+	lc.Server = srv
+	return lc, nil
+}
+
+// Agent returns the agent embedded in the named host — the handle the
+// "application" uses to log events.
+func (lc *LocalCluster) Agent(name string) (*host.Agent, bool) {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	a, ok := lc.agents[name]
+	return a, ok
+}
+
+// Agents returns all agents.
+func (lc *LocalCluster) Agents() []*host.Agent {
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	out := make([]*host.Agent, 0, len(lc.agents))
+	for _, a := range lc.agents {
+		out = append(out, a)
+	}
+	return out
+}
+
+// Stream is a running query's results, the in-process analogue of
+// server.QueryStream.
+type Stream struct {
+	Info    server.QueryInfo
+	Windows <-chan transport.ResultWindow
+
+	mu    sync.Mutex
+	stats transport.QueryStats
+	done  chan struct{}
+}
+
+// Final blocks until the query ends and returns its statistics.
+func (s *Stream) Final() transport.QueryStats {
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Done reports completion without blocking.
+func (s *Stream) Done() bool {
+	select {
+	case <-s.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Query submits query text and streams result windows until the span
+// ends or Cancel is called.
+func (lc *LocalCluster) Query(text string) (*Stream, error) {
+	wins := make(chan transport.ResultWindow, 1024)
+	st := &Stream{Windows: wins, done: make(chan struct{})}
+	cb := server.Callbacks{
+		Window: func(rw transport.ResultWindow) {
+			select {
+			case wins <- rw:
+			default: // a stalled consumer loses windows, never blocks Scrub
+			}
+		},
+		Done: func(d transport.QueryDone) {
+			st.mu.Lock()
+			st.stats = d.Stats
+			st.mu.Unlock()
+			close(wins)
+			close(st.done)
+		},
+	}
+	info, err := lc.Server.Submit(text, cb)
+	if err != nil {
+		return nil, err
+	}
+	st.Info = info
+	return st, nil
+}
+
+// Cancel ends a running query early.
+func (lc *LocalCluster) Cancel(id uint64) error { return lc.Server.Cancel(id) }
+
+// FlushAgents pushes pending host batches through — a convenience for
+// tests and simulations that want deterministic delivery points.
+func (lc *LocalCluster) FlushAgents() {
+	for _, a := range lc.Agents() {
+		a.Flush()
+	}
+}
+
+// Close tears the whole deployment down.
+func (lc *LocalCluster) Close() {
+	lc.mu.Lock()
+	if lc.closed {
+		lc.mu.Unlock()
+		return
+	}
+	lc.closed = true
+	agents := make([]*host.Agent, 0, len(lc.agents))
+	for _, a := range lc.agents {
+		agents = append(agents, a)
+	}
+	lc.mu.Unlock()
+	if lc.Server != nil {
+		lc.Server.Close()
+	}
+	for _, a := range agents {
+		a.Close()
+	}
+}

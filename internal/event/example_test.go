@@ -1,0 +1,59 @@
+package event_test
+
+import (
+	"fmt"
+	"time"
+
+	"scrub/internal/event"
+)
+
+// ExampleSchemaOf mirrors the paper's Figure-1 annotation model: a tagged
+// struct declares the event type, Marshal turns instances into events.
+func ExampleSchemaOf() {
+	type Bid struct {
+		ExchangeID int64   `scrub:"exchange_id"`
+		City       string  `scrub:"city"`
+		BidPrice   float64 `scrub:"bid_price"`
+		internal   int     // untagged: not part of the event
+	}
+	_ = Bid{internal: 0}
+
+	schema, err := event.SchemaOf("bid", Bid{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(schema)
+
+	ev, err := event.Marshal(schema, 42, time.Unix(100, 0), Bid{
+		ExchangeID: 3, City: "porto", BidPrice: 1.25,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(ev.Get("city"), ev.Get("bid_price"), ev.RequestID)
+	// Output:
+	// bid(exchange_id int, city string, bid_price float)
+	// porto 1.25 42
+}
+
+// ExampleParseSchemas loads a schema file — how the standalone daemons
+// share an event catalog.
+func ExampleParseSchemas() {
+	schemas, err := event.ParseSchemas(`
+# bidding platform events
+bid user_id:long bid_price:double
+auction line_item_ids:list<int> winner:int
+`)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range schemas {
+		fmt.Println(s)
+	}
+	// Output:
+	// bid(user_id int, bid_price float)
+	// auction(line_item_ids list<int>, winner int)
+}

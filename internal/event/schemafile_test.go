@@ -1,0 +1,94 @@
+package event
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoSchemaText = `
+# Turn bidding platform events
+bid exchange_id:int user_id:long city:string bid_price:double when:time
+auction line_item_ids:list<int> winner_bid_price:float
+flag active:bool
+`
+
+func TestParseSchemas(t *testing.T) {
+	schemas, err := ParseSchemas(demoSchemaText)
+	if err != nil {
+		t.Fatalf("ParseSchemas: %v", err)
+	}
+	if len(schemas) != 3 {
+		t.Fatalf("schemas = %d", len(schemas))
+	}
+	bid := schemas[0]
+	if bid.Name() != "bid" || bid.NumFields() != 5 {
+		t.Fatalf("bid = %s", bid)
+	}
+	if k, _ := bid.FieldKind("user_id"); k != KindInt {
+		t.Error("long should alias int")
+	}
+	if k, _ := bid.FieldKind("bid_price"); k != KindFloat {
+		t.Error("double should alias float")
+	}
+	if k, _ := bid.FieldKind("when"); k != KindTime {
+		t.Error("time kind")
+	}
+	auction := schemas[1]
+	if f := auction.Field(0); f.Kind != KindList || f.Elem != KindInt {
+		t.Errorf("list field = %+v", f)
+	}
+}
+
+func TestParseSchemasErrors(t *testing.T) {
+	bad := []string{
+		"bid field_without_type",
+		"bid x:blob",
+		"bid :int",
+		"bid x:",
+		"bid x:list",
+		"bid x:list<list>",
+		"bid request_id:int", // system-field collision
+		"bid a:int a:int",    // duplicate
+	}
+	for _, src := range bad {
+		if _, err := ParseSchemas(src); err == nil {
+			t.Errorf("ParseSchemas(%q) should fail", src)
+		}
+	}
+}
+
+func TestLoadCatalogAndFormatRoundTrip(t *testing.T) {
+	cat, err := LoadCatalog(demoSchemaText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.Len() != 3 {
+		t.Fatalf("catalog = %d", cat.Len())
+	}
+	// Format → Parse round trip preserves definitions.
+	var schemas []*Schema
+	for _, name := range cat.Names() {
+		s, _ := cat.Lookup(name)
+		schemas = append(schemas, s)
+	}
+	text := FormatSchemas(schemas)
+	again, err := ParseSchemas(text)
+	if err != nil {
+		t.Fatalf("re-parse: %v", err)
+	}
+	if len(again) != len(schemas) {
+		t.Fatal("round trip lost schemas")
+	}
+	for i := range schemas {
+		if schemas[i].String() != again[i].String() {
+			t.Errorf("schema %d: %s != %s", i, schemas[i], again[i])
+		}
+	}
+	if !strings.Contains(text, "list<int>") {
+		t.Errorf("formatted text = %q", text)
+	}
+	// Duplicate type names rejected at catalog load.
+	if _, err := LoadCatalog("a x:int\na y:int"); err == nil {
+		t.Error("conflicting duplicate type should fail")
+	}
+}

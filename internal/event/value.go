@@ -1,0 +1,432 @@
+// Package event defines Scrub's event model: typed values, event schemas,
+// the events themselves, a process-wide schema catalog, and a compact binary
+// encoding used on the wire between host agents and ScrubCentral.
+//
+// An event is an n-tuple of user-defined fields plus two system fields that
+// Scrub maintains itself: a unique request identifier (the only join key the
+// query language permits) and an event timestamp. The metadata is bounded
+// and kept to the minimum needed to support equi-joins and windowing.
+package event
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Kind enumerates the primitive field types Scrub supports. The paper's
+// int/long collapse to KindInt (int64) and float/double to KindFloat
+// (float64); date/time is KindTime. Homogeneous lists of primitives are
+// KindList with an element kind.
+type Kind uint8
+
+// Field kinds.
+const (
+	KindInvalid Kind = iota
+	KindBool
+	KindInt
+	KindFloat
+	KindString
+	KindTime
+	KindList
+)
+
+// String returns the lower-case name used in query diagnostics and schema
+// declarations.
+func (k Kind) String() string {
+	switch k {
+	case KindBool:
+		return "bool"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindString:
+		return "string"
+	case KindTime:
+		return "time"
+	case KindList:
+		return "list"
+	default:
+		return "invalid"
+	}
+}
+
+// ParseKind converts a schema declaration name to a Kind. It accepts the
+// paper's type vocabulary (int, long, float, double, boolean, string,
+// date, time) as aliases.
+func ParseKind(s string) (Kind, error) {
+	switch strings.ToLower(s) {
+	case "bool", "boolean":
+		return KindBool, nil
+	case "int", "long", "int64":
+		return KindInt, nil
+	case "float", "double", "float64":
+		return KindFloat, nil
+	case "string":
+		return KindString, nil
+	case "time", "date", "datetime", "timestamp":
+		return KindTime, nil
+	case "list":
+		return KindList, nil
+	default:
+		return KindInvalid, fmt.Errorf("event: unknown field type %q", s)
+	}
+}
+
+// Value is a dynamically typed field value. The zero Value is the invalid
+// value; it compares unequal to everything, including itself, and evaluates
+// as "missing" in predicates. Values are immutable once constructed.
+type Value struct {
+	kind Kind
+	num  uint64 // bool (0/1), int64 bits, float64 bits, or unix-nano time
+	str  string
+	list []Value
+	elem Kind // element kind when kind == KindList
+}
+
+// Invalid is the missing/invalid value.
+var Invalid = Value{}
+
+// Bool returns a boolean value.
+func Bool(b bool) Value {
+	var n uint64
+	if b {
+		n = 1
+	}
+	return Value{kind: KindBool, num: n}
+}
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, num: uint64(i)} }
+
+// Float returns a floating-point value.
+func Float(f float64) Value { return Value{kind: KindFloat, num: math.Float64bits(f)} }
+
+// Str returns a string value.
+func Str(s string) Value { return Value{kind: KindString, str: s} }
+
+// Time returns a date/time value with nanosecond resolution.
+func Time(t time.Time) Value { return Value{kind: KindTime, num: uint64(t.UnixNano())} }
+
+// TimeNanos returns a date/time value from unix nanoseconds.
+func TimeNanos(ns int64) Value { return Value{kind: KindTime, num: uint64(ns)} }
+
+// List returns a homogeneous list value. All elements must share the given
+// element kind; List panics otherwise, since list construction happens at
+// event-definition sites where a kind mismatch is a programming error.
+func List(elem Kind, vs ...Value) Value {
+	for _, v := range vs {
+		if v.kind != elem {
+			panic(fmt.Sprintf("event: list element kind %v does not match declared %v", v.kind, elem))
+		}
+	}
+	cp := make([]Value, len(vs))
+	copy(cp, vs)
+	return Value{kind: KindList, list: cp, elem: elem}
+}
+
+// IntList is a convenience constructor for a list of integers.
+func IntList(xs ...int64) Value {
+	vs := make([]Value, len(xs))
+	for i, x := range xs {
+		vs[i] = Int(x)
+	}
+	return Value{kind: KindList, list: vs, elem: KindInt}
+}
+
+// StrList is a convenience constructor for a list of strings.
+func StrList(xs ...string) Value {
+	vs := make([]Value, len(xs))
+	for i, x := range xs {
+		vs[i] = Str(x)
+	}
+	return Value{kind: KindList, list: vs, elem: KindString}
+}
+
+// FloatList is a convenience constructor for a list of floats.
+func FloatList(xs ...float64) Value {
+	vs := make([]Value, len(xs))
+	for i, x := range xs {
+		vs[i] = Float(x)
+	}
+	return Value{kind: KindList, list: vs, elem: KindFloat}
+}
+
+// Kind reports the value's kind.
+func (v Value) Kind() Kind { return v.kind }
+
+// Elem reports the element kind of a list value, KindInvalid otherwise.
+func (v Value) Elem() Kind {
+	if v.kind != KindList {
+		return KindInvalid
+	}
+	return v.elem
+}
+
+// IsValid reports whether the value carries data.
+func (v Value) IsValid() bool { return v.kind != KindInvalid }
+
+// AsBool returns the boolean payload; ok is false on kind mismatch.
+func (v Value) AsBool() (b bool, ok bool) {
+	if v.kind != KindBool {
+		return false, false
+	}
+	return v.num != 0, true
+}
+
+// AsInt returns the integer payload; ok is false on kind mismatch.
+func (v Value) AsInt() (int64, bool) {
+	if v.kind != KindInt {
+		return 0, false
+	}
+	return int64(v.num), true
+}
+
+// AsFloat returns the float payload. Integers widen to float, so numeric
+// expressions can mix the two kinds; ok is false for non-numeric kinds.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.kind {
+	case KindFloat:
+		return math.Float64frombits(v.num), true
+	case KindInt:
+		return float64(int64(v.num)), true
+	default:
+		return 0, false
+	}
+}
+
+// AsStr returns the string payload; ok is false on kind mismatch.
+func (v Value) AsStr() (string, bool) {
+	if v.kind != KindString {
+		return "", false
+	}
+	return v.str, true
+}
+
+// AsTime returns the time payload; ok is false on kind mismatch.
+func (v Value) AsTime() (time.Time, bool) {
+	if v.kind != KindTime {
+		return time.Time{}, false
+	}
+	return time.Unix(0, int64(v.num)), true
+}
+
+// TimeNanosValue returns the raw unix-nano payload of a time value.
+func (v Value) TimeNanosValue() (int64, bool) {
+	if v.kind != KindTime {
+		return 0, false
+	}
+	return int64(v.num), true
+}
+
+// AsList returns the list payload; ok is false on kind mismatch. The
+// returned slice must not be mutated.
+func (v Value) AsList() ([]Value, bool) {
+	if v.kind != KindList {
+		return nil, false
+	}
+	return v.list, true
+}
+
+// IsNumeric reports whether the value is int or float.
+func (v Value) IsNumeric() bool { return v.kind == KindInt || v.kind == KindFloat }
+
+// Equal reports deep equality. Invalid values are never equal (SQL NULL
+// semantics). Int and float compare numerically, so Int(3) equals
+// Float(3.0), matching the query language's comparison semantics.
+func (v Value) Equal(o Value) bool {
+	if v.kind == KindInvalid || o.kind == KindInvalid {
+		return false
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			return v.num == o.num
+		}
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		return a == b
+	}
+	if v.kind != o.kind {
+		return false
+	}
+	switch v.kind {
+	case KindBool, KindTime:
+		return v.num == o.num
+	case KindString:
+		return v.str == o.str
+	case KindList:
+		if v.elem != o.elem || len(v.list) != len(o.list) {
+			return false
+		}
+		for i := range v.list {
+			if !v.list[i].Equal(o.list[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Compare orders two values: -1, 0, or +1. The second result is false when
+// the values are not comparable (kind mismatch other than int/float, lists,
+// or invalid operands).
+func (v Value) Compare(o Value) (int, bool) {
+	if v.kind == KindInvalid || o.kind == KindInvalid {
+		return 0, false
+	}
+	if v.IsNumeric() && o.IsNumeric() {
+		if v.kind == KindInt && o.kind == KindInt {
+			a, b := int64(v.num), int64(o.num)
+			switch {
+			case a < b:
+				return -1, true
+			case a > b:
+				return 1, true
+			}
+			return 0, true
+		}
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	}
+	if v.kind != o.kind {
+		return 0, false
+	}
+	switch v.kind {
+	case KindBool:
+		a, b := v.num, o.num
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	case KindTime:
+		a, b := int64(v.num), int64(o.num)
+		switch {
+		case a < b:
+			return -1, true
+		case a > b:
+			return 1, true
+		}
+		return 0, true
+	case KindString:
+		return strings.Compare(v.str, o.str), true
+	}
+	return 0, false
+}
+
+// Hash folds the value into a 64-bit hash suitable for group-by keys and
+// COUNT_DISTINCT. Numerically equal int/float values hash identically.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	v.hashInto(h)
+	return h.Sum64()
+}
+
+type hash64 interface {
+	Write(p []byte) (int, error)
+	Sum64() uint64
+}
+
+func (v Value) hashInto(h hash64) {
+	var tag [1]byte
+	kind := v.kind
+	num := v.num
+	// Canonicalize int-valued floats to the int representation so that
+	// Equal values hash equally.
+	if kind == KindFloat {
+		f := math.Float64frombits(num)
+		if f == math.Trunc(f) && f >= math.MinInt64 && f <= math.MaxInt64 {
+			kind = KindInt
+			num = uint64(int64(f))
+		}
+	}
+	tag[0] = byte(kind)
+	h.Write(tag[:])
+	switch kind {
+	case KindBool, KindInt, KindFloat, KindTime:
+		var buf [8]byte
+		putUint64(buf[:], num)
+		h.Write(buf[:])
+	case KindString:
+		h.Write([]byte(v.str))
+	case KindList:
+		for _, e := range v.list {
+			e.hashInto(h)
+		}
+	}
+}
+
+func putUint64(b []byte, x uint64) {
+	_ = b[7]
+	b[0] = byte(x)
+	b[1] = byte(x >> 8)
+	b[2] = byte(x >> 16)
+	b[3] = byte(x >> 24)
+	b[4] = byte(x >> 32)
+	b[5] = byte(x >> 40)
+	b[6] = byte(x >> 48)
+	b[7] = byte(x >> 56)
+}
+
+// String renders the value for result rows and diagnostics.
+func (v Value) String() string {
+	switch v.kind {
+	case KindBool:
+		if v.num != 0 {
+			return "true"
+		}
+		return "false"
+	case KindInt:
+		return strconv.FormatInt(int64(v.num), 10)
+	case KindFloat:
+		return strconv.FormatFloat(math.Float64frombits(v.num), 'g', -1, 64)
+	case KindString:
+		return v.str
+	case KindTime:
+		return time.Unix(0, int64(v.num)).UTC().Format(time.RFC3339Nano)
+	case KindList:
+		var sb strings.Builder
+		sb.WriteByte('[')
+		for i, e := range v.list {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(e.String())
+		}
+		sb.WriteByte(']')
+		return sb.String()
+	default:
+		return "<invalid>"
+	}
+}
+
+// SortValues orders a slice of values using Compare, with an arbitrary but
+// deterministic ordering across kinds. Used to stabilize result rows.
+func SortValues(vs []Value) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if a.kind != b.kind && !(a.IsNumeric() && b.IsNumeric()) {
+			return a.kind < b.kind
+		}
+		c, ok := a.Compare(b)
+		if !ok {
+			return a.String() < b.String()
+		}
+		return c < 0
+	})
+}

@@ -1,0 +1,229 @@
+package event
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindBool: "bool", KindInt: "int", KindFloat: "float",
+		KindString: "string", KindTime: "time", KindList: "list",
+		KindInvalid: "invalid", Kind(99): "invalid",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestParseKindAliases(t *testing.T) {
+	aliases := map[string]Kind{
+		"bool": KindBool, "boolean": KindBool,
+		"int": KindInt, "long": KindInt, "INT64": KindInt,
+		"float": KindFloat, "double": KindFloat,
+		"string": KindString,
+		"time":   KindTime, "date": KindTime, "timestamp": KindTime,
+	}
+	for s, want := range aliases {
+		got, err := ParseKind(s)
+		if err != nil || got != want {
+			t.Errorf("ParseKind(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseKind("blob"); err == nil {
+		t.Error("ParseKind(blob) should fail")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	now := time.Unix(1234, 5678)
+	tests := []struct {
+		v    Value
+		kind Kind
+		str  string
+	}{
+		{Bool(true), KindBool, "true"},
+		{Bool(false), KindBool, "false"},
+		{Int(-42), KindInt, "-42"},
+		{Float(2.5), KindFloat, "2.5"},
+		{Str("hi"), KindString, "hi"},
+		{Time(now), KindTime, now.UTC().Format(time.RFC3339Nano)},
+		{IntList(1, 2, 3), KindList, "[1, 2, 3]"},
+		{Invalid, KindInvalid, "<invalid>"},
+	}
+	for _, tc := range tests {
+		if tc.v.Kind() != tc.kind {
+			t.Errorf("%v kind = %v, want %v", tc.v, tc.v.Kind(), tc.kind)
+		}
+		if tc.v.String() != tc.str {
+			t.Errorf("String() = %q, want %q", tc.v.String(), tc.str)
+		}
+	}
+
+	if b, ok := Bool(true).AsBool(); !ok || !b {
+		t.Error("AsBool round-trip failed")
+	}
+	if _, ok := Int(1).AsBool(); ok {
+		t.Error("AsBool on int should fail")
+	}
+	if i, ok := Int(-7).AsInt(); !ok || i != -7 {
+		t.Error("AsInt round-trip failed")
+	}
+	if f, ok := Float(1.5).AsFloat(); !ok || f != 1.5 {
+		t.Error("AsFloat round-trip failed")
+	}
+	if f, ok := Int(3).AsFloat(); !ok || f != 3.0 {
+		t.Error("AsFloat should widen int")
+	}
+	if _, ok := Str("x").AsFloat(); ok {
+		t.Error("AsFloat on string should fail")
+	}
+	if s, ok := Str("abc").AsStr(); !ok || s != "abc" {
+		t.Error("AsStr round-trip failed")
+	}
+	if tv, ok := Time(now).AsTime(); !ok || !tv.Equal(now) {
+		t.Error("AsTime round-trip failed")
+	}
+	if l, ok := StrList("a", "b").AsList(); !ok || len(l) != 2 {
+		t.Error("AsList round-trip failed")
+	}
+	if Invalid.IsValid() {
+		t.Error("Invalid.IsValid() should be false")
+	}
+}
+
+func TestListHomogeneityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("List with mixed kinds should panic")
+		}
+	}()
+	List(KindInt, Int(1), Str("x"))
+}
+
+func TestValueEqual(t *testing.T) {
+	if !Int(3).Equal(Float(3.0)) {
+		t.Error("Int(3) should equal Float(3.0)")
+	}
+	if Int(3).Equal(Float(3.5)) {
+		t.Error("Int(3) should not equal Float(3.5)")
+	}
+	if Invalid.Equal(Invalid) {
+		t.Error("Invalid never equals anything, including itself")
+	}
+	if !StrList("a").Equal(StrList("a")) {
+		t.Error("equal lists should be Equal")
+	}
+	if StrList("a").Equal(StrList("a", "b")) {
+		t.Error("different-length lists should differ")
+	}
+	if StrList("a").Equal(IntList(1)) {
+		t.Error("lists of different element kinds should differ")
+	}
+	if Str("1").Equal(Int(1)) {
+		t.Error("string should not equal int")
+	}
+	if !Bool(true).Equal(Bool(true)) || Bool(true).Equal(Bool(false)) {
+		t.Error("bool equality broken")
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	lt := [][2]Value{
+		{Int(1), Int(2)},
+		{Int(1), Float(1.5)},
+		{Float(-2), Int(0)},
+		{Str("a"), Str("b")},
+		{Bool(false), Bool(true)},
+		{Time(time.Unix(1, 0)), Time(time.Unix(2, 0))},
+	}
+	for _, p := range lt {
+		if c, ok := p[0].Compare(p[1]); !ok || c != -1 {
+			t.Errorf("Compare(%v, %v) = %d, %v; want -1, true", p[0], p[1], c, ok)
+		}
+		if c, ok := p[1].Compare(p[0]); !ok || c != 1 {
+			t.Errorf("reverse Compare(%v, %v) = %d, %v; want 1, true", p[1], p[0], c, ok)
+		}
+	}
+	if _, ok := Str("a").Compare(Int(1)); ok {
+		t.Error("cross-kind compare should be not-ok")
+	}
+	if _, ok := IntList(1).Compare(IntList(1)); ok {
+		t.Error("list compare should be not-ok")
+	}
+	if _, ok := Invalid.Compare(Int(1)); ok {
+		t.Error("invalid compare should be not-ok")
+	}
+	if c, ok := Int(5).Compare(Int(5)); !ok || c != 0 {
+		t.Error("self-compare should be 0")
+	}
+}
+
+func TestHashEqualConsistency(t *testing.T) {
+	// Equal values must hash equal — in particular int/float numeric equality.
+	pairs := [][2]Value{
+		{Int(42), Float(42.0)},
+		{Str("x"), Str("x")},
+		{IntList(1, 2), IntList(1, 2)},
+		{Time(time.Unix(9, 9)), Time(time.Unix(9, 9))},
+	}
+	for _, p := range pairs {
+		if p[0].Hash() != p[1].Hash() {
+			t.Errorf("Hash(%v) != Hash(%v) though Equal", p[0], p[1])
+		}
+	}
+	if Str("a").Hash() == Str("b").Hash() {
+		t.Error("distinct strings should (almost surely) hash differently")
+	}
+}
+
+func TestHashEqualConsistencyQuick(t *testing.T) {
+	f := func(i int64) bool {
+		// Only int64 values exactly representable as float64 keep numeric
+		// equality across the two kinds.
+		if i != int64(float64(i)) {
+			return true
+		}
+		a, b := Int(i), Float(float64(i))
+		return !a.Equal(b) || a.Hash() == b.Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortValuesDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	vals := []Value{Str("b"), Int(3), Float(1.5), Str("a"), Int(-1), Bool(true), Bool(false)}
+	want := make([]Value, len(vals))
+	copy(want, vals)
+	SortValues(want)
+	for trial := 0; trial < 10; trial++ {
+		shuffled := make([]Value, len(vals))
+		copy(shuffled, vals)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		SortValues(shuffled)
+		for i := range want {
+			if !reflect.DeepEqual(want[i], shuffled[i]) {
+				t.Fatalf("trial %d: SortValues not deterministic at %d: %v vs %v", trial, i, want[i], shuffled[i])
+			}
+		}
+	}
+}
+
+func TestFloatSpecials(t *testing.T) {
+	nan := Float(math.NaN())
+	if nan.Equal(nan) {
+		t.Error("NaN should not equal NaN")
+	}
+	inf := Float(math.Inf(1))
+	if c, ok := Float(1e300).Compare(inf); !ok || c != -1 {
+		t.Error("1e300 < +Inf expected")
+	}
+}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"scrub/internal/adplatform"
+	"scrub/internal/event"
+	"scrub/internal/host"
+	"scrub/internal/stats"
+	"scrub/internal/workload"
+)
+
+// A2Config parametrizes the baggage-propagation comparison the paper makes
+// in §8.4: Pivot-Tracing-style causal baggage would have to carry every
+// exclusion from the AdServers back through the request path — "the
+// baggage would have to include all these exclusions" — on every request,
+// whether or not anyone is troubleshooting. Scrub ships exclusion data
+// only while a query is active, already filtered and projected.
+//
+// The experiment runs the same bidding workload and measures:
+//   - baggage bytes per request (every exclusion event, serialized — what
+//     the request would carry);
+//   - Scrub bytes per request while the §8.4 query is active (projected
+//     exclusion tuples for one exchange), and zero when it is not.
+type A2Config struct {
+	Users     int           // default 600
+	Duration  time.Duration // default 90s
+	LineItems int           // default 150 (exclusions per request scale with this)
+	Seed      int64
+}
+
+func (c *A2Config) fillDefaults() {
+	if c.Users == 0 {
+		c.Users = 600
+	}
+	if c.Duration == 0 {
+		c.Duration = 90 * time.Second
+	}
+	if c.LineItems == 0 {
+		c.LineItems = 150
+	}
+	if c.Seed == 0 {
+		c.Seed = 9808
+	}
+}
+
+// A2Result carries the comparison.
+type A2Result struct {
+	Config   A2Config
+	Requests int
+
+	// Baggage side: per-request payload statistics.
+	BaggageMeanBytes float64
+	BaggageP99Bytes  float64
+	BaggageTotal     uint64
+
+	// Scrub side: bytes shipped for the §8.4 exclusion query while it ran.
+	ScrubTuples uint64
+	ScrubBytes  uint64
+
+	// Ratio of always-on baggage volume to on-demand Scrub volume.
+	Ratio float64
+}
+
+// A2BaggageVsOnDemand runs the comparison.
+func A2BaggageVsOnDemand(cfg A2Config) (*A2Result, error) {
+	cfg.fillDefaults()
+	platform, err := adplatform.New(adplatform.Config{
+		NumBidServers: 2, NumAdServers: 2, NumPresentationServers: 2,
+		LineItems:      adplatform.GenerateLineItems(cfg.LineItems, cfg.Seed),
+		EmitExclusions: true,
+		Agent:          host.Config{FlushInterval: 10 * time.Millisecond, QueueSize: 1 << 18, BatchSize: 1024},
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer platform.Close()
+
+	gen, err := workload.NewGenerator(workload.Spec{
+		Seed: cfg.Seed, NumUsers: cfg.Users, MeanPageViewsPerMin: 3,
+		Exchanges: []workload.Exchange{{ID: 1, Weight: 1}, {ID: 2, Weight: 1}},
+	}, virtualStart())
+	if err != nil {
+		return nil, err
+	}
+	gen.InstallProfiles(platform.Store)
+
+	// The §8.4 on-demand query (selection on one exchange, projection to
+	// the reason field) — Scrub's cost while troubleshooting.
+	query := `select exclusion.reason, count(*) from bid, exclusion where bid.exchange_id = 2 group by exclusion.reason window 30s duration 1h @[all]`
+
+	res := &A2Result{Config: cfg}
+	var perRequest stats.Running
+	var p99Samples []float64
+
+	_, err = RunScenario(platform.Cluster, []string{query}, func() {
+		res.Requests = gen.Run(cfg.Duration, func(r adplatform.BidRequest) {
+			// The platform call produces exclusion events via the agents
+			// (Scrub's path). For the baggage model, serialize the same
+			// exclusions as the request-carried payload they would be.
+			_, as, _ := platformRoute(platform, r)
+			auction := as.RunAuction(r)
+			var bytes int
+			for _, ex := range auction.Exclusions {
+				ev := event.NewBuilder(adplatform.ExclusionEventSchema).
+					SetRequestID(r.RequestID).SetTimeNanos(r.TimeNanos).
+					Int("line_item_id", ex.LineItemID).
+					Str("reason", string(ex.Reason)).
+					Int("exchange_id", r.ExchangeID).
+					Int("publisher_id", r.PublisherID).
+					MustBuild()
+				bytes += len(event.AppendEvent(nil, ev))
+			}
+			perRequest.Add(float64(bytes))
+			p99Samples = append(p99Samples, float64(bytes))
+			res.BaggageTotal += uint64(bytes)
+			// Complete the pipeline so Scrub's side sees the same events.
+			bs := platform.BidServers[int(r.RequestID%uint64(len(platform.BidServers)))]
+			if resp, ok := bs.Respond(r, auction, as.Model().Name()); ok {
+				ps := platform.PresServers[int(uint64(r.UserID)%uint64(len(platform.PresServers)))]
+				ps.HandleBid(r, resp, auction.Winner.LineItem, as.Model())
+			}
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res.BaggageMeanBytes = perRequest.Mean()
+	res.BaggageP99Bytes = stats.Percentile(p99Samples, 99)
+	for _, as := range platform.AdServers {
+		res.ScrubTuples += as.Agent().Stats().Shipped
+	}
+	for _, bs := range platform.BidServers {
+		res.ScrubTuples += bs.Agent().Stats().Shipped
+	}
+	// Approximate Scrub wire bytes: system fields + one short string or
+	// int per tuple plus batch overhead.
+	res.ScrubBytes = res.ScrubTuples * 40
+	if res.ScrubBytes > 0 {
+		res.Ratio = float64(res.BaggageTotal) / float64(res.ScrubBytes)
+	}
+	return res, nil
+}
+
+// platformRoute mirrors Platform.route for the experiment (route is
+// unexported; the experiment needs the ad server to model baggage at the
+// point the exclusions are produced).
+func platformRoute(p *adplatform.Platform, r adplatform.BidRequest) (*adplatform.BidServer, *adplatform.AdServer, *adplatform.PresentationServer) {
+	bs := p.BidServers[int(r.RequestID%uint64(len(p.BidServers)))]
+	as := p.AdServers[int(uint64(r.UserID)%uint64(len(p.AdServers)))]
+	ps := p.PresServers[int(uint64(r.UserID)%uint64(len(p.PresServers)))]
+	return bs, as, ps
+}
+
+// Table renders the comparison.
+func (r *A2Result) Table() *Table {
+	t := &Table{
+		ID:      "A2",
+		Title:   "Baggage propagation vs Scrub on-demand (§8.4, §10 contrast)",
+		Columns: []string{"metric", "value"},
+	}
+	t.AddRow("requests", fmtI(int64(r.Requests)))
+	t.AddRow("baggage bytes/request (mean)", fmtF(r.BaggageMeanBytes))
+	t.AddRow("baggage bytes/request (p99)", fmtF(r.BaggageP99Bytes))
+	t.AddRow("baggage total (always-on)", fmtI(int64(r.BaggageTotal)))
+	t.AddRow("Scrub tuples shipped (query active)", fmtI(int64(r.ScrubTuples)))
+	t.AddRow("Scrub bytes shipped (approx)", fmtI(int64(r.ScrubBytes)))
+	t.AddRow("byte ratio while the query runs", fmt.Sprintf("%.1f×", r.Ratio))
+	// The decisive number: baggage is always on, Scrub only runs while a
+	// troubleshooter is looking. At a 1% troubleshooting duty cycle the
+	// amortized gap is two orders of magnitude wider.
+	t.AddRow("byte ratio at 1% troubleshooting duty cycle", fmt.Sprintf("%.0f×", r.Ratio*100))
+	t.Notes = append(t.Notes,
+		"baggage rides on every request forever; Scrub pays only while a query runs, and only for the selected exchange and projected field",
+		"with production line-item counts (tens of thousands of exclusions per request, §8.4) the baggage per request reaches megabytes — inside a 20ms transaction")
+	return t
+}

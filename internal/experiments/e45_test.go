@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE4Exclusions(t *testing.T) {
+	res, err := E4Exclusions(E4Config{Users: 400, Duration: time.Minute, LineItems: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalJoined == 0 {
+		t.Fatal("join produced no rows")
+	}
+	if len(res.ReasonCounts) < 2 {
+		t.Errorf("reason variety too low: %v", res.ReasonCounts)
+	}
+	// Geo/exchange/segment filtering dominates a fresh portfolio.
+	var targeting int64
+	for _, reason := range []string{"geo_mismatch", "exchange_mismatch", "segment_mismatch"} {
+		targeting += res.ReasonCounts[reason]
+	}
+	if targeting == 0 {
+		t.Errorf("no targeting exclusions: %v", res.ReasonCounts)
+	}
+	// The scalability contrast: raw ad-server event volume dwarfs joined
+	// output rows.
+	if res.ExclusionEventsLogged < uint64(res.TotalJoined) {
+		t.Errorf("exclusion events %d < joined rows %d?", res.ExclusionEventsLogged, res.TotalJoined)
+	}
+	if tab := res.Table(); len(tab.Rows) == 0 {
+		t.Error("empty table")
+	}
+}
+
+func TestE5Cannibalization(t *testing.T) {
+	res, err := E5Cannibalization(E5Config{Users: 800, Duration: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The complaint reproduced: λ participates in every auction but
+	// never wins.
+	if res.LambdaWins != 0 {
+		t.Errorf("λ wins = %d, want 0 (cannibalized)", res.LambdaWins)
+	}
+	if len(res.Winners) == 0 {
+		t.Fatal("no winners observed")
+	}
+	// The diagnosis: every winner's average price sits above λ's band.
+	if res.MinWinnerAvg <= res.LambdaBandHigh {
+		t.Errorf("min winner avg %.3f should exceed λ's band top %.3f",
+			res.MinWinnerAvg, res.LambdaBandHigh)
+	}
+	// The remediation check: re-run with λ's advisory price raised above
+	// the rivals — λ starts winning.
+	res2, err := E5Cannibalization(E5Config{Users: 800, Duration: time.Minute, LambdaPrice: 4.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.LambdaWins == 0 {
+		t.Error("after the price bump λ still never wins")
+	}
+	if tab := res.Table(); len(tab.Rows) < 2 {
+		t.Error("table too small")
+	}
+}

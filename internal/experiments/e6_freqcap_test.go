@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestE6FrequencyCap(t *testing.T) {
+	res, err := E6FrequencyCap(E6Config{Users: 400, CorruptUsers: 3, Duration: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.OverServed) == 0 {
+		t.Fatal("no over-served users found")
+	}
+	// Every over-served user must be one of the corrupted profiles — the
+	// cap logic itself is correct (the paper's conclusion).
+	for _, u := range res.OverServed {
+		if !res.CorruptSet[u.UserID] {
+			t.Errorf("healthy user %s over-served %d times: cap logic broken", u.UserID, u.Impressions)
+		}
+	}
+	// And the corrupted users are clearly anomalous versus the healthy
+	// population.
+	if res.HealthyMax > int64(res.Config.FrequencyCap) {
+		t.Errorf("healthy max %d exceeds cap %d", res.HealthyMax, res.Config.FrequencyCap)
+	}
+	if res.OverServed[0].Impressions < 3 {
+		t.Errorf("top over-served user only %d impressions — corruption not visible", res.OverServed[0].Impressions)
+	}
+	if tab := res.Table(); len(tab.Rows) != len(res.OverServed) {
+		t.Error("table row mismatch")
+	}
+}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/event"
+	"scrub/internal/ql"
+	"scrub/internal/transport"
+)
+
+// P4Config parametrizes the ScrubCentral throughput measurement
+// (reconstructed from §9): tuples/second for the three operator shapes
+// the engine runs — select-only pass-through, group-by aggregation, and
+// the request-id equi-join — plus a group-cardinality sweep and a
+// sharded-cluster comparison point.
+type P4Config struct {
+	Tuples        int   // per measurement; default 400000
+	BatchSize     int   // default 512
+	Cardinalities []int // group-by key cardinality sweep; default {10, 1k, 100k}
+	Shards        int   // sharded comparison point; default 4
+	Seed          int64
+}
+
+func (c *P4Config) fillDefaults() {
+	if c.Tuples == 0 {
+		c.Tuples = 400000
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 512
+	}
+	if len(c.Cardinalities) == 0 {
+		c.Cardinalities = []int{10, 1000, 100000}
+	}
+	if c.Shards == 0 {
+		c.Shards = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 9404
+	}
+}
+
+// P4Point is one throughput measurement.
+type P4Point struct {
+	Shape      string
+	TuplesPerS float64
+}
+
+// P4Result carries the measurements.
+type P4Result struct {
+	Config P4Config
+	Points []P4Point
+}
+
+func p4Catalog() *event.Catalog {
+	cat := event.NewCatalog()
+	cat.MustRegister(event.MustSchema("bid",
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "bid_price", Kind: event.KindFloat},
+	))
+	cat.MustRegister(event.MustSchema("exclusion",
+		event.FieldDef{Name: "reason", Kind: event.KindString},
+	))
+	return cat
+}
+
+// runCentral feeds tuples through one query with `feeders` concurrent
+// producers (hosts ship batches concurrently in production) and returns
+// tuples/second. shards == 0 uses the single-node engine.
+func runCentral(cfg P4Config, queryText string, makeBatch func(i int) transport.TupleBatch, nBatches, shards, feeders int) (float64, error) {
+	cat := p4Catalog()
+	q, err := ql.Parse(queryText)
+	if err != nil {
+		return 0, err
+	}
+	plan, err := ql.Analyze(q, cat)
+	if err != nil {
+		return 0, err
+	}
+	var engine central.Executor = central.NewEngine()
+	if shards > 1 {
+		se, err := central.NewShardedEngine(shards)
+		if err != nil {
+			return 0, err
+		}
+		engine = se
+	}
+	cp := central.FromPlan(plan, 1, 0, 0, 1, 1)
+	cp.MaxRawRows = 1 << 30 // throughput measurement, not memory bounding
+	cp.MaxJoinPending = 1 << 30
+	if err := engine.StartQuery(cp, func(transport.ResultWindow) {}); err != nil {
+		return 0, err
+	}
+	if feeders < 1 {
+		feeders = 1
+	}
+	// Pre-build the batches so producer-side construction cost stays out
+	// of the measurement.
+	batches := make([]transport.TupleBatch, nBatches)
+	total := 0
+	for i := range batches {
+		batches[i] = makeBatch(i)
+		total += len(batches[i].Tuples)
+	}
+	// Drive window closing the way production does: a ticker advancing
+	// with (event) time, so windows merge and render incrementally
+	// instead of piling up until the final flush.
+	var maxTs atomic.Int64
+	tickStop := make(chan struct{})
+	tickDone := make(chan struct{})
+	go func() {
+		defer close(tickDone)
+		t := time.NewTicker(2 * time.Millisecond)
+		defer t.Stop()
+		for {
+			select {
+			case <-tickStop:
+				return
+			case <-t.C:
+				engine.Tick(maxTs.Load())
+			}
+		}
+	}()
+	start := time.Now()
+	var wg sync.WaitGroup
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := f; i < nBatches; i += feeders {
+				b := batches[i]
+				last := b.Tuples[len(b.Tuples)-1].TsNanos
+				engine.HandleBatch(b)
+				for {
+					cur := maxTs.Load()
+					if last <= cur || maxTs.CompareAndSwap(cur, last) {
+						break
+					}
+				}
+			}
+		}(f)
+	}
+	wg.Wait()
+	close(tickStop)
+	<-tickDone
+	engine.StopQuery(1)
+	elapsed := time.Since(start).Seconds()
+	if elapsed == 0 {
+		return 0, nil
+	}
+	return float64(total) / elapsed, nil
+}
+
+// P4CentralThroughput runs the measurements.
+func P4CentralThroughput(cfg P4Config) (*P4Result, error) {
+	cfg.fillDefaults()
+	res := &P4Result{Config: cfg}
+	nBatches := cfg.Tuples / cfg.BatchSize
+
+	// Pre-build tuple batches; timestamps advance so windows roll.
+	bidBatch := func(card int) func(int) transport.TupleBatch {
+		return func(i int) transport.TupleBatch {
+			tuples := make([]transport.Tuple, cfg.BatchSize)
+			base := int64(i*cfg.BatchSize) * int64(time.Millisecond)
+			for j := range tuples {
+				id := (i*cfg.BatchSize + j) % card
+				tuples[j] = transport.Tuple{
+					RequestID: uint64(i*cfg.BatchSize + j),
+					TsNanos:   base + int64(j)*int64(time.Millisecond) + 1,
+					Values:    []event.Value{event.Int(int64(id)), event.Float(1.5)},
+				}
+			}
+			return transport.TupleBatch{QueryID: 1, HostID: "h", TypeIdx: 0, Tuples: tuples}
+		}
+	}
+
+	// Select-only (raw pass-through with predicate).
+	tps, err := runCentral(cfg,
+		`select bid.user_id, bid.bid_price from bid where bid.bid_price > 1.0 window 10s duration 1h`,
+		bidBatch(1<<30), nBatches, 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, P4Point{Shape: "select-only", TuplesPerS: tps})
+
+	// Group-by sweep.
+	for _, card := range cfg.Cardinalities {
+		tps, err := runCentral(cfg,
+			`select bid.user_id, count(*), avg(bid.bid_price) from bid group by bid.user_id window 10s duration 1h`,
+			bidBatch(card), nBatches, 0, 4)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, P4Point{
+			Shape: fmt.Sprintf("group-by (%d groups)", card), TuplesPerS: tps,
+		})
+	}
+
+	// Join: alternate bid/exclusion batches sharing request ids.
+	joinBatch := func(i int) transport.TupleBatch {
+		tuples := make([]transport.Tuple, cfg.BatchSize)
+		side := uint8(i % 2)
+		pair := i / 2
+		base := int64(pair*cfg.BatchSize) * int64(time.Millisecond)
+		for j := range tuples {
+			req := uint64(pair*cfg.BatchSize + j)
+			ts := base + int64(j)*int64(time.Millisecond) + 1
+			if side == 0 {
+				tuples[j] = transport.Tuple{RequestID: req, TsNanos: ts,
+					Values: []event.Value{event.Int(int64(req % 100)), event.Float(1.5)}}
+			} else {
+				tuples[j] = transport.Tuple{RequestID: req, TsNanos: ts,
+					Values: []event.Value{event.Str("budget")}}
+			}
+		}
+		return transport.TupleBatch{QueryID: 1, HostID: "h", TypeIdx: side, Tuples: tuples}
+	}
+	tps, err = runCentral(cfg,
+		`select exclusion.reason, count(*) from bid, exclusion group by exclusion.reason window 10s duration 1h`,
+		joinBatch, nBatches, 0, 4)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, P4Point{Shape: "join (bid ⋈ exclusion)", TuplesPerS: tps})
+
+	// Sharded cluster point: the heaviest group-by across shards — the
+	// "small ScrubCentral cluster" scaling axis. Concurrent feeders let
+	// the shards' independent locks actually parallelize, which the
+	// single-node engine's one mutex cannot.
+	heavyCard := cfg.Cardinalities[len(cfg.Cardinalities)-1]
+	tps, err = runCentral(cfg,
+		`select bid.user_id, count(*), avg(bid.bid_price) from bid group by bid.user_id window 10s duration 1h`,
+		bidBatch(heavyCard), nBatches, cfg.Shards, 4)
+	if err != nil {
+		return nil, err
+	}
+	res.Points = append(res.Points, P4Point{
+		Shape: fmt.Sprintf("group-by (%d groups, %d shards)", heavyCard, cfg.Shards), TuplesPerS: tps,
+	})
+	return res, nil
+}
+
+// Table renders the measurements.
+func (r *P4Result) Table() *Table {
+	t := &Table{
+		ID:      "P4",
+		Title:   "ScrubCentral throughput by operator shape (§9, reconstructed)",
+		Columns: []string{"query shape", "tuples/second"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Shape, fmt.Sprintf("%.0f", p.TuplesPerS))
+	}
+	t.Notes = append(t.Notes,
+		"the centralized execution strategy concentrates all join/group-by cost here, off the application hosts",
+		"the sharded row trades some single-stream throughput for distributed state and multi-node headroom: shards accumulate in parallel while the merger serializes window merge+render — within one process the two roughly break even; across machines sharding is the scaling path",
+	)
+	return t
+}

@@ -1,0 +1,235 @@
+package expr
+
+import (
+	"fmt"
+
+	"scrub/internal/agg"
+	"scrub/internal/event"
+)
+
+// Resolver supplies field types during checking. Implementations resolve
+// unqualified names to a unique event type or report ambiguity.
+type Resolver interface {
+	// ResolveField returns the fully qualified reference and its kind.
+	ResolveField(f FieldRef) (FieldRef, event.Kind, error)
+}
+
+// SchemaResolver resolves references against a set of event schemas (one
+// for single-source queries, two for join queries).
+type SchemaResolver struct {
+	Schemas []*event.Schema
+}
+
+// ResolveField implements Resolver. Unqualified names must be unique
+// across the schemas; qualified names must name a known type and field.
+// The system fields request_id and ts resolve against any schema.
+func (r SchemaResolver) ResolveField(f FieldRef) (FieldRef, event.Kind, error) {
+	if f.Type != "" {
+		for _, s := range r.Schemas {
+			if s.Name() == f.Type {
+				if k, ok := s.FieldKind(f.Name); ok {
+					return f, k, nil
+				}
+				return f, event.KindInvalid, fmt.Errorf("expr: event type %q has no field %q", f.Type, f.Name)
+			}
+		}
+		return f, event.KindInvalid, fmt.Errorf("expr: unknown event type %q", f.Type)
+	}
+	var hits []FieldRef
+	var kind event.Kind
+	for _, s := range r.Schemas {
+		if k, ok := s.FieldKind(f.Name); ok {
+			hits = append(hits, FieldRef{Type: s.Name(), Name: f.Name})
+			kind = k
+		}
+	}
+	switch len(hits) {
+	case 0:
+		return f, event.KindInvalid, fmt.Errorf("expr: unknown field %q", f.Name)
+	case 1:
+		return hits[0], kind, nil
+	default:
+		// System fields are join-aligned, so either side works; pick the
+		// first schema deterministically.
+		if event.IsSystemField(f.Name) {
+			return hits[0], kind, nil
+		}
+		return f, event.KindInvalid, fmt.Errorf("expr: field %q is ambiguous across event types (qualify it)", f.Name)
+	}
+}
+
+// Check type-checks the tree, resolving field references in place, and
+// returns the rewritten tree plus its result kind. Call nodes are rejected:
+// the planner must have replaced aggregates with AggRef first, and the
+// language defines no other functions.
+func Check(n Node, r Resolver) (Node, event.Kind, error) {
+	switch t := n.(type) {
+	case Lit:
+		return t, t.Val.Kind(), nil
+
+	case FieldRef:
+		rf, k, err := r.ResolveField(t)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		return rf, k, nil
+
+	case Unary:
+		x, xk, err := Check(t.X, r)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		t.X = x
+		switch t.Op {
+		case OpNot:
+			if xk != event.KindBool {
+				return n, event.KindInvalid, fmt.Errorf("expr: not requires bool, got %s", xk)
+			}
+			return t, event.KindBool, nil
+		case OpNeg:
+			if xk != event.KindInt && xk != event.KindFloat {
+				return n, event.KindInvalid, fmt.Errorf("expr: unary - requires a number, got %s", xk)
+			}
+			return t, xk, nil
+		default:
+			return n, event.KindInvalid, fmt.Errorf("expr: bad unary operator %s", t.Op)
+		}
+
+	case Binary:
+		l, lk, err := Check(t.L, r)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		rr, rk, err := Check(t.R, r)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		t.L, t.R = l, rr
+		numeric := func(k event.Kind) bool { return k == event.KindInt || k == event.KindFloat }
+		switch t.Op {
+		case OpAdd, OpSub, OpMul:
+			if !numeric(lk) || !numeric(rk) {
+				return n, event.KindInvalid, fmt.Errorf("expr: %s requires numbers, got %s and %s", t.Op, lk, rk)
+			}
+			if lk == event.KindInt && rk == event.KindInt {
+				return t, event.KindInt, nil
+			}
+			return t, event.KindFloat, nil
+		case OpDiv:
+			if !numeric(lk) || !numeric(rk) {
+				return n, event.KindInvalid, fmt.Errorf("expr: / requires numbers, got %s and %s", lk, rk)
+			}
+			return t, event.KindFloat, nil
+		case OpMod:
+			if lk != event.KindInt || rk != event.KindInt {
+				return n, event.KindInvalid, fmt.Errorf("expr: %% requires integers, got %s and %s", lk, rk)
+			}
+			return t, event.KindInt, nil
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe:
+			comparable := (numeric(lk) && numeric(rk)) || (lk == rk && lk != event.KindList)
+			if !comparable {
+				return n, event.KindInvalid, fmt.Errorf("expr: cannot compare %s with %s", lk, rk)
+			}
+			return t, event.KindBool, nil
+		case OpAnd, OpOr:
+			if lk != event.KindBool || rk != event.KindBool {
+				return n, event.KindInvalid, fmt.Errorf("expr: %s requires booleans, got %s and %s", t.Op, lk, rk)
+			}
+			return t, event.KindBool, nil
+		case OpLike, OpContains:
+			// contains doubles as list membership: `list contains elem`.
+			if t.Op == OpContains && lk == event.KindList {
+				if rk == event.KindList {
+					return n, event.KindInvalid, fmt.Errorf("expr: contains element must be a scalar")
+				}
+				return t, event.KindBool, nil
+			}
+			if lk != event.KindString || rk != event.KindString {
+				return n, event.KindInvalid, fmt.Errorf("expr: %s requires strings (or a list on the left of contains), got %s and %s", t.Op, lk, rk)
+			}
+			if t.Op == OpLike {
+				if _, isLit := t.R.(Lit); !isLit {
+					return n, event.KindInvalid, fmt.Errorf("expr: like pattern must be a literal")
+				}
+			}
+			return t, event.KindBool, nil
+		default:
+			return n, event.KindInvalid, fmt.Errorf("expr: bad binary operator %s", t.Op)
+		}
+
+	case In:
+		x, xk, err := Check(t.X, r)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		t.X = x
+		if len(t.List) == 0 {
+			return n, event.KindInvalid, fmt.Errorf("expr: empty in-list")
+		}
+		for i, e := range t.List {
+			le, lk, err := Check(e, r)
+			if err != nil {
+				return n, event.KindInvalid, err
+			}
+			if _, isLit := le.(Lit); !isLit {
+				return n, event.KindInvalid, fmt.Errorf("expr: in-list elements must be literals")
+			}
+			numeric := func(k event.Kind) bool { return k == event.KindInt || k == event.KindFloat }
+			if !(numeric(xk) && numeric(lk)) && xk != lk {
+				return n, event.KindInvalid, fmt.Errorf("expr: in-list element %d kind %s does not match %s", i, lk, xk)
+			}
+			t.List[i] = le
+		}
+		return t, event.KindBool, nil
+
+	case Call:
+		if _, ok := agg.ParseKind(t.Name); ok {
+			return n, event.KindInvalid, fmt.Errorf("expr: aggregate %s not allowed here", t.Name)
+		}
+		return n, event.KindInvalid, fmt.Errorf("expr: unknown function %q", t.Name)
+
+	case AggRef:
+		k, err := aggResultKind(t, r)
+		if err != nil {
+			return n, event.KindInvalid, err
+		}
+		// Resolve the argument too, so later stages see qualified refs.
+		if t.Arg != nil {
+			arg, _, err := Check(t.Arg, r)
+			if err != nil {
+				return n, event.KindInvalid, err
+			}
+			t.Arg = arg
+		}
+		return t, k, nil
+
+	default:
+		return n, event.KindInvalid, fmt.Errorf("expr: unknown node %T", n)
+	}
+}
+
+// aggResultKind returns the static kind of an aggregate's result.
+func aggResultKind(a AggRef, r Resolver) (event.Kind, error) {
+	switch a.Spec.Kind {
+	case agg.KindCountStar, agg.KindCount, agg.KindCountDistinct:
+		return event.KindInt, nil
+	case agg.KindAvg:
+		return event.KindFloat, nil
+	case agg.KindTopK:
+		return event.KindList, nil
+	case agg.KindSum, agg.KindMin, agg.KindMax:
+		if a.Arg == nil {
+			return event.KindInvalid, fmt.Errorf("expr: %s requires an argument", a.Spec.Kind)
+		}
+		_, k, err := Check(a.Arg, r)
+		if err != nil {
+			return event.KindInvalid, err
+		}
+		if a.Spec.Kind == agg.KindSum && k != event.KindInt && k != event.KindFloat {
+			return event.KindInvalid, fmt.Errorf("expr: SUM requires a numeric argument, got %s", k)
+		}
+		return k, nil
+	default:
+		return event.KindInvalid, fmt.Errorf("expr: unknown aggregate kind %v", a.Spec.Kind)
+	}
+}

@@ -1,0 +1,217 @@
+package expr
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"scrub/internal/agg"
+	"scrub/internal/event"
+)
+
+// Binary codec for expression trees. Query objects carry compiled-down
+// plans from the query server to host agents and ScrubCentral; the
+// predicate and projection expressions inside them are serialized with
+// this codec rather than re-parsed from text, so the server's validated
+// plan is exactly what executes.
+
+const (
+	tagLit uint8 = iota + 1
+	tagFieldRef
+	tagUnary
+	tagBinary
+	tagIn
+	tagAggRef
+)
+
+const maxNodeDepth = 200
+
+// AppendNode appends the binary encoding of an expression tree. Call nodes
+// are rejected — plans never contain unresolved calls.
+func AppendNode(dst []byte, n Node) ([]byte, error) {
+	switch t := n.(type) {
+	case Lit:
+		dst = append(dst, tagLit)
+		return event.AppendValue(dst, t.Val), nil
+	case FieldRef:
+		dst = append(dst, tagFieldRef)
+		dst = appendString(dst, t.Type)
+		return appendString(dst, t.Name), nil
+	case Unary:
+		dst = append(dst, tagUnary, byte(t.Op))
+		return AppendNode(dst, t.X)
+	case Binary:
+		dst = append(dst, tagBinary, byte(t.Op))
+		var err error
+		dst, err = AppendNode(dst, t.L)
+		if err != nil {
+			return nil, err
+		}
+		return AppendNode(dst, t.R)
+	case In:
+		dst = append(dst, tagIn)
+		if t.Negate {
+			dst = append(dst, 1)
+		} else {
+			dst = append(dst, 0)
+		}
+		var err error
+		dst, err = AppendNode(dst, t.X)
+		if err != nil {
+			return nil, err
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(t.List)))
+		for _, e := range t.List {
+			dst, err = AppendNode(dst, e)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return dst, nil
+	case AggRef:
+		dst = append(dst, tagAggRef)
+		dst = binary.AppendUvarint(dst, uint64(t.Index))
+		dst = append(dst, byte(t.Spec.Kind))
+		dst = binary.AppendUvarint(dst, uint64(t.Spec.K))
+		dst = append(dst, t.Spec.Prec)
+		if t.Arg == nil {
+			return append(dst, 0), nil
+		}
+		dst = append(dst, 1)
+		return AppendNode(dst, t.Arg)
+	case nil:
+		return nil, fmt.Errorf("expr: encode: nil node")
+	default:
+		return nil, fmt.Errorf("expr: encode: unsupported node %T", n)
+	}
+}
+
+// DecodeNode decodes one expression tree, returning bytes consumed.
+func DecodeNode(b []byte) (Node, int, error) {
+	return decodeNode(b, 0)
+}
+
+func decodeNode(b []byte, depth int) (Node, int, error) {
+	if depth > maxNodeDepth {
+		return nil, 0, fmt.Errorf("expr: decode: tree too deep")
+	}
+	if len(b) == 0 {
+		return nil, 0, fmt.Errorf("expr: decode: empty buffer")
+	}
+	switch b[0] {
+	case tagLit:
+		v, n, err := event.DecodeValue(b[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return Lit{Val: v}, 1 + n, nil
+	case tagFieldRef:
+		typ, n1, err := decodeString(b[1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		name, n2, err := decodeString(b[1+n1:])
+		if err != nil {
+			return nil, 0, err
+		}
+		return FieldRef{Type: typ, Name: name}, 1 + n1 + n2, nil
+	case tagUnary:
+		if len(b) < 2 {
+			return nil, 0, fmt.Errorf("expr: decode: short unary")
+		}
+		x, n, err := decodeNode(b[2:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Unary{Op: Op(b[1]), X: x}, 2 + n, nil
+	case tagBinary:
+		if len(b) < 2 {
+			return nil, 0, fmt.Errorf("expr: decode: short binary")
+		}
+		l, n1, err := decodeNode(b[2:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		r, n2, err := decodeNode(b[2+n1:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		return Binary{Op: Op(b[1]), L: l, R: r}, 2 + n1 + n2, nil
+	case tagIn:
+		if len(b) < 2 {
+			return nil, 0, fmt.Errorf("expr: decode: short in")
+		}
+		negate := b[1] == 1
+		off := 2
+		x, n, err := decodeNode(b[off:], depth+1)
+		if err != nil {
+			return nil, 0, err
+		}
+		off += n
+		cnt, sz := binary.Uvarint(b[off:])
+		if sz <= 0 || cnt > uint64(len(b)) {
+			return nil, 0, fmt.Errorf("expr: decode: bad in-list count")
+		}
+		off += sz
+		list := make([]Node, 0, cnt)
+		for i := uint64(0); i < cnt; i++ {
+			e, n, err := decodeNode(b[off:], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			list = append(list, e)
+			off += n
+		}
+		return In{X: x, List: list, Negate: negate}, off, nil
+	case tagAggRef:
+		off := 1
+		idx, sz := binary.Uvarint(b[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("expr: decode: bad agg index")
+		}
+		off += sz
+		if len(b) < off+1 {
+			return nil, 0, fmt.Errorf("expr: decode: short agg kind")
+		}
+		kind := agg.Kind(b[off])
+		off++
+		k, sz := binary.Uvarint(b[off:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("expr: decode: bad agg k")
+		}
+		off += sz
+		if len(b) < off+2 {
+			return nil, 0, fmt.Errorf("expr: decode: short agg tail")
+		}
+		prec := b[off]
+		hasArg := b[off+1] == 1
+		off += 2
+		ref := AggRef{Index: int(idx), Spec: agg.Spec{Kind: kind, K: int(k), Prec: prec}}
+		if hasArg {
+			arg, n, err := decodeNode(b[off:], depth+1)
+			if err != nil {
+				return nil, 0, err
+			}
+			ref.Arg = arg
+			off += n
+		}
+		return ref, off, nil
+	default:
+		return nil, 0, fmt.Errorf("expr: decode: unknown tag %d", b[0])
+	}
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(b []byte) (string, int, error) {
+	ln, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return "", 0, fmt.Errorf("expr: decode: bad string length")
+	}
+	if uint64(len(b)-sz) < ln {
+		return "", 0, fmt.Errorf("expr: decode: short string")
+	}
+	return string(b[sz : sz+int(ln)]), sz + int(ln), nil
+}

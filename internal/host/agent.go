@@ -1,0 +1,463 @@
+// Package host implements the Scrub agent embedded in each application
+// process. The agent owns the paper's host-side responsibilities and
+// nothing else: it activates query objects pushed by the query server,
+// and for each log()ed event runs selection, projection, and event
+// sampling, then ships the surviving tuples to ScrubCentral in batches.
+//
+// The design constraint that shapes everything here is the paper's
+// headline requirement: minimal impact on the application. Concretely:
+//
+//   - Log never blocks. The shipping queue is bounded; when it fills,
+//     tuples are dropped and counted. Accuracy is traded for impact.
+//   - With no active queries, Log is one atomic pointer load and a map
+//     lookup.
+//   - No joins, group-bys, or aggregations ever run here — those belong
+//     to ScrubCentral. Selection and projection run on the host only
+//     because they shrink what must be shipped.
+package host
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/expr"
+	"scrub/internal/sampling"
+	"scrub/internal/transport"
+)
+
+// Sink receives tuple batches bound for ScrubCentral. Implementations:
+// a transport connection (production) or a direct engine handle (tests,
+// single-process clusters).
+type Sink interface {
+	SendBatch(transport.TupleBatch) error
+}
+
+// SinkFunc adapts a function to Sink.
+type SinkFunc func(transport.TupleBatch) error
+
+// SendBatch implements Sink.
+func (f SinkFunc) SendBatch(b transport.TupleBatch) error { return f(b) }
+
+// Config parametrizes an Agent.
+type Config struct {
+	HostID  string
+	Service string
+	DC      string
+	Catalog *event.Catalog
+	Sink    Sink
+
+	// QueueSize bounds the pending-tuple queue shared by all queries on
+	// this host. Default 8192. When full, Log drops (never blocks).
+	QueueSize int
+	// BatchSize flushes a per-query batch when it reaches this many
+	// tuples. Default 256.
+	BatchSize int
+	// FlushInterval flushes pending batches at least this often.
+	// Default 100ms.
+	FlushInterval time.Duration
+	// Clock substitutes time.Now for tests and simulations.
+	Clock func() time.Time
+}
+
+func (c *Config) fillDefaults() error {
+	if c.HostID == "" {
+		return fmt.Errorf("host: empty HostID")
+	}
+	if c.Service == "" {
+		return fmt.Errorf("host: empty Service")
+	}
+	if c.Catalog == nil {
+		return fmt.Errorf("host: nil Catalog")
+	}
+	if c.Sink == nil {
+		return fmt.Errorf("host: nil Sink")
+	}
+	if c.QueueSize <= 0 {
+		c.QueueSize = 8192
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 256
+	}
+	if c.FlushInterval <= 0 {
+		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.Clock == nil {
+		c.Clock = time.Now
+	}
+	return nil
+}
+
+// queryKey identifies an installed query object. A join query installs
+// one object per event type on each host, all sharing the query id, so
+// the key includes the type index.
+type queryKey struct {
+	id      uint64
+	typeIdx uint8
+}
+
+// activeQuery is one installed query object, pre-compiled for the hot
+// path.
+type activeQuery struct {
+	hq      transport.HostQuery
+	pred    func(expr.Row) bool // nil: match everything
+	colIdx  []int               // schema field indices to project
+	sampler *sampling.EventSampler
+
+	matched atomic.Uint64 // Mᵢ: events passing selection
+	sampled atomic.Uint64 // mᵢ: events surviving event sampling
+	drops   atomic.Uint64 // queue-full drops
+	// countersDirty marks that totals changed since the last ship, so
+	// counter-only batches keep the estimator fresh even when sampling
+	// drops every tuple.
+	countersDirty atomic.Bool
+}
+
+// queued is one tuple awaiting shipment.
+type queued struct {
+	q     *activeQuery
+	tuple transport.Tuple
+}
+
+// Stats is a snapshot of agent-level accounting.
+type Stats struct {
+	Logged     uint64 // events offered to Log
+	Matched    uint64 // events matching ≥1 active query
+	Shipped    uint64 // tuples handed to the sink
+	QueueDrops uint64 // tuples dropped because the queue was full
+	SinkErrors uint64 // batches the sink rejected
+}
+
+// Agent is the per-host Scrub runtime. Create with New, feed with Log,
+// manage with Start/Stop, terminate with Close.
+type Agent struct {
+	cfg Config
+
+	// byType is an immutable snapshot map, swapped wholesale on query
+	// start/stop. Log only ever loads it — no locks on the hot path.
+	byType atomic.Pointer[map[string][]*activeQuery]
+
+	mu      sync.Mutex // guards mutations of the query set
+	queries map[queryKey]*activeQuery
+
+	queue  chan queued
+	done   chan struct{}
+	closed sync.Once
+	wg     sync.WaitGroup
+
+	logged     atomic.Uint64
+	matched    atomic.Uint64
+	shipped    atomic.Uint64
+	queueDrops atomic.Uint64
+	sinkErrors atomic.Uint64
+}
+
+// New creates and starts an agent (its shipper goroutine runs until
+// Close).
+func New(cfg Config) (*Agent, error) {
+	if err := cfg.fillDefaults(); err != nil {
+		return nil, err
+	}
+	a := &Agent{
+		cfg:     cfg,
+		queries: make(map[queryKey]*activeQuery),
+		queue:   make(chan queued, cfg.QueueSize),
+		done:    make(chan struct{}),
+	}
+	empty := make(map[string][]*activeQuery)
+	a.byType.Store(&empty)
+	a.wg.Add(1)
+	go a.shipper()
+	return a, nil
+}
+
+// ID returns the agent's host identifier.
+func (a *Agent) ID() string { return a.cfg.HostID }
+
+// Service returns the agent's service name.
+func (a *Agent) Service() string { return a.cfg.Service }
+
+// DC returns the agent's data center.
+func (a *Agent) DC() string { return a.cfg.DC }
+
+// Catalog returns the agent's event catalog.
+func (a *Agent) Catalog() *event.Catalog { return a.cfg.Catalog }
+
+// Start installs a query object. Unknown event types and unknown
+// projection columns are rejected — the server validated against the same
+// catalog, so a mismatch means skew, and refusing is safer than shipping
+// garbage.
+func (a *Agent) Start(hq transport.HostQuery) error {
+	schema, ok := a.cfg.Catalog.Lookup(hq.EventType)
+	if !ok {
+		return fmt.Errorf("host: unknown event type %q", hq.EventType)
+	}
+	aq := &activeQuery{hq: hq}
+	if hq.Pred != nil {
+		checked, kind, err := expr.Check(hq.Pred, expr.SchemaResolver{Schemas: []*event.Schema{schema}})
+		if err != nil {
+			return fmt.Errorf("host: bad predicate: %w", err)
+		}
+		if kind != event.KindBool {
+			return fmt.Errorf("host: predicate is %s, not bool", kind)
+		}
+		ev, err := expr.Compile(checked)
+		if err != nil {
+			return fmt.Errorf("host: compile predicate: %w", err)
+		}
+		aq.pred = expr.Predicate(ev)
+	}
+	aq.colIdx = make([]int, len(hq.Columns))
+	for i, col := range hq.Columns {
+		idx := schema.FieldIndex(col)
+		if idx < 0 {
+			return fmt.Errorf("host: event type %q has no field %q", hq.EventType, col)
+		}
+		aq.colIdx[i] = idx
+	}
+	rate := hq.SampleEvents
+	if rate <= 0 || rate > 1 {
+		rate = 1
+	}
+	// Seed ties the sample to (query, host) so re-runs are reproducible
+	// but hosts sample independently.
+	seed := hq.QueryID*1000003 + uint64(len(a.cfg.HostID))*97
+	for _, c := range a.cfg.HostID {
+		seed = seed*131 + uint64(c)
+	}
+	aq.sampler = sampling.NewEventSampler(rate, seed)
+
+	key := queryKey{id: hq.QueryID, typeIdx: hq.TypeIdx}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if _, dup := a.queries[key]; dup {
+		return fmt.Errorf("host: query %d (type %s) already active", hq.QueryID, hq.EventType)
+	}
+	a.queries[key] = aq
+	a.rebuildLocked()
+	return nil
+}
+
+// Stop removes a query's objects (all event types); unknown ids are a
+// no-op — stop is idempotent because span expiry and explicit cancel can
+// race.
+func (a *Agent) Stop(queryID uint64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	removed := false
+	for key := range a.queries {
+		if key.id == queryID {
+			delete(a.queries, key)
+			removed = true
+		}
+	}
+	if removed {
+		a.rebuildLocked()
+	}
+}
+
+// ActiveQueries returns the distinct ids of installed queries.
+func (a *Agent) ActiveQueries() []uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	seen := make(map[uint64]bool, len(a.queries))
+	out := make([]uint64, 0, len(a.queries))
+	for key := range a.queries {
+		if !seen[key.id] {
+			seen[key.id] = true
+			out = append(out, key.id)
+		}
+	}
+	return out
+}
+
+// PruneExpired removes queries whose span ended before now. The server
+// also sends StopQuery; pruning is the local backstop so an unreachable
+// server cannot leave load on the host (paper: spans guard against
+// forgotten queries).
+func (a *Agent) PruneExpired(now time.Time) int {
+	nowN := now.UnixNano()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := 0
+	for key, aq := range a.queries {
+		if aq.hq.EndNanos != 0 && nowN >= aq.hq.EndNanos {
+			delete(a.queries, key)
+			n++
+		}
+	}
+	if n > 0 {
+		a.rebuildLocked()
+	}
+	return n
+}
+
+// rebuildLocked swaps in a new immutable type→queries snapshot.
+func (a *Agent) rebuildLocked() {
+	m := make(map[string][]*activeQuery, len(a.queries))
+	for _, aq := range a.queries {
+		m[aq.hq.EventType] = append(m[aq.hq.EventType], aq)
+	}
+	a.byType.Store(&m)
+}
+
+// Log offers one event to every active query. This is the application hot
+// path: selection → Mᵢ count → sampling → projection → non-blocking
+// enqueue. It never blocks and never returns an error to the caller; all
+// losses are counted.
+func (a *Agent) Log(ev *event.Event) {
+	a.logged.Add(1)
+	byType := *a.byType.Load()
+	qs := byType[ev.Schema.Name()]
+	if len(qs) == 0 {
+		return
+	}
+	ts := ev.TimeNanos
+	var row expr.EventRow
+	row.Event = ev
+	anyMatch := false
+	for _, aq := range qs {
+		if aq.hq.StartNanos != 0 && ts < aq.hq.StartNanos {
+			continue
+		}
+		if aq.hq.EndNanos != 0 && ts >= aq.hq.EndNanos {
+			continue
+		}
+		if aq.pred != nil && !aq.pred(row) {
+			continue
+		}
+		aq.matched.Add(1)
+		aq.countersDirty.Store(true)
+		anyMatch = true
+		if !aq.sampler.Keep() {
+			continue
+		}
+		aq.sampled.Add(1)
+		vals := make([]event.Value, len(aq.colIdx))
+		for i, idx := range aq.colIdx {
+			vals[i] = ev.At(idx)
+		}
+		select {
+		case a.queue <- queued{q: aq, tuple: transport.Tuple{
+			RequestID: ev.RequestID, TsNanos: ts, Values: vals,
+		}}:
+		default:
+			aq.drops.Add(1)
+			a.queueDrops.Add(1)
+		}
+	}
+	if anyMatch {
+		a.matched.Add(1)
+	}
+}
+
+// shipper drains the queue, batching per query, flushing on size or timer.
+func (a *Agent) shipper() {
+	defer a.wg.Done()
+	pending := make(map[*activeQuery][]transport.Tuple)
+	ticker := time.NewTicker(a.cfg.FlushInterval)
+	defer ticker.Stop()
+
+	flush := func(aq *activeQuery, tuples []transport.Tuple) {
+		batch := transport.TupleBatch{
+			QueryID:      aq.hq.QueryID,
+			HostID:       a.cfg.HostID,
+			TypeIdx:      aq.hq.TypeIdx,
+			Tuples:       tuples,
+			MatchedTotal: aq.matched.Load(),
+			SampledTotal: aq.sampled.Load(),
+			QueueDrops:   aq.drops.Load(),
+		}
+		aq.countersDirty.Store(false)
+		if err := a.cfg.Sink.SendBatch(batch); err != nil {
+			a.sinkErrors.Add(1)
+			return
+		}
+		a.shipped.Add(uint64(len(tuples)))
+	}
+
+	flushAll := func() {
+		for aq, tuples := range pending {
+			if len(tuples) > 0 {
+				flush(aq, tuples)
+				delete(pending, aq)
+			}
+		}
+		// Counter-only heartbeats for queries with fresh totals but no
+		// tuples (heavy sampling or all-drop situations).
+		a.mu.Lock()
+		actives := make([]*activeQuery, 0, len(a.queries))
+		for _, aq := range a.queries {
+			actives = append(actives, aq)
+		}
+		a.mu.Unlock()
+		for _, aq := range actives {
+			if aq.countersDirty.Load() && len(pending[aq]) == 0 {
+				flush(aq, nil)
+			}
+		}
+	}
+
+	for {
+		select {
+		case item := <-a.queue:
+			tuples := append(pending[item.q], item.tuple)
+			if len(tuples) >= a.cfg.BatchSize {
+				flush(item.q, tuples)
+				delete(pending, item.q)
+			} else {
+				pending[item.q] = tuples
+			}
+		case <-ticker.C:
+			flushAll()
+			a.PruneExpired(a.cfg.Clock())
+		case <-a.done:
+			// Drain what's already queued, then flush and exit.
+			for {
+				select {
+				case item := <-a.queue:
+					pending[item.q] = append(pending[item.q], item.tuple)
+					continue
+				default:
+				}
+				break
+			}
+			flushAll()
+			return
+		}
+	}
+}
+
+// Flush synchronously pushes pending batches out (test and shutdown aid):
+// it waits for the queue to drain and one flush cycle to complete.
+func (a *Agent) Flush() {
+	// Wait for the queue to empty, then for a tick to flush pending
+	// batches. Bounded wait: 50 flush intervals.
+	deadline := time.Now().Add(50 * a.cfg.FlushInterval)
+	for len(a.queue) > 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(2 * a.cfg.FlushInterval)
+}
+
+// Stats snapshots the agent counters.
+func (a *Agent) Stats() Stats {
+	return Stats{
+		Logged:     a.logged.Load(),
+		Matched:    a.matched.Load(),
+		Shipped:    a.shipped.Load(),
+		QueueDrops: a.queueDrops.Load(),
+		SinkErrors: a.sinkErrors.Load(),
+	}
+}
+
+// Close stops the shipper after a final flush. The agent must not be used
+// afterwards.
+func (a *Agent) Close() {
+	a.closed.Do(func() {
+		close(a.done)
+		a.wg.Wait()
+	})
+}

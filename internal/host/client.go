@@ -1,0 +1,127 @@
+package host
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"scrub/internal/transport"
+)
+
+// NetSink ships tuple batches to ScrubCentral over TCP. It dials lazily,
+// sends a DataHello, and on any send error drops the connection and
+// redials on the next batch — a failed batch is lost, not retried, in
+// keeping with drop-over-block.
+type NetSink struct {
+	addr   string
+	hostID string
+	dialTO time.Duration
+
+	mu   sync.Mutex
+	conn *transport.Conn
+}
+
+// NewNetSink creates a sink for the given ScrubCentral data address.
+func NewNetSink(addr, hostID string) *NetSink {
+	return &NetSink{addr: addr, hostID: hostID, dialTO: 3 * time.Second}
+}
+
+// SendBatch implements Sink.
+func (s *NetSink) SendBatch(b transport.TupleBatch) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn == nil {
+		conn, err := transport.Dial(s.addr, s.dialTO)
+		if err != nil {
+			return err
+		}
+		if err := conn.Send(transport.DataHello{HostID: s.hostID}); err != nil {
+			conn.Close()
+			return err
+		}
+		s.conn = conn
+	}
+	if err := s.conn.Send(b); err != nil {
+		s.conn.Close()
+		s.conn = nil
+		return err
+	}
+	return nil
+}
+
+// Close drops the data connection.
+func (s *NetSink) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.conn != nil {
+		s.conn.Close()
+		s.conn = nil
+	}
+}
+
+// RunControl connects the agent to the query server's control port,
+// registers the host, and applies pushed query objects until the context
+// ends. It reconnects with backoff on failures, so a server restart does
+// not require an application restart.
+func (a *Agent) RunControl(ctx context.Context, serverAddr string) error {
+	backoff := 250 * time.Millisecond
+	const maxBackoff = 5 * time.Second
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := a.controlSession(ctx, serverAddr)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		_ = err // session errors only affect the retry cadence
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > maxBackoff {
+			backoff = maxBackoff
+		}
+	}
+}
+
+func (a *Agent) controlSession(ctx context.Context, serverAddr string) error {
+	conn, err := transport.Dial(serverAddr, 3*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	if err := conn.Send(transport.RegisterHost{
+		HostID:  a.cfg.HostID,
+		Service: a.cfg.Service,
+		DC:      a.cfg.DC,
+	}); err != nil {
+		return err
+	}
+	// Unblock Recv when the context ends.
+	stop := context.AfterFunc(ctx, func() { conn.Close() })
+	defer stop()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case transport.HostQuery:
+			// A rejected query object is reported by doing nothing: the
+			// server sees no data from this host. Catalog skew is logged
+			// via the error return path of Start in embedded setups.
+			_ = a.Start(m)
+		case transport.StopQuery:
+			a.Stop(m.QueryID)
+		case transport.Ping:
+			if err := conn.Send(transport.Pong{Nonce: m.Nonce}); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("host: unexpected control message %s", transport.Name(msg))
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package ql
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"scrub/internal/agg"
+	"scrub/internal/event"
+	"scrub/internal/expr"
+)
+
+// testCatalog builds the event types used across the analyzer tests,
+// mirroring the Turn platform's schema (§7).
+func testCatalog() *event.Catalog {
+	cat := event.NewCatalog()
+	cat.MustRegister(event.MustSchema("bid",
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "city", Kind: event.KindString},
+		event.FieldDef{Name: "bid_price", Kind: event.KindFloat},
+		event.FieldDef{Name: "campaign_id", Kind: event.KindInt},
+	))
+	cat.MustRegister(event.MustSchema("exclusion",
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "reason", Kind: event.KindString},
+		event.FieldDef{Name: "publisher_id", Kind: event.KindInt},
+	))
+	cat.MustRegister(event.MustSchema("impression",
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "cost", Kind: event.KindFloat},
+	))
+	return cat
+}
+
+func analyze(t *testing.T, src string) *Plan {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	p, err := Analyze(q, testCatalog())
+	if err != nil {
+		t.Fatalf("Analyze(%q): %v", src, err)
+	}
+	return p
+}
+
+func analyzeErr(t *testing.T, src, want string) {
+	t.Helper()
+	q, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	_, err = Analyze(q, testCatalog())
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Errorf("Analyze(%q) err = %v, want contains %q", src, err, want)
+	}
+}
+
+func TestAnalyzeSpamQuery(t *testing.T) {
+	p := analyze(t, `select bid.user_id, count(*) from bid group by bid.user_id window 10s`)
+	if !p.HasAgg || len(p.Aggs) != 1 || p.Aggs[0].Spec.Kind != agg.KindCountStar {
+		t.Fatalf("aggs = %+v", p.Aggs)
+	}
+	if p.Window != 10*time.Second || p.Span != DefaultSpan {
+		t.Errorf("window/span = %v/%v", p.Window, p.Span)
+	}
+	if len(p.GroupBy) != 1 || p.GroupBy[0] != (expr.FieldRef{Type: "bid", Name: "user_id"}) {
+		t.Errorf("group by = %v", p.GroupBy)
+	}
+	// Projection: only user_id ships (count(*) needs no field).
+	if !reflect.DeepEqual(p.Columns["bid"], []string{"user_id"}) {
+		t.Errorf("columns = %v", p.Columns["bid"])
+	}
+	if p.SampleHosts != 1 || p.SampleEvents != 1 {
+		t.Errorf("default sampling = %g/%g", p.SampleHosts, p.SampleEvents)
+	}
+	// Select item metadata.
+	if p.Select[1].Kind != event.KindInt {
+		t.Errorf("count kind = %v", p.Select[1].Kind)
+	}
+}
+
+func TestAnalyzeCPMQuery(t *testing.T) {
+	p := analyze(t, `select 1000*avg(impression.cost) as cpm from impression where impression.line_item_id = 7`)
+	if len(p.Aggs) != 1 || p.Aggs[0].Spec.Kind != agg.KindAvg {
+		t.Fatalf("aggs = %+v", p.Aggs)
+	}
+	// The avg argument must be resolved (qualified).
+	arg, ok := p.Aggs[0].Arg.(expr.FieldRef)
+	if !ok || arg.Type != "impression" || arg.Name != "cost" {
+		t.Errorf("agg arg = %v", p.Aggs[0].Arg)
+	}
+	if p.Select[0].Label != "cpm" || p.Select[0].Kind != event.KindFloat {
+		t.Errorf("item = %+v", p.Select[0])
+	}
+	// line_item_id is consumed by the host predicate, not shipped; cost is.
+	if !reflect.DeepEqual(p.Columns["impression"], []string{"cost"}) {
+		t.Errorf("columns = %v", p.Columns["impression"])
+	}
+	if p.HostPred["impression"] == nil {
+		t.Error("host predicate missing")
+	}
+	if p.CentralPred != nil {
+		t.Error("single-type query should have no central predicate")
+	}
+}
+
+func TestAnalyzeJoinPredicateSplit(t *testing.T) {
+	p := analyze(t, `select bid.exchange_id, exclusion.reason, count(*)
+		from bid, exclusion
+		where bid.exchange_id = 5 and exclusion.publisher_id = 9 and bid.campaign_id = exclusion.line_item_id and bid.bid_price > 0.5
+		group by bid.exchange_id, exclusion.reason`)
+	if !p.IsJoin() {
+		t.Fatal("join not detected")
+	}
+	bp := p.HostPred["bid"]
+	ep := p.HostPred["exclusion"]
+	if bp == nil || ep == nil {
+		t.Fatalf("host predicates missing: bid=%v exclusion=%v", bp, ep)
+	}
+	if !strings.Contains(bp.String(), "exchange_id = 5") || !strings.Contains(bp.String(), "bid_price > 0.5") {
+		t.Errorf("bid pred = %s", bp)
+	}
+	if strings.Contains(bp.String(), "publisher_id") {
+		t.Errorf("bid pred leaked exclusion conjunct: %s", bp)
+	}
+	if !strings.Contains(ep.String(), "publisher_id = 9") {
+		t.Errorf("exclusion pred = %s", ep)
+	}
+	// Cross-type conjunct goes central.
+	if p.CentralPred == nil || !strings.Contains(p.CentralPred.String(), "campaign_id = exclusion.line_item_id") {
+		t.Errorf("central pred = %v", p.CentralPred)
+	}
+	// Columns: central-pred fields must ship; host-pred-only fields must not.
+	if !reflect.DeepEqual(p.Columns["bid"], []string{"exchange_id", "campaign_id"}) {
+		t.Errorf("bid columns = %v", p.Columns["bid"])
+	}
+	if !reflect.DeepEqual(p.Columns["exclusion"], []string{"line_item_id", "reason"}) {
+		t.Errorf("exclusion columns = %v", p.Columns["exclusion"])
+	}
+}
+
+func TestAnalyzeConstantConjunctGoesEverywhere(t *testing.T) {
+	p := analyze(t, `select count(*) from bid, exclusion where 1 = 1`)
+	if p.HostPred["bid"] == nil || p.HostPred["exclusion"] == nil {
+		t.Error("constant conjunct should reach both host predicates")
+	}
+}
+
+func TestAnalyzeDefaults(t *testing.T) {
+	p := analyze(t, `select count(*) from bid`)
+	if p.Window != DefaultWindow || p.Span != DefaultSpan {
+		t.Errorf("defaults = %v/%v", p.Window, p.Span)
+	}
+}
+
+func TestAnalyzeTopK(t *testing.T) {
+	p := analyze(t, `select top_k(bid.user_id, 5) from bid`)
+	if len(p.Aggs) != 1 || p.Aggs[0].Spec.Kind != agg.KindTopK || p.Aggs[0].Spec.K != 5 {
+		t.Fatalf("aggs = %+v", p.Aggs)
+	}
+	if p.Select[0].Kind != event.KindList {
+		t.Errorf("top_k kind = %v", p.Select[0].Kind)
+	}
+}
+
+func TestAnalyzeCountDistinct(t *testing.T) {
+	p := analyze(t, `select count_distinct(bid.user_id) from bid`)
+	if len(p.Aggs) != 1 || p.Aggs[0].Spec.Kind != agg.KindCountDistinct {
+		t.Fatalf("aggs = %+v", p.Aggs)
+	}
+}
+
+func TestAnalyzeMultipleAggregates(t *testing.T) {
+	p := analyze(t, `select count(*), sum(bid.bid_price), min(bid.bid_price), max(bid.bid_price), avg(bid.bid_price) from bid`)
+	if len(p.Aggs) != 5 {
+		t.Fatalf("aggs = %d", len(p.Aggs))
+	}
+	kinds := []agg.Kind{agg.KindCountStar, agg.KindSum, agg.KindMin, agg.KindMax, agg.KindAvg}
+	for i, k := range kinds {
+		if p.Aggs[i].Spec.Kind != k {
+			t.Errorf("agg[%d] = %v, want %v", i, p.Aggs[i].Spec.Kind, k)
+		}
+	}
+	// bid_price ships once despite four references.
+	if !reflect.DeepEqual(p.Columns["bid"], []string{"bid_price"}) {
+		t.Errorf("columns = %v", p.Columns["bid"])
+	}
+}
+
+func TestAnalyzeSemanticErrors(t *testing.T) {
+	analyzeErr(t, `select count(*) from ghost`, "unknown event type")
+	analyzeErr(t, `select count(*) from bid, exclusion, impression`, "equi-joins on the request identifier")
+	analyzeErr(t, `select count(*) from bid, bid`, "self-joins")
+	analyzeErr(t, `select frobnicate(user_id) from bid`, "unknown function")
+	analyzeErr(t, `select sum(count(*)) from bid`, "nested")
+	analyzeErr(t, `select user_id, count(*) from bid`, "GROUP BY")
+	analyzeErr(t, `select bid.user_id from bid group by bid.city`, "GROUP BY")
+	analyzeErr(t, `select count(*) from bid where sum(bid_price) > 5`, "not allowed in WHERE")
+	analyzeErr(t, `select count(*) from bid where user_id`, "boolean")
+	analyzeErr(t, `select count(*) from bid where ghost = 1`, "unknown field")
+	analyzeErr(t, `select top_k(user_id) from bid`, "TOP_K takes")
+	analyzeErr(t, `select top_k(user_id, user_id) from bid`, "integer literal")
+	analyzeErr(t, `select top_k(user_id, 0) from bid`, "TOP_K k")
+	analyzeErr(t, `select count(1, 2) from bid`, "COUNT takes")
+	analyzeErr(t, `select sum(*) from bid`, "exactly one argument")
+	analyzeErr(t, `select sum(city) from bid`, "numeric")
+	analyzeErr(t, `select count(*) from bid group by bid.user_id, bid.user_id`, "duplicate group-by")
+	analyzeErr(t, `select count(*) from bid duration 25h`, "maximum query span")
+	analyzeErr(t, `select count(*) from bid, exclusion where no_such = 1`, "unknown field")
+	analyzeErr(t, `select line_item_id from bid, exclusion, impression`, "equi-joins")
+	// Ambiguity across join sides requires qualification.
+	analyzeErr(t, `select exchange_id, count(*) from bid, impression group by exchange_id`, "ambiguous")
+}
+
+func TestAnalyzeGroupByExpressionConsistency(t *testing.T) {
+	// Arithmetic over a grouped field is fine.
+	p := analyze(t, `select bid.user_id * 2, count(*) from bid group by bid.user_id`)
+	if len(p.Select) != 2 {
+		t.Fatal("select items")
+	}
+	// A non-grouped bare field inside arithmetic is not.
+	analyzeErr(t, `select bid.city, bid.user_id * 2, count(*) from bid group by bid.city`, "GROUP BY")
+}
+
+func TestAnalyzeNonAggregateStreamingQuery(t *testing.T) {
+	// A raw event tap: no aggregates, no grouping.
+	p := analyze(t, `select bid.user_id, bid.city from bid where bid.bid_price > 1.0`)
+	if p.HasAgg || len(p.Aggs) != 0 {
+		t.Error("no aggregates expected")
+	}
+	if !reflect.DeepEqual(p.Columns["bid"], []string{"user_id", "city"}) {
+		t.Errorf("columns = %v", p.Columns["bid"])
+	}
+}
+
+func TestAnalyzeSystemFieldsAlwaysAvailable(t *testing.T) {
+	p := analyze(t, `select request_id, count(*) from bid group by request_id`)
+	// System fields never appear in the projection column list.
+	if len(p.Columns["bid"]) != 0 {
+		t.Errorf("columns = %v", p.Columns["bid"])
+	}
+	if p.GroupBy[0].Name != "request_id" {
+		t.Errorf("group by = %v", p.GroupBy)
+	}
+}
+
+func TestAnalyzeAggArgsResolved(t *testing.T) {
+	// Unqualified agg args must come back qualified in p.Aggs.
+	p := analyze(t, `select sum(bid_price) from bid`)
+	arg, ok := p.Aggs[0].Arg.(expr.FieldRef)
+	if !ok || arg.Type != "bid" {
+		t.Errorf("agg arg not resolved: %v", p.Aggs[0].Arg)
+	}
+}
+
+func TestAnalyzeUnqualifiedJoinSystemField(t *testing.T) {
+	// request_id is join-aligned: unqualified is fine even in a join.
+	p := analyze(t, `select request_id, count(*) from bid, exclusion group by request_id`)
+	if len(p.GroupBy) != 1 {
+		t.Fatalf("group by = %v", p.GroupBy)
+	}
+}
+
+func TestAnalyzeWindowSpanValidation(t *testing.T) {
+	q, _ := Parse(`select count(*) from bid`)
+	q.Window = -time.Second
+	if _, err := Analyze(q, testCatalog()); err == nil {
+		t.Error("negative window should fail")
+	}
+	q, _ = Parse(`select count(*) from bid`)
+	q.Span = -time.Second
+	if _, err := Analyze(q, testCatalog()); err == nil {
+		t.Error("negative span should fail")
+	}
+	q, _ = Parse(`select count(*) from bid`)
+	q.Select = nil
+	if _, err := Analyze(q, testCatalog()); err == nil {
+		t.Error("empty select should fail")
+	}
+	q, _ = Parse(`select count(*) from bid`)
+	q.From = nil
+	if _, err := Analyze(q, testCatalog()); err == nil {
+		t.Error("empty from should fail")
+	}
+}
+
+func TestPlanTypeNames(t *testing.T) {
+	p := analyze(t, `select count(*) from bid, exclusion`)
+	if !reflect.DeepEqual(p.TypeNames(), []string{"bid", "exclusion"}) {
+		t.Errorf("TypeNames = %v", p.TypeNames())
+	}
+}
+
+func TestAnalyzeSlidingWindows(t *testing.T) {
+	p := analyze(t, `select count(*) from bid window 10s slide 5s`)
+	if p.Window != 10*time.Second || p.Slide != 5*time.Second {
+		t.Errorf("window/slide = %v/%v", p.Window, p.Slide)
+	}
+	// Tumbling default: slide == window.
+	p = analyze(t, `select count(*) from bid window 10s`)
+	if p.Slide != p.Window {
+		t.Errorf("default slide = %v, want %v", p.Slide, p.Window)
+	}
+	analyzeErr(t, `select count(*) from bid window 10s slide 20s`, "slide must be in")
+	analyzeErr(t, `select count(*) from bid window 10s slide 3s`, "divide the window")
+}
+
+func TestExplain(t *testing.T) {
+	p := analyze(t, `select exclusion.reason, count(*) from bid, exclusion
+		where bid.exchange_id = 5 and bid.campaign_id = exclusion.line_item_id
+		group by exclusion.reason window 30s slide 10s duration 20m
+		@[Service in (BidServers, AdServers)] sample hosts 50% events 25%`)
+	out := Explain(p)
+	for _, want := range []string{
+		`event type "bid"`,
+		`select: (bid.exchange_id = 5)`,
+		`event type "exclusion"`,
+		`join: bid ⋈ exclusion on request_id`,
+		`post-join filter: (bid.campaign_id = exclusion.line_item_id)`,
+		`group by: exclusion.reason`,
+		`agg[0]: COUNT(*)`,
+		`window: 30s sliding every 10s`,
+		`event sampling: 25%`,
+		`host sampling: 50%`,
+		`span: 20m`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain output missing %q:\n%s", want, out)
+		}
+	}
+	// Tumbling phrasing.
+	p2 := analyze(t, `select count(*) from bid`)
+	if !strings.Contains(Explain(p2), "tumbling") {
+		t.Error("tumbling window not labeled")
+	}
+	if !strings.Contains(Explain(p2), "(all events)") {
+		t.Error("no-predicate case not labeled")
+	}
+}
+
+func TestAnalyzeHaving(t *testing.T) {
+	// HAVING over an aggregate already in the select list adds a second
+	// aggregator instance (no dedup — correctness over cleverness).
+	p := analyze(t, `select bid.user_id, count(*) from bid group by bid.user_id having count(*) > 100`)
+	if p.Having == nil {
+		t.Fatal("having not planned")
+	}
+	if len(p.Aggs) != 2 {
+		t.Errorf("aggs = %d (select's and having's)", len(p.Aggs))
+	}
+	// HAVING can introduce the only aggregate.
+	p = analyze(t, `select bid.user_id from bid group by bid.user_id having sum(bid.bid_price) > 10`)
+	if !p.HasAgg || len(p.Aggs) != 1 {
+		t.Errorf("having-only aggs = %+v", p.Aggs)
+	}
+	// bid_price must ship for the having aggregate.
+	if !reflect.DeepEqual(p.Columns["bid"], []string{"user_id", "bid_price"}) {
+		t.Errorf("columns = %v", p.Columns["bid"])
+	}
+	analyzeErr(t, `select bid.user_id, bid.city from bid having bid.user_id > 1`, "HAVING requires aggregates")
+	analyzeErr(t, `select count(*) from bid having bid.user_id > 1`, "GROUP BY")
+	analyzeErr(t, `select count(*) from bid having bid.user_id`, "boolean")
+}
+
+func TestAnalyzeOrderByLimit(t *testing.T) {
+	p := analyze(t, `select bid.user_id, count(*) as n from bid group by bid.user_id order by n desc, 1 limit 10`)
+	if len(p.OrderBy) != 2 {
+		t.Fatalf("order by = %+v", p.OrderBy)
+	}
+	if p.OrderBy[0].Col != 1 || !p.OrderBy[0].Desc {
+		t.Errorf("key 0 = %+v", p.OrderBy[0])
+	}
+	if p.OrderBy[1].Col != 0 || p.OrderBy[1].Desc {
+		t.Errorf("key 1 = %+v", p.OrderBy[1])
+	}
+	if p.Limit != 10 {
+		t.Errorf("limit = %d", p.Limit)
+	}
+	analyzeErr(t, `select count(*) from bid order by 2`, "exceeds")
+	analyzeErr(t, `select count(*) from bid order by ghost`, "not in the select list")
+}

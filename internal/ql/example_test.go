@@ -1,0 +1,73 @@
+package ql_test
+
+import (
+	"fmt"
+
+	"scrub/internal/event"
+	"scrub/internal/ql"
+)
+
+// Example shows the full front half of Scrub: declare an event type,
+// parse the paper's spam query, validate it against the catalog, and
+// inspect the host/central split the planner produced.
+func Example() {
+	catalog := event.NewCatalog()
+	catalog.MustRegister(event.MustSchema("bid",
+		event.FieldDef{Name: "user_id", Kind: event.KindInt},
+		event.FieldDef{Name: "exchange_id", Kind: event.KindInt},
+		event.FieldDef{Name: "bid_price", Kind: event.KindFloat},
+	))
+
+	q, err := ql.Parse(`
+		select bid.user_id, count(*)
+		from bid
+		where bid.exchange_id = 2
+		group by bid.user_id
+		window 10s duration 20m
+		@[Service in BidServers]`)
+	if err != nil {
+		fmt.Println("parse:", err)
+		return
+	}
+	plan, err := ql.Analyze(q, catalog)
+	if err != nil {
+		fmt.Println("analyze:", err)
+		return
+	}
+
+	// The host runs only selection and projection; grouping and counting
+	// happen at ScrubCentral.
+	fmt.Println("host predicate: ", plan.HostPred["bid"])
+	fmt.Println("host projection:", plan.Columns["bid"])
+	fmt.Println("group by:       ", plan.GroupBy)
+	fmt.Println("aggregates:     ", len(plan.Aggs))
+	// Output:
+	// host predicate:  (bid.exchange_id = 2)
+	// host projection: [user_id]
+	// group by:        [bid.user_id]
+	// aggregates:      1
+}
+
+// ExampleExplain renders a validated plan as text.
+func ExampleExplain() {
+	catalog := event.NewCatalog()
+	catalog.MustRegister(event.MustSchema("impression",
+		event.FieldDef{Name: "cost", Kind: event.KindFloat},
+		event.FieldDef{Name: "line_item_id", Kind: event.KindInt},
+	))
+	q, _ := ql.Parse(`select 1000*avg(impression.cost) as cpm from impression where impression.line_item_id = 7 window 1m duration 10m`)
+	plan, _ := ql.Analyze(q, catalog)
+	fmt.Print(ql.Explain(plan))
+	// Output:
+	// plan for: select (1000 * avg(impression.cost)) as cpm from impression where (impression.line_item_id = 7) window 1m0s duration 10m0s
+	// host side (selection + projection + sampling only):
+	//   [0] event type "impression"
+	//       select: (impression.line_item_id = 7)
+	//       project: cost (+ request_id, ts)
+	//   targets: @[all]
+	// central side (ScrubCentral):
+	//   agg[0]: AVG(impression.cost)
+	//   window: tumbling 1m0s
+	//   span: 10m0s
+	//   emit: cpm float
+}

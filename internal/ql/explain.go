@@ -1,0 +1,91 @@
+package ql
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders a validated plan as text, showing exactly how the query
+// splits across the deployment — which predicates and projections run on
+// the hosts, and which operators run at ScrubCentral. Surfaced by
+// `scrubql -explain` and used in docs and tests.
+func Explain(p *Plan) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "plan for: %s\n", p.Query.String())
+
+	fmt.Fprintf(&sb, "host side (selection + projection + sampling only):\n")
+	for i, typ := range p.TypeNames() {
+		fmt.Fprintf(&sb, "  [%d] event type %q\n", i, typ)
+		if pred := p.HostPred[typ]; pred != nil {
+			fmt.Fprintf(&sb, "      select: %s\n", pred)
+		} else {
+			fmt.Fprintf(&sb, "      select: (all events)\n")
+		}
+		cols := p.Columns[typ]
+		if len(cols) == 0 {
+			fmt.Fprintf(&sb, "      project: (system fields only: request_id, ts)\n")
+		} else {
+			fmt.Fprintf(&sb, "      project: %s (+ request_id, ts)\n", strings.Join(cols, ", "))
+		}
+	}
+	if p.SampleEvents < 1 {
+		fmt.Fprintf(&sb, "  event sampling: %.4g%% per host\n", p.SampleEvents*100)
+	}
+	if p.SampleHosts < 1 {
+		fmt.Fprintf(&sb, "  host sampling: %.4g%% of %s\n", p.SampleHosts*100, p.Target)
+	} else {
+		fmt.Fprintf(&sb, "  targets: %s\n", p.Target)
+	}
+
+	fmt.Fprintf(&sb, "central side (ScrubCentral):\n")
+	if p.IsJoin() {
+		names := p.TypeNames()
+		fmt.Fprintf(&sb, "  join: %s ⋈ %s on request_id, within the window\n", names[0], names[1])
+	}
+	if p.CentralPred != nil {
+		fmt.Fprintf(&sb, "  post-join filter: %s\n", p.CentralPred)
+	}
+	if len(p.GroupBy) > 0 {
+		keys := make([]string, len(p.GroupBy))
+		for i, g := range p.GroupBy {
+			keys[i] = g.String()
+		}
+		fmt.Fprintf(&sb, "  group by: %s\n", strings.Join(keys, ", "))
+	}
+	for i, a := range p.Aggs {
+		if a.Arg == nil {
+			fmt.Fprintf(&sb, "  agg[%d]: %s\n", i, a.Spec.Kind)
+		} else {
+			fmt.Fprintf(&sb, "  agg[%d]: %s(%s)\n", i, a.Spec.Kind, a.Arg)
+		}
+	}
+	if p.Having != nil {
+		fmt.Fprintf(&sb, "  having: %s\n", p.Having)
+	}
+	if p.Slide == p.Window {
+		fmt.Fprintf(&sb, "  window: tumbling %s\n", p.Window)
+	} else {
+		fmt.Fprintf(&sb, "  window: %s sliding every %s\n", p.Window, p.Slide)
+	}
+	if len(p.OrderBy) > 0 {
+		keys := make([]string, len(p.OrderBy))
+		for i, k := range p.OrderBy {
+			dir := "asc"
+			if k.Desc {
+				dir = "desc"
+			}
+			keys[i] = fmt.Sprintf("%s %s", p.Select[k.Col].Label, dir)
+		}
+		fmt.Fprintf(&sb, "  order by: %s\n", strings.Join(keys, ", "))
+	}
+	if p.Limit > 0 {
+		fmt.Fprintf(&sb, "  limit: %d rows per window\n", p.Limit)
+	}
+	fmt.Fprintf(&sb, "  span: %s\n", p.Span)
+	labels := make([]string, len(p.Select))
+	for i, s := range p.Select {
+		labels[i] = fmt.Sprintf("%s %s", s.Label, s.Kind)
+	}
+	fmt.Fprintf(&sb, "  emit: %s\n", strings.Join(labels, ", "))
+	return sb.String()
+}

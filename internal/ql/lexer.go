@@ -1,0 +1,240 @@
+// Package ql implements the Scrub query language: lexer, recursive-descent
+// parser, semantic validation against the event catalog, and planning —
+// splitting a validated query into the host-side part (selection,
+// projection, sampling) and the central part (join, group-by, aggregation),
+// per the paper's execution model (§4).
+package ql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokKind enumerates lexical token kinds.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokInt
+	tokFloat
+	tokString
+	tokDuration
+	tokSymbol // punctuation and operators, Text holds the spelling
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "end of query"
+	case tokIdent:
+		return "identifier"
+	case tokInt:
+		return "integer"
+	case tokFloat:
+		return "float"
+	case tokString:
+		return "string"
+	case tokDuration:
+		return "duration"
+	case tokSymbol:
+		return "symbol"
+	default:
+		return "?"
+	}
+}
+
+type token struct {
+	Kind tokKind
+	Text string
+	Pos  int // byte offset into the query text
+}
+
+func (t token) String() string {
+	if t.Kind == tokEOF {
+		return "end of query"
+	}
+	return fmt.Sprintf("%q", t.Text)
+}
+
+// isKeyword reports whether an identifier token equals the keyword,
+// case-insensitively.
+func (t token) isKeyword(kw string) bool {
+	return t.Kind == tokIdent && strings.EqualFold(t.Text, kw)
+}
+
+func (t token) isSymbol(s string) bool {
+	return t.Kind == tokSymbol && t.Text == s
+}
+
+// SyntaxError reports a lexical or grammatical error with its position.
+type SyntaxError struct {
+	Pos   int
+	Query string
+	Msg   string
+}
+
+func (e *SyntaxError) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.Pos && i < len(e.Query); i++ {
+		if e.Query[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("ql: syntax error at line %d col %d: %s", line, col, e.Msg)
+}
+
+// lex tokenizes query text. Durations like `10s`, `5m`, `1h30m`, `250ms`
+// lex as a single duration token; identifiers may not start with a digit.
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	errf := func(pos int, format string, args ...any) error {
+		return &SyntaxError{Pos: pos, Query: src, Msg: fmt.Sprintf(format, args...)}
+	}
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			// SQL-style line comment.
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+
+		case c >= '0' && c <= '9':
+			start := i
+			sawDot := false
+			for i < len(src) && (src[i] >= '0' && src[i] <= '9' || src[i] == '.') {
+				if src[i] == '.' {
+					if sawDot {
+						return nil, errf(i, "malformed number")
+					}
+					// A dot not followed by a digit terminates the number
+					// (e.g. `1.x` is invalid anyway, but `bid.f` never
+					// starts with a digit so this is just strictness).
+					if i+1 >= len(src) || src[i+1] < '0' || src[i+1] > '9' {
+						return nil, errf(i, "malformed number")
+					}
+					sawDot = true
+				}
+				i++
+			}
+			// Duration suffix: ns, us, ms, s, m, h immediately following.
+			sufStart := i
+			for i < len(src) && (src[i] >= 'a' && src[i] <= 'z') {
+				i++
+			}
+			if i > sufStart {
+				unit := src[sufStart:i]
+				switch unit {
+				case "ns", "us", "ms", "s", "m", "h":
+					// Allow compound durations like 1h30m: keep consuming
+					// digit+unit pairs.
+					for i < len(src) && src[i] >= '0' && src[i] <= '9' {
+						j := i
+						for j < len(src) && src[j] >= '0' && src[j] <= '9' {
+							j++
+						}
+						k := j
+						for k < len(src) && src[k] >= 'a' && src[k] <= 'z' {
+							k++
+						}
+						switch src[j:k] {
+						case "ns", "us", "ms", "s", "m", "h":
+							i = k
+						default:
+							return nil, errf(j, "malformed duration")
+						}
+					}
+					toks = append(toks, token{Kind: tokDuration, Text: src[start:i], Pos: start})
+					continue
+				default:
+					return nil, errf(sufStart, "unexpected characters %q after number", unit)
+				}
+			}
+			kind := tokInt
+			if sawDot {
+				kind = tokFloat
+			}
+			toks = append(toks, token{Kind: kind, Text: src[start:i], Pos: start})
+
+		case c == '\'' || c == '"':
+			quote := c
+			start := i
+			i++
+			var sb strings.Builder
+			closed := false
+			for i < len(src) {
+				if src[i] == '\\' && i+1 < len(src) {
+					switch src[i+1] {
+					case 'n':
+						sb.WriteByte('\n')
+					case 't':
+						sb.WriteByte('\t')
+					case '\\', '\'', '"':
+						sb.WriteByte(src[i+1])
+					default:
+						return nil, errf(i, "unknown escape \\%c", src[i+1])
+					}
+					i += 2
+					continue
+				}
+				if src[i] == quote {
+					closed = true
+					i++
+					break
+				}
+				sb.WriteByte(src[i])
+				i++
+			}
+			if !closed {
+				return nil, errf(start, "unterminated string")
+			}
+			toks = append(toks, token{Kind: tokString, Text: sb.String(), Pos: start})
+
+		case isIdentStart(rune(c)):
+			start := i
+			for i < len(src) && isIdentPart(rune(src[i])) {
+				i++
+			}
+			toks = append(toks, token{Kind: tokIdent, Text: src[start:i], Pos: start})
+
+		default:
+			start := i
+			// Two-character symbols first.
+			if i+1 < len(src) {
+				two := src[i : i+2]
+				switch two {
+				case "!=", "<>", "<=", ">=":
+					toks = append(toks, token{Kind: tokSymbol, Text: two, Pos: start})
+					i += 2
+					continue
+				}
+			}
+			switch c {
+			case ',', '(', ')', '@', '[', ']', '.', ';', '=', '<', '>', '+', '-', '*', '/', '%':
+				toks = append(toks, token{Kind: tokSymbol, Text: string(c), Pos: start})
+				i++
+			default:
+				return nil, errf(i, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, token{Kind: tokEOF, Pos: len(src)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

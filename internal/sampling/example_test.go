@@ -1,0 +1,38 @@
+package sampling_test
+
+import (
+	"fmt"
+
+	"scrub/internal/sampling"
+)
+
+// ExampleEstimateSum demonstrates the paper's Eq. 1–3 multistage
+// estimator: 2 of 4 hosts sampled, half the events read at each, the sum
+// scaled up with a 95% confidence bound.
+func ExampleEstimateSum() {
+	samples := []sampling.HostSample{
+		{HostID: "bid-01", M: 4, Values: []float64{5, 7}},
+		{HostID: "bid-02", M: 4, Values: []float64{6, 6}},
+	}
+	est, err := sampling.EstimateSum(4, samples, 0.95)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("τ̂ = %.0f (N=%d, n=%d)\n", est.Value, est.NumHosts, est.Sampled)
+	// Output:
+	// τ̂ = 96 (N=4, n=2)
+}
+
+// ExampleSelectHosts shows deterministic host sampling: every component
+// derives the same subset from the query id, with no coordination.
+func ExampleSelectHosts() {
+	hosts := []string{"h1", "h2", "h3", "h4", "h5", "h6", "h7", "h8", "h9", "h10"}
+	chosen := sampling.SelectHosts(hosts, 0.3, 12345)
+	fmt.Println(chosen)
+	again := sampling.SelectHosts(hosts, 0.3, 12345)
+	fmt.Println(len(chosen) == len(again))
+	// Output:
+	// [h10 h2 h5]
+	// true
+}

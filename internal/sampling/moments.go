@@ -1,0 +1,78 @@
+package sampling
+
+import (
+	"fmt"
+	"math"
+
+	"scrub/internal/stats"
+)
+
+// HostMoments is the sufficient-statistics form of HostSample: ScrubCentral
+// keeps per-host Welford accumulators instead of raw readings, so memory
+// stays O(hosts · aggregates) per window instead of O(sampled tuples).
+type HostMoments struct {
+	HostID string
+	M      uint64  // Mᵢ: matching events at the host
+	N      int     // mᵢ: sampled readings
+	Sum    float64 // Σⱼ vᵢⱼ
+	Var    float64 // unbiased sample variance s²ᵢ (0 when N < 2)
+}
+
+// MomentsOf converts a raw sample to moments (test/interop helper).
+func MomentsOf(s HostSample) HostMoments {
+	var r stats.Running
+	for _, v := range s.Values {
+		r.Add(v)
+	}
+	return HostMoments{HostID: s.HostID, M: s.M, N: r.N(), Sum: r.Sum(), Var: r.Var()}
+}
+
+// EstimateSumMoments computes Eq. 1–3 from per-host sufficient statistics.
+// Semantics match EstimateSum exactly.
+func EstimateSumMoments(totalHosts int, hosts []HostMoments, confidence float64) (Estimate, error) {
+	n := len(hosts)
+	N := float64(totalHosts)
+	if n == 0 {
+		return Estimate{}, fmt.Errorf("sampling: no host samples")
+	}
+	if totalHosts < n {
+		return Estimate{}, fmt.Errorf("sampling: total hosts %d < sampled %d", totalHosts, n)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return Estimate{}, fmt.Errorf("sampling: confidence must be in (0,1), got %g", confidence)
+	}
+
+	var hostTotals stats.Running
+	var within float64
+	for _, h := range hosts {
+		if h.N == 0 {
+			if h.M == 0 {
+				hostTotals.Add(0)
+				continue
+			}
+			return Estimate{}, fmt.Errorf("sampling: host %s has M=%d matching events but zero sampled values", h.HostID, h.M)
+		}
+		Mi := float64(h.M)
+		mi := float64(h.N)
+		ui := Mi / mi * h.Sum
+		hostTotals.Add(ui)
+		within += Mi * (Mi - mi) * h.Var / mi
+	}
+
+	tau := N / float64(n) * hostTotals.Sum()
+	est := Estimate{Value: tau, Confidence: confidence, NumHosts: totalHosts, Sampled: n}
+	if n == 1 {
+		est.Err = math.Inf(1)
+		return est, nil
+	}
+	variance := N*(N-float64(n))*hostTotals.Var()/float64(n) + N/float64(n)*within
+	if variance < 0 {
+		variance = 0
+	}
+	tq, err := stats.TQuantile(1-(1-confidence)/2, float64(n-1))
+	if err != nil {
+		return Estimate{}, err
+	}
+	est.Err = tq * math.Sqrt(variance)
+	return est, nil
+}

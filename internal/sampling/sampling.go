@@ -1,0 +1,170 @@
+// Package sampling implements Scrub's two sampling levels and the
+// accompanying error bounds.
+//
+// The query language supports sampling the set of hosts and sampling the
+// events on each chosen host (paper §3.2); both trade accuracy for load in
+// a tunable fashion. Like ApproxHadoop, error bounds for scaled SUM/COUNT
+// results come from two-stage (cluster) sampling theory:
+//
+//	τ̂ = N/n · Σᵢ (Mᵢ/mᵢ · Σⱼ vᵢⱼ)  ± ε                    (Eq. 1)
+//	ε  = t_{n−1,1−α/2} · sqrt(V̂ar(τ̂))                      (Eq. 2)
+//	V̂ar(τ̂) = N(N−n)·s²ᵤ/n + N/n · Σᵢ Mᵢ(Mᵢ−mᵢ)·s²ᵢ/mᵢ      (Eq. 3)
+//
+// where N is the number of eligible hosts, n the number sampled, Mᵢ the
+// number of matching events at host i, mᵢ the number sampled there, s²ᵢ the
+// per-host reading variance, and s²ᵤ the variance of the estimated host
+// totals.
+package sampling
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+	"sync/atomic"
+)
+
+// Rate is a sampling fraction in [0, 1]; 1 means keep everything.
+type Rate float64
+
+// Valid reports whether the rate is a usable fraction.
+func (r Rate) Valid() bool { return r > 0 && r <= 1 }
+
+// EventSampler makes per-event keep/drop decisions at a given rate. It is
+// deterministic for a (seed, sequence) pair — two runs over the same stream
+// sample identically — and safe for concurrent use from application
+// threads, which is required because log() is called on the hot path.
+type EventSampler struct {
+	thresh uint64 // keep when mixed counter < thresh
+	seed   uint64
+	seq    atomic.Uint64
+}
+
+// NewEventSampler creates a sampler keeping approximately rate of events.
+// rate outside (0,1] is clamped: <=0 keeps nothing, >=1 keeps everything.
+func NewEventSampler(rate float64, seed uint64) *EventSampler {
+	var thresh uint64
+	switch {
+	case rate >= 1:
+		thresh = math.MaxUint64
+	case rate <= 0:
+		thresh = 0
+	default:
+		thresh = uint64(rate * float64(math.MaxUint64))
+	}
+	return &EventSampler{thresh: thresh, seed: seed}
+}
+
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Keep decides whether the next event is sampled.
+func (s *EventSampler) Keep() bool {
+	if s.thresh == math.MaxUint64 {
+		return true
+	}
+	if s.thresh == 0 {
+		return false
+	}
+	i := s.seq.Add(1)
+	return mix64(s.seed^i) < s.thresh
+}
+
+// Seen returns how many events have been offered (excluding rate 0/1 fast
+// paths).
+func (s *EventSampler) Seen() uint64 { return s.seq.Load() }
+
+// SelectHosts deterministically samples ceil(rate·len(hosts)) hosts using
+// the query id as seed, so the query server, hosts, and ScrubCentral all
+// agree on the chosen set without coordination. The input order does not
+// matter; the result is sorted. rate >= 1 returns all hosts.
+func SelectHosts(hosts []string, rate float64, queryID uint64) []string {
+	if len(hosts) == 0 {
+		return nil
+	}
+	if rate >= 1 {
+		out := make([]string, len(hosts))
+		copy(out, hosts)
+		sort.Strings(out)
+		return out
+	}
+	if rate <= 0 {
+		return nil
+	}
+	sorted := make([]string, len(hosts))
+	copy(sorted, hosts)
+	sort.Strings(sorted)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "scrub-host-sample-%d", queryID)
+	rng := rand.New(rand.NewSource(int64(h.Sum64())))
+	rng.Shuffle(len(sorted), func(i, j int) { sorted[i], sorted[j] = sorted[j], sorted[i] })
+	n := int(math.Ceil(rate * float64(len(sorted))))
+	if n < 1 {
+		n = 1
+	}
+	out := sorted[:n]
+	sort.Strings(out)
+	return out
+}
+
+// HostSample carries one sampled host's contribution to a multistage
+// estimate: the total number of matching events at the host (Mᵢ) and the
+// sampled readings (vᵢⱼ, so mᵢ = len(Values)). For COUNT estimates each
+// reading is 1.
+type HostSample struct {
+	HostID string
+	M      uint64
+	Values []float64
+}
+
+// Estimate is a scaled aggregate with its confidence interval.
+type Estimate struct {
+	Value      float64 // τ̂
+	Err        float64 // ε: half-width of the confidence interval
+	Confidence float64 // 1 − α
+	NumHosts   int     // N
+	Sampled    int     // n
+}
+
+// String renders "τ̂ ± ε".
+func (e Estimate) String() string {
+	return fmt.Sprintf("%.6g ± %.6g (%.0f%% conf, %d/%d hosts)", e.Value, e.Err, e.Confidence*100, e.Sampled, e.NumHosts)
+}
+
+// EstimateSum computes the paper's Eq. 1–3 estimator for a SUM over a
+// two-stage sample. totalHosts is N (the eligible population the sample was
+// drawn from); samples holds one entry per sampled host. confidence is
+// 1−α, e.g. 0.95.
+//
+// Degenerate cases: n == 1 yields an infinite error bound (t with 0 df);
+// a host with M > 0 but no sampled values is an error — the estimator
+// cannot scale from zero readings.
+func EstimateSum(totalHosts int, samples []HostSample, confidence float64) (Estimate, error) {
+	hosts := make([]HostMoments, len(samples))
+	for i, s := range samples {
+		hosts[i] = MomentsOf(s)
+	}
+	return EstimateSumMoments(totalHosts, hosts, confidence)
+}
+
+// EstimateCount computes a COUNT estimate: every sampled event is a reading
+// of 1, so per-host readings reduce to (Mᵢ, mᵢ) with zero within-host
+// variance; only between-host variance contributes.
+func EstimateCount(totalHosts int, samples []HostSample, confidence float64) (Estimate, error) {
+	counts := make([]HostSample, len(samples))
+	for i, s := range samples {
+		ones := make([]float64, len(s.Values))
+		for j := range ones {
+			ones[j] = 1
+		}
+		counts[i] = HostSample{HostID: s.HostID, M: s.M, Values: ones}
+	}
+	return EstimateSum(totalHosts, counts, confidence)
+}

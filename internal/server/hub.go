@@ -1,0 +1,265 @@
+package server
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"scrub/internal/cluster"
+	"scrub/internal/transport"
+)
+
+// Hub is the TCP front of a Scrub deployment. It owns three listeners:
+//
+//	client  — troubleshooters submit queries and stream results
+//	control — host agents register and receive query objects
+//	data    — host agents ship tuple batches for ScrubCentral
+//
+// The hub implements Dispatcher over the registered control connections.
+// Construct the hub first, build the Server with the hub as Dispatcher,
+// then call SetServer and Serve.
+type Hub struct {
+	registry *cluster.Registry
+	logf     func(format string, args ...any)
+
+	mu    sync.Mutex
+	srv   *Server
+	hosts map[string]*transport.Conn
+
+	clientL  *transport.Listener
+	controlL *transport.Listener
+	dataL    *transport.Listener
+
+	wg     sync.WaitGroup
+	closed sync.Once
+}
+
+// NewHub opens the three listeners. Pass "127.0.0.1:0" addresses for
+// ephemeral ports; the *Addr methods report what was bound.
+func NewHub(registry *cluster.Registry, clientAddr, controlAddr, dataAddr string) (*Hub, error) {
+	h := &Hub{
+		registry: registry,
+		hosts:    make(map[string]*transport.Conn),
+		logf:     log.Printf,
+	}
+	var err error
+	if h.clientL, err = transport.Listen(clientAddr); err != nil {
+		return nil, err
+	}
+	if h.controlL, err = transport.Listen(controlAddr); err != nil {
+		h.clientL.Close()
+		return nil, err
+	}
+	if h.dataL, err = transport.Listen(dataAddr); err != nil {
+		h.clientL.Close()
+		h.controlL.Close()
+		return nil, err
+	}
+	return h, nil
+}
+
+// SetServer wires the query server in; must happen before Serve.
+func (h *Hub) SetServer(s *Server) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.srv = s
+}
+
+// SetLogf replaces the hub's logger (tests silence it).
+func (h *Hub) SetLogf(f func(string, ...any)) { h.logf = f }
+
+// ClientAddr returns the client listener's address.
+func (h *Hub) ClientAddr() string { return h.clientL.Addr() }
+
+// ControlAddr returns the agent-control listener's address.
+func (h *Hub) ControlAddr() string { return h.controlL.Addr() }
+
+// DataAddr returns the tuple-data listener's address.
+func (h *Hub) DataAddr() string { return h.dataL.Addr() }
+
+// SendToHost implements Dispatcher over registered control connections.
+func (h *Hub) SendToHost(host string, msg transport.Message) error {
+	h.mu.Lock()
+	conn := h.hosts[host]
+	h.mu.Unlock()
+	if conn == nil {
+		return fmt.Errorf("server: host %q has no control connection", host)
+	}
+	return conn.Send(msg)
+}
+
+// Serve starts the accept loops; it returns immediately. Stop with Close.
+func (h *Hub) Serve() {
+	h.acceptLoop(h.clientL, h.handleClient)
+	h.acceptLoop(h.controlL, h.handleControl)
+	h.acceptLoop(h.dataL, h.handleData)
+}
+
+func (h *Hub) acceptLoop(l *transport.Listener, handle func(*transport.Conn)) {
+	h.wg.Add(1)
+	go func() {
+		defer h.wg.Done()
+		for {
+			conn, err := l.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			h.wg.Add(1)
+			go func() {
+				defer h.wg.Done()
+				defer conn.Close()
+				handle(conn)
+			}()
+		}
+	}()
+}
+
+// handleControl serves one agent's control session.
+func (h *Hub) handleControl(conn *transport.Conn) {
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	reg, ok := first.(transport.RegisterHost)
+	if !ok {
+		h.logf("scrub: control connection opened with %s, want RegisterHost", transport.Name(first))
+		return
+	}
+	if err := h.registry.Register(cluster.HostInfo{
+		Name: reg.HostID, Service: reg.Service, DC: reg.DC,
+		Addr: conn.RemoteAddr().String(),
+	}); err != nil {
+		h.logf("scrub: register host %q: %v", reg.HostID, err)
+		return
+	}
+	h.mu.Lock()
+	if old := h.hosts[reg.HostID]; old != nil {
+		old.Close()
+	}
+	h.hosts[reg.HostID] = conn
+	srv := h.srv
+	h.mu.Unlock()
+	// A (re)connecting host missed any query objects dispatched while it
+	// was away; re-sync the ones that target it.
+	if srv != nil {
+		srv.ResyncHost(reg.HostID)
+	}
+	defer func() {
+		h.mu.Lock()
+		if h.hosts[reg.HostID] == conn {
+			delete(h.hosts, reg.HostID)
+			h.registry.Deregister(reg.HostID)
+		}
+		h.mu.Unlock()
+	}()
+	// Control is server-push; the read loop only consumes Pongs and
+	// detects disconnects.
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch msg.(type) {
+		case transport.Pong:
+		default:
+			h.logf("scrub: unexpected control message %s from %s", transport.Name(msg), reg.HostID)
+		}
+	}
+}
+
+// handleData serves one agent's tuple stream.
+func (h *Hub) handleData(conn *transport.Conn) {
+	first, err := conn.Recv()
+	if err != nil {
+		return
+	}
+	if _, ok := first.(transport.DataHello); !ok {
+		h.logf("scrub: data connection opened with %s, want DataHello", transport.Name(first))
+		return
+	}
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		batch, ok := msg.(transport.TupleBatch)
+		if !ok {
+			h.logf("scrub: unexpected data message %s", transport.Name(msg))
+			return
+		}
+		srv.HandleBatch(batch)
+	}
+}
+
+// handleClient serves one troubleshooter session: queries multiplex over
+// the connection by query id.
+func (h *Hub) handleClient(conn *transport.Conn) {
+	h.mu.Lock()
+	srv := h.srv
+	h.mu.Unlock()
+	var mine sync.Map // query ids owned by this connection
+	defer func() {
+		// Tear down this client's queries when it disconnects.
+		mine.Range(func(k, _ any) bool {
+			_ = srv.Cancel(k.(uint64))
+			return true
+		})
+	}()
+	for {
+		msg, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		switch m := msg.(type) {
+		case transport.SubmitQuery:
+			cb := Callbacks{
+				Window: func(rw transport.ResultWindow) { _ = conn.Send(rw) },
+				Done: func(d transport.QueryDone) {
+					mine.Delete(d.QueryID)
+					_ = conn.Send(d)
+				},
+			}
+			info, err := srv.Submit(m.Text, cb)
+			if err != nil {
+				_ = conn.Send(transport.QueryError{Msg: err.Error()})
+				continue
+			}
+			mine.Store(info.ID, true)
+			_ = conn.Send(transport.QueryAccepted{
+				QueryID:      info.ID,
+				Columns:      info.Columns,
+				NumHosts:     uint32(info.NumHosts),
+				SampledHosts: uint32(info.SampledHosts),
+				EndNanos:     info.End.UnixNano(),
+			})
+		case transport.CancelQuery:
+			if err := srv.Cancel(m.QueryID); err != nil {
+				_ = conn.Send(transport.QueryError{QueryID: m.QueryID, Msg: err.Error()})
+			}
+		case transport.ListQueries:
+			_ = conn.Send(transport.QueryList{Queries: srv.List()})
+		case transport.Ping:
+			_ = conn.Send(transport.Pong{Nonce: m.Nonce})
+		default:
+			_ = conn.Send(transport.QueryError{Msg: "unexpected message " + transport.Name(msg)})
+		}
+	}
+}
+
+// Close shuts the listeners and all sessions down.
+func (h *Hub) Close() {
+	h.closed.Do(func() {
+		h.clientL.Close()
+		h.controlL.Close()
+		h.dataL.Close()
+		h.mu.Lock()
+		for _, c := range h.hosts {
+			c.Close()
+		}
+		h.mu.Unlock()
+	})
+	h.wg.Wait()
+}

@@ -1,0 +1,198 @@
+// Package sketch implements the probabilistic summaries Scrub's query
+// language exposes: HyperLogLog for COUNT_DISTINCT (Heule et al., "HLL in
+// practice") and the SpaceSaving stream summary for TOP-K (Metwally et al.).
+//
+// Both sketches are mergeable, which is what lets ScrubCentral combine
+// partial summaries across windows without ever holding raw values, and
+// both trade bounded memory for bounded, well-characterized error — the
+// paper's "accuracy traded for minimal impact" design rule.
+package sketch
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// HLL is a HyperLogLog cardinality estimator with 2^precision registers.
+// The zero value is not usable; construct with NewHLL.
+type HLL struct {
+	precision uint8
+	registers []uint8
+}
+
+// Default and allowed precision range. Precision p gives a standard error
+// of roughly 1.04/sqrt(2^p): p=14 → ~0.81%.
+const (
+	MinHLLPrecision     = 4
+	MaxHLLPrecision     = 18
+	DefaultHLLPrecision = 14
+)
+
+// NewHLL creates an estimator with 2^precision registers.
+func NewHLL(precision uint8) (*HLL, error) {
+	if precision < MinHLLPrecision || precision > MaxHLLPrecision {
+		return nil, fmt.Errorf("sketch: HLL precision %d outside [%d, %d]", precision, MinHLLPrecision, MaxHLLPrecision)
+	}
+	return &HLL{precision: precision, registers: make([]uint8, 1<<precision)}, nil
+}
+
+// MustHLL is NewHLL that panics on error.
+func MustHLL(precision uint8) *HLL {
+	h, err := NewHLL(precision)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Precision returns the register-count exponent.
+func (h *HLL) Precision() uint8 { return h.precision }
+
+// fmix64 is the MurmurHash3 finalizer. Upstream hashes (FNV-1a over short,
+// near-sequential keys) are not uniform enough in their high bits, which
+// HLL uses for register selection; the finalizer restores avalanche.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// AddHash folds an already-hashed 64-bit item into the sketch. Scrub feeds
+// event.Value.Hash() outputs here, so equal values always land identically.
+// The input is re-mixed internally, so weakly avalanched hashes are safe.
+func (h *HLL) AddHash(x uint64) {
+	x = fmix64(x)
+	p := h.precision
+	idx := x >> (64 - p)
+	rest := x<<p | 1<<(p-1) // ensure a terminator bit so rho is bounded
+	rho := uint8(bits.LeadingZeros64(rest)) + 1
+	if rho > h.registers[idx] {
+		h.registers[idx] = rho
+	}
+}
+
+// Add hashes an arbitrary byte string into the sketch (FNV-1a 64).
+func (h *HLL) Add(b []byte) {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var x uint64 = offset64
+	for _, c := range b {
+		x ^= uint64(c)
+		x *= prime64
+	}
+	h.AddHash(x)
+}
+
+func alpha(m int) float64 {
+	switch m {
+	case 16:
+		return 0.673
+	case 32:
+		return 0.697
+	case 64:
+		return 0.709
+	default:
+		return 0.7213 / (1 + 1.079/float64(m))
+	}
+}
+
+// Estimate returns the cardinality estimate, with linear-counting
+// small-range correction as in the HLL++ paper.
+func (h *HLL) Estimate() uint64 {
+	m := len(h.registers)
+	var sum float64
+	zeros := 0
+	for _, r := range h.registers {
+		sum += 1 / float64(uint64(1)<<r)
+		if r == 0 {
+			zeros++
+		}
+	}
+	est := alpha(m) * float64(m) * float64(m) / sum
+	// Small-range correction: linear counting when registers are sparse.
+	if est <= 2.5*float64(m) && zeros > 0 {
+		est = float64(m) * math.Log(float64(m)/float64(zeros))
+	}
+	return uint64(est + 0.5)
+}
+
+// StdError returns the theoretical relative standard error for this
+// precision, used when reporting approximate results to the troubleshooter.
+func (h *HLL) StdError() float64 {
+	return 1.04 / math.Sqrt(float64(len(h.registers)))
+}
+
+// Merge folds another sketch into h. Both must share a precision.
+func (h *HLL) Merge(o *HLL) error {
+	if o == nil {
+		return nil
+	}
+	if h.precision != o.precision {
+		return fmt.Errorf("sketch: cannot merge HLL precision %d into %d", o.precision, h.precision)
+	}
+	for i, r := range o.registers {
+		if r > h.registers[i] {
+			h.registers[i] = r
+		}
+	}
+	return nil
+}
+
+// Reset clears the sketch for reuse.
+func (h *HLL) Reset() {
+	for i := range h.registers {
+		h.registers[i] = 0
+	}
+}
+
+// AppendBinary serializes the sketch (precision byte + raw registers).
+func (h *HLL) AppendBinary(dst []byte) []byte {
+	dst = append(dst, h.precision)
+	return append(dst, h.registers...)
+}
+
+// DecodeHLL parses a sketch serialized by AppendBinary, returning bytes
+// consumed.
+func DecodeHLL(b []byte) (*HLL, int, error) {
+	if len(b) < 1 {
+		return nil, 0, fmt.Errorf("sketch: decode HLL: empty")
+	}
+	p := b[0]
+	if p < MinHLLPrecision || p > MaxHLLPrecision {
+		return nil, 0, fmt.Errorf("sketch: decode HLL: bad precision %d", p)
+	}
+	m := 1 << p
+	if len(b) < 1+m {
+		return nil, 0, fmt.Errorf("sketch: decode HLL: short registers")
+	}
+	h := &HLL{precision: p, registers: make([]uint8, m)}
+	copy(h.registers, b[1:1+m])
+	return h, 1 + m, nil
+}
+
+// hashUint64 is exposed for tests that need the same item→hash mapping the
+// sketches use for integer items.
+func hashUint64(x uint64) uint64 {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], x)
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}
+
+// AddUint64 adds an integer item.
+func (h *HLL) AddUint64(x uint64) { h.AddHash(hashUint64(x)) }

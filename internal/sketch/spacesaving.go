@@ -1,0 +1,230 @@
+package sketch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SpaceSaving is the stream-summary structure of Metwally, Agrawal and El
+// Abbadi ("Efficient Computation of Frequent and Top-k Elements in Data
+// Streams"), which Scrub uses for the TOP-K aggregate. It tracks at most
+// `capacity` counters; when a new item arrives with all counters occupied,
+// it evicts the minimum counter and inherits its count as overestimation
+// error. Guarantees: count(x) <= trueCount(x) + min; every item with true
+// count > N/capacity is present.
+type SpaceSaving struct {
+	capacity int
+	counters map[string]*ssCounter
+	// buckets is a doubly linked list of distinct counts in ascending
+	// order; each bucket holds the set of counters at that count. This is
+	// the "stream summary" layout that gives O(1) increments.
+	minBucket *ssBucket
+}
+
+type ssCounter struct {
+	item   string
+	count  uint64
+	errVal uint64 // overestimation inherited at takeover
+	bucket *ssBucket
+}
+
+type ssBucket struct {
+	count      uint64
+	members    map[*ssCounter]struct{}
+	prev, next *ssBucket
+}
+
+// NewSpaceSaving creates a summary with the given counter capacity.
+func NewSpaceSaving(capacity int) (*SpaceSaving, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("sketch: SpaceSaving capacity must be positive, got %d", capacity)
+	}
+	return &SpaceSaving{capacity: capacity, counters: make(map[string]*ssCounter, capacity)}, nil
+}
+
+// MustSpaceSaving is NewSpaceSaving that panics on error.
+func MustSpaceSaving(capacity int) *SpaceSaving {
+	s, err := NewSpaceSaving(capacity)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Capacity returns the maximum number of tracked items.
+func (s *SpaceSaving) Capacity() int { return s.capacity }
+
+// Len returns the number of currently tracked items.
+func (s *SpaceSaving) Len() int { return len(s.counters) }
+
+// Add increments item by one.
+func (s *SpaceSaving) Add(item string) { s.AddN(item, 1) }
+
+// AddN increments item by n.
+func (s *SpaceSaving) AddN(item string, n uint64) {
+	if n == 0 {
+		return
+	}
+	if c, ok := s.counters[item]; ok {
+		s.bump(c, n)
+		return
+	}
+	if len(s.counters) < s.capacity {
+		c := &ssCounter{item: item, count: 0}
+		s.counters[item] = c
+		s.attach(c) // attach at count 0 bucket semantics via bump
+		s.bump(c, n)
+		return
+	}
+	// Evict the minimum counter: the new item takes it over, inheriting
+	// its count as error.
+	victim := s.anyMinCounter()
+	delete(s.counters, victim.item)
+	victim.errVal = victim.count
+	victim.item = item
+	s.counters[item] = victim
+	s.bump(victim, n)
+}
+
+// attach places a fresh counter into a zero-count staging bucket.
+func (s *SpaceSaving) attach(c *ssCounter) {
+	b := s.minBucket
+	if b == nil || b.count != 0 {
+		nb := &ssBucket{count: 0, members: make(map[*ssCounter]struct{})}
+		nb.next = s.minBucket
+		if s.minBucket != nil {
+			s.minBucket.prev = nb
+		}
+		s.minBucket = nb
+		b = nb
+	}
+	b.members[c] = struct{}{}
+	c.bucket = b
+}
+
+// bump moves a counter up by n, maintaining the bucket list.
+func (s *SpaceSaving) bump(c *ssCounter, n uint64) {
+	old := c.bucket
+	newCount := c.count + n
+	c.count = newCount
+
+	// Find or create the destination bucket after old.
+	cur := old
+	for cur.next != nil && cur.next.count < newCount {
+		cur = cur.next
+	}
+	var dst *ssBucket
+	if cur.next != nil && cur.next.count == newCount {
+		dst = cur.next
+	} else {
+		dst = &ssBucket{count: newCount, members: make(map[*ssCounter]struct{})}
+		dst.prev = cur
+		dst.next = cur.next
+		if cur.next != nil {
+			cur.next.prev = dst
+		}
+		cur.next = dst
+	}
+	delete(old.members, c)
+	dst.members[c] = struct{}{}
+	c.bucket = dst
+	if len(old.members) == 0 {
+		s.unlink(old)
+	}
+}
+
+func (s *SpaceSaving) unlink(b *ssBucket) {
+	if b.prev != nil {
+		b.prev.next = b.next
+	} else {
+		s.minBucket = b.next
+	}
+	if b.next != nil {
+		b.next.prev = b.prev
+	}
+}
+
+func (s *SpaceSaving) anyMinCounter() *ssCounter {
+	for c := range s.minBucket.members {
+		return c
+	}
+	return nil // unreachable when Len > 0
+}
+
+// Entry is one reported heavy hitter. Count overestimates the true count by
+// at most Err.
+type Entry struct {
+	Item  string
+	Count uint64
+	Err   uint64
+}
+
+// Top returns the k highest-count entries, ties broken by item for
+// determinism.
+func (s *SpaceSaving) Top(k int) []Entry {
+	all := make([]Entry, 0, len(s.counters))
+	for _, c := range s.counters {
+		all = append(all, Entry{Item: c.item, Count: c.count, Err: c.errVal})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Item < all[j].Item
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// Count returns the (over)estimate for an item and whether it is tracked.
+func (s *SpaceSaving) Count(item string) (uint64, bool) {
+	c, ok := s.counters[item]
+	if !ok {
+		return 0, false
+	}
+	return c.count, true
+}
+
+// Merge folds another summary into s using the standard pairwise-sum
+// algorithm: counts for common items add; items unique to o enter as new
+// arrivals carrying their counts. The result keeps s's capacity.
+func (s *SpaceSaving) Merge(o *SpaceSaving) {
+	if o == nil {
+		return
+	}
+	// Deterministic order: sorted by descending count so the strongest
+	// items survive capacity pressure.
+	for _, e := range o.Top(o.Len()) {
+		if c, ok := s.counters[e.Item]; ok {
+			c.errVal += e.Err
+			s.bump(c, e.Count)
+		} else if len(s.counters) < s.capacity {
+			c := &ssCounter{item: e.Item, errVal: e.Err}
+			s.counters[e.Item] = c
+			s.attach(c)
+			s.bump(c, e.Count)
+		} else {
+			// At capacity: treat the incoming entry as AddN of its count —
+			// evict the minimum counter, which the incoming item takes
+			// over, inheriting the evicted count as additional error.
+			victim := s.anyMinCounter()
+			delete(s.counters, victim.item)
+			victim.errVal = victim.count + e.Err
+			victim.item = e.Item
+			s.counters[e.Item] = victim
+			s.bump(victim, e.Count)
+		}
+	}
+}
+
+// TotalCount returns the sum of all tracked counts (≥ the number of
+// additions routed to tracked items).
+func (s *SpaceSaving) TotalCount() uint64 {
+	var t uint64
+	for _, c := range s.counters {
+		t += c.count
+	}
+	return t
+}

@@ -1,0 +1,237 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func close(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestRegIncBetaBoundaries(t *testing.T) {
+	if RegIncBeta(2, 3, 0) != 0 || RegIncBeta(2, 3, 1) != 1 {
+		t.Error("boundaries wrong")
+	}
+	// I_x(1,1) = x (uniform CDF).
+	for _, x := range []float64{0.1, 0.25, 0.5, 0.9} {
+		if !close(RegIncBeta(1, 1, x), x, 1e-10) {
+			t.Errorf("I_%g(1,1) = %g", x, RegIncBeta(1, 1, x))
+		}
+	}
+	// I_x(a,b) + I_{1-x}(b,a) = 1.
+	for _, x := range []float64{0.2, 0.7} {
+		if !close(RegIncBeta(2.5, 4, x)+RegIncBeta(4, 2.5, 1-x), 1, 1e-10) {
+			t.Errorf("symmetry broken at %g", x)
+		}
+	}
+}
+
+func TestTCDFKnownValues(t *testing.T) {
+	// t CDF with df=1 is Cauchy: F(t) = 1/2 + atan(t)/pi.
+	for _, tt := range []float64{-3, -1, 0, 0.5, 2, 10} {
+		want := 0.5 + math.Atan(tt)/math.Pi
+		if got := TCDF(tt, 1); !close(got, want, 1e-9) {
+			t.Errorf("TCDF(%g, 1) = %g, want %g", tt, got, want)
+		}
+	}
+	// df=2 has closed form F(t) = 1/2 + t / (2*sqrt(2+t^2)).
+	for _, tt := range []float64{-2, 0, 1, 5} {
+		want := 0.5 + tt/(2*math.Sqrt(2+tt*tt))
+		if got := TCDF(tt, 2); !close(got, want, 1e-9) {
+			t.Errorf("TCDF(%g, 2) = %g, want %g", tt, got, want)
+		}
+	}
+	if !math.IsNaN(TCDF(1, 0)) {
+		t.Error("TCDF with df=0 should be NaN")
+	}
+}
+
+func TestTQuantileTableValues(t *testing.T) {
+	// Classic t-table critical values, two-sided alpha=0.05 → p=0.975.
+	table := []struct {
+		df   float64
+		want float64
+	}{
+		{1, 12.706}, {2, 4.303}, {5, 2.571}, {10, 2.228},
+		{30, 2.042}, {100, 1.984}, {1000, 1.962},
+	}
+	for _, tc := range table {
+		got, err := TQuantile(0.975, tc.df)
+		if err != nil {
+			t.Fatalf("TQuantile(0.975, %g): %v", tc.df, err)
+		}
+		if !close(got, tc.want, 0.002) {
+			t.Errorf("t_{%g, 0.975} = %g, want %g", tc.df, got, tc.want)
+		}
+	}
+}
+
+func TestTQuantileRoundTripQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.01 + 0.98*rng.Float64()
+		df := float64(1 + rng.Intn(50))
+		q, err := TQuantile(p, df)
+		if err != nil {
+			return false
+		}
+		return close(TCDF(q, df), p, 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTQuantileEdges(t *testing.T) {
+	if q, err := TQuantile(0.5, 7); err != nil || q != 0 {
+		t.Errorf("median should be 0: %g, %v", q, err)
+	}
+	if _, err := TQuantile(0, 5); err == nil {
+		t.Error("p=0 should fail")
+	}
+	if _, err := TQuantile(1, 5); err == nil {
+		t.Error("p=1 should fail")
+	}
+	if _, err := TQuantile(0.9, 0); err == nil {
+		t.Error("df=0 should fail")
+	}
+	// Symmetry.
+	hi, _ := TQuantile(0.9, 6)
+	lo, _ := TQuantile(0.1, 6)
+	if !close(hi, -lo, 1e-9) {
+		t.Errorf("asymmetric quantiles: %g vs %g", hi, lo)
+	}
+}
+
+func TestNormQuantile(t *testing.T) {
+	table := map[float64]float64{
+		0.5: 0, 0.975: 1.959964, 0.995: 2.575829, 0.841344746: 1.0, 0.025: -1.959964,
+	}
+	for p, want := range table {
+		got, err := NormQuantile(p)
+		if err != nil || !close(got, want, 1e-5) {
+			t.Errorf("NormQuantile(%g) = %g, %v; want %g", p, got, err, want)
+		}
+	}
+	if _, err := NormQuantile(0); err == nil {
+		t.Error("p=0 should fail")
+	}
+	// Large-df t converges to normal.
+	tq, _ := TQuantile(0.975, 1e6)
+	nq, _ := NormQuantile(0.975)
+	if !close(tq, nq, 1e-3) {
+		t.Errorf("t(df=1e6) %g != normal %g", tq, nq)
+	}
+}
+
+func TestRunningMoments(t *testing.T) {
+	var r Running
+	if r.Mean() != 0 || r.Var() != 0 || r.N() != 0 {
+		t.Error("zero value not empty")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	for _, x := range xs {
+		r.Add(x)
+	}
+	if r.N() != 8 || !close(r.Mean(), 5, 1e-12) {
+		t.Errorf("mean = %g", r.Mean())
+	}
+	// Sample variance of this classic set: population var 4, sample var 32/7.
+	if !close(r.Var(), 32.0/7, 1e-12) {
+		t.Errorf("var = %g", r.Var())
+	}
+	if !close(r.Std(), math.Sqrt(32.0/7), 1e-12) {
+		t.Errorf("std = %g", r.Std())
+	}
+	if !close(r.Sum(), 40, 1e-12) {
+		t.Errorf("sum = %g", r.Sum())
+	}
+	m, v := MeanVar(xs)
+	if !close(m, 5, 1e-12) || !close(v, 32.0/7, 1e-12) {
+		t.Error("MeanVar disagrees with Running")
+	}
+}
+
+func TestRunningMergeQuick(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				return true // skip pathological inputs
+			}
+		}
+		var whole, a, b Running
+		cut := 0
+		if len(xs) > 0 {
+			cut = int(split) % (len(xs) + 1)
+		}
+		for i, x := range xs {
+			whole.Add(x)
+			if i < cut {
+				a.Add(x)
+			} else {
+				b.Add(x)
+			}
+		}
+		a.Merge(b)
+		scale := 1 + math.Abs(whole.Mean()) + whole.Var()
+		return a.N() == whole.N() &&
+			close(a.Mean(), whole.Mean(), 1e-9*scale) &&
+			close(a.Var(), whole.Var(), 1e-9*scale)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{15, 20, 35, 40, 50}
+	cases := map[float64]float64{
+		0: 15, 100: 50, 50: 35,
+		25: 20, // exact rank
+		5:  16, // interpolated: rank 0.2 between 15 and 20
+	}
+	for p, want := range cases {
+		if got := Percentile(xs, p); !close(got, want, 1e-9) {
+			t.Errorf("Percentile(%g) = %g, want %g", p, got, want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Error("empty percentile should be 0")
+	}
+	// Input not mutated.
+	if xs[0] != 15 || xs[4] != 50 {
+		t.Error("Percentile mutated input")
+	}
+}
+
+func TestRunningMergeEdges(t *testing.T) {
+	// Merge of/into empty accumulators.
+	var a, b Running
+	b.Add(3)
+	b.Add(5)
+	a.Merge(b) // into empty
+	if a.N() != 2 || !close(a.Mean(), 4, 1e-12) {
+		t.Errorf("merge into empty: n=%d mean=%g", a.N(), a.Mean())
+	}
+	var empty Running
+	a.Merge(empty) // merge of empty: no-op
+	if a.N() != 2 || !close(a.Mean(), 4, 1e-12) {
+		t.Errorf("merge of empty disturbed: n=%d mean=%g", a.N(), a.Mean())
+	}
+	// Non-trivial merge matches whole-stream accumulation.
+	var c, d, whole Running
+	for i := 0; i < 10; i++ {
+		x := float64(i * i)
+		whole.Add(x)
+		if i < 4 {
+			c.Add(x)
+		} else {
+			d.Add(x)
+		}
+	}
+	c.Merge(d)
+	if !close(c.Mean(), whole.Mean(), 1e-9) || !close(c.Var(), whole.Var(), 1e-9) {
+		t.Errorf("merge: mean %g/%g var %g/%g", c.Mean(), whole.Mean(), c.Var(), whole.Var())
+	}
+}

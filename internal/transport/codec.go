@@ -1,0 +1,447 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"scrub/internal/event"
+	"scrub/internal/expr"
+)
+
+// writer accumulates a payload.
+type writer struct {
+	buf []byte
+	err error
+}
+
+func (w *writer) u8(x uint8)   { w.buf = append(w.buf, x) }
+func (w *writer) u32(x uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, x) }
+func (w *writer) u64(x uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, x) }
+func (w *writer) i64(x int64)  { w.u64(uint64(x)) }
+func (w *writer) f64(x float64) {
+	w.u64(math.Float64bits(x))
+}
+func (w *writer) uvarint(x uint64) { w.buf = binary.AppendUvarint(w.buf, x) }
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+func (w *writer) strs(ss []string) {
+	w.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+func (w *writer) value(v event.Value) { w.buf = event.AppendValue(w.buf, v) }
+func (w *writer) node(n expr.Node) {
+	if w.err != nil {
+		return
+	}
+	if n == nil {
+		w.u8(0)
+		return
+	}
+	w.u8(1)
+	b, err := expr.AppendNode(w.buf, n)
+	if err != nil {
+		w.err = err
+		return
+	}
+	w.buf = b
+}
+func (w *writer) bool(b bool) {
+	if b {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// reader consumes a payload, accumulating the first error.
+type reader struct {
+	buf []byte
+	pos int
+	err error
+}
+
+func (r *reader) fail(msg string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("transport: decode: %s", msg)
+	}
+}
+
+func (r *reader) u8() uint8 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.buf) {
+		r.fail("short u8")
+		return 0
+	}
+	x := r.buf[r.pos]
+	r.pos++
+	return x
+}
+
+func (r *reader) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+4 > len(r.buf) {
+		r.fail("short u32")
+		return 0
+	}
+	x := binary.LittleEndian.Uint32(r.buf[r.pos:])
+	r.pos += 4
+	return x
+}
+
+func (r *reader) u64() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.buf) {
+		r.fail("short u64")
+		return 0
+	}
+	x := binary.LittleEndian.Uint64(r.buf[r.pos:])
+	r.pos += 8
+	return x
+}
+
+func (r *reader) i64() int64   { return int64(r.u64()) }
+func (r *reader) f64() float64 { return math.Float64frombits(r.u64()) }
+func (r *reader) boolv() bool  { return r.u8() == 1 }
+
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.pos += n
+	return x
+}
+
+func (r *reader) str() string {
+	ln := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if uint64(len(r.buf)-r.pos) < ln {
+		r.fail("short string")
+		return ""
+	}
+	s := string(r.buf[r.pos : r.pos+int(ln)])
+	r.pos += int(ln)
+	return s
+}
+
+func (r *reader) strs() []string {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("implausible string count")
+		return nil
+	}
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func (r *reader) value() event.Value {
+	if r.err != nil {
+		return event.Invalid
+	}
+	v, n, err := event.DecodeValue(r.buf[r.pos:])
+	if err != nil {
+		r.err = err
+		return event.Invalid
+	}
+	r.pos += n
+	return v
+}
+
+func (r *reader) node() expr.Node {
+	if r.err != nil {
+		return nil
+	}
+	present := r.u8()
+	if r.err != nil || present == 0 {
+		return nil
+	}
+	n, used, err := expr.DecodeNode(r.buf[r.pos:])
+	if err != nil {
+		r.err = err
+		return nil
+	}
+	r.pos += used
+	return n
+}
+
+func (r *reader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.pos != len(r.buf) {
+		return fmt.Errorf("transport: decode: %d trailing bytes", len(r.buf)-r.pos)
+	}
+	return nil
+}
+
+// Encode serializes a message payload (without framing) prefixed by its
+// type tag.
+func Encode(m Message) ([]byte, error) {
+	w := &writer{buf: make([]byte, 0, 128)}
+	w.u8(m.msgTag())
+	switch t := m.(type) {
+	case SubmitQuery:
+		w.str(t.Text)
+	case QueryAccepted:
+		w.u64(t.QueryID)
+		w.strs(t.Columns)
+		w.u32(t.NumHosts)
+		w.u32(t.SampledHosts)
+		w.i64(t.EndNanos)
+	case QueryError:
+		w.u64(t.QueryID)
+		w.str(t.Msg)
+	case ResultWindow:
+		w.u64(t.QueryID)
+		w.i64(t.WindowStart)
+		w.i64(t.WindowEnd)
+		w.strs(t.Columns)
+		w.uvarint(uint64(len(t.Rows)))
+		for _, row := range t.Rows {
+			w.uvarint(uint64(len(row)))
+			for _, v := range row {
+				w.value(v)
+			}
+		}
+		w.bool(t.Approx)
+		w.uvarint(uint64(len(t.ErrBounds)))
+		for _, e := range t.ErrBounds {
+			w.f64(e)
+		}
+		w.u64(t.Stats.TuplesIn)
+		w.u64(t.Stats.HostDrops)
+		w.u64(t.Stats.LateDrops)
+		w.u32(t.Stats.HostsReporting)
+	case QueryDone:
+		w.u64(t.QueryID)
+		w.u64(t.Stats.Windows)
+		w.u64(t.Stats.Rows)
+		w.u64(t.Stats.TuplesIn)
+		w.u64(t.Stats.HostDrops)
+		w.u64(t.Stats.LateDrops)
+	case CancelQuery:
+		w.u64(t.QueryID)
+	case RegisterHost:
+		w.str(t.HostID)
+		w.str(t.Service)
+		w.str(t.DC)
+	case HostQuery:
+		w.u64(t.QueryID)
+		w.str(t.EventType)
+		w.u8(t.TypeIdx)
+		w.node(t.Pred)
+		w.strs(t.Columns)
+		w.f64(t.SampleEvents)
+		w.i64(t.StartNanos)
+		w.i64(t.EndNanos)
+	case StopQuery:
+		w.u64(t.QueryID)
+	case DataHello:
+		w.str(t.HostID)
+	case TupleBatch:
+		w.u64(t.QueryID)
+		w.str(t.HostID)
+		w.u8(t.TypeIdx)
+		w.uvarint(uint64(len(t.Tuples)))
+		for _, tp := range t.Tuples {
+			w.u64(tp.RequestID)
+			w.i64(tp.TsNanos)
+			w.uvarint(uint64(len(tp.Values)))
+			for _, v := range tp.Values {
+				w.value(v)
+			}
+		}
+		w.u64(t.MatchedTotal)
+		w.u64(t.SampledTotal)
+		w.u64(t.QueueDrops)
+	case ListQueries:
+		// no payload
+	case QueryList:
+		w.uvarint(uint64(len(t.Queries)))
+		for _, q := range t.Queries {
+			w.u64(q.QueryID)
+			w.str(q.Text)
+			w.strs(q.Columns)
+			w.u32(q.Hosts)
+			w.i64(q.EndNanos)
+			w.u64(q.Stats.Windows)
+			w.u64(q.Stats.Rows)
+			w.u64(q.Stats.TuplesIn)
+			w.u64(q.Stats.HostDrops)
+			w.u64(q.Stats.LateDrops)
+		}
+	case Ping:
+		w.u64(t.Nonce)
+	case Pong:
+		w.u64(t.Nonce)
+	default:
+		return nil, fmt.Errorf("transport: encode: unknown message %T", m)
+	}
+	if w.err != nil {
+		return nil, w.err
+	}
+	return w.buf, nil
+}
+
+// Decode parses a tagged payload produced by Encode.
+func Decode(b []byte) (Message, error) {
+	if len(b) == 0 {
+		return nil, fmt.Errorf("transport: decode: empty payload")
+	}
+	r := &reader{buf: b, pos: 1}
+	var m Message
+	switch b[0] {
+	case tagSubmitQuery:
+		m = SubmitQuery{Text: r.str()}
+	case tagQueryAccepted:
+		m = QueryAccepted{
+			QueryID: r.u64(), Columns: r.strs(),
+			NumHosts: r.u32(), SampledHosts: r.u32(), EndNanos: r.i64(),
+		}
+	case tagQueryError:
+		m = QueryError{QueryID: r.u64(), Msg: r.str()}
+	case tagResultWindow:
+		rw := ResultWindow{
+			QueryID: r.u64(), WindowStart: r.i64(), WindowEnd: r.i64(),
+			Columns: r.strs(),
+		}
+		nRows := r.uvarint()
+		if nRows > uint64(len(b)) {
+			r.fail("implausible row count")
+		}
+		if r.err == nil {
+			rw.Rows = make([][]event.Value, 0, nRows)
+			for i := uint64(0); i < nRows && r.err == nil; i++ {
+				nv := r.uvarint()
+				if nv > uint64(len(b)) {
+					r.fail("implausible value count")
+					break
+				}
+				row := make([]event.Value, 0, nv)
+				for j := uint64(0); j < nv; j++ {
+					row = append(row, r.value())
+				}
+				rw.Rows = append(rw.Rows, row)
+			}
+		}
+		rw.Approx = r.boolv()
+		nb := r.uvarint()
+		if nb > uint64(len(b)) {
+			r.fail("implausible bound count")
+		}
+		if r.err == nil {
+			rw.ErrBounds = make([]float64, 0, nb)
+			for i := uint64(0); i < nb; i++ {
+				rw.ErrBounds = append(rw.ErrBounds, r.f64())
+			}
+		}
+		rw.Stats = WindowStats{
+			TuplesIn: r.u64(), HostDrops: r.u64(), LateDrops: r.u64(),
+			HostsReporting: r.u32(),
+		}
+		m = rw
+	case tagQueryDone:
+		m = QueryDone{
+			QueryID: r.u64(),
+			Stats: QueryStats{
+				Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
+				HostDrops: r.u64(), LateDrops: r.u64(),
+			},
+		}
+	case tagCancelQuery:
+		m = CancelQuery{QueryID: r.u64()}
+	case tagRegisterHost:
+		m = RegisterHost{HostID: r.str(), Service: r.str(), DC: r.str()}
+	case tagHostQuery:
+		m = HostQuery{
+			QueryID: r.u64(), EventType: r.str(), TypeIdx: r.u8(),
+			Pred: r.node(), Columns: r.strs(), SampleEvents: r.f64(),
+			StartNanos: r.i64(), EndNanos: r.i64(),
+		}
+	case tagStopQuery:
+		m = StopQuery{QueryID: r.u64()}
+	case tagDataHello:
+		m = DataHello{HostID: r.str()}
+	case tagTupleBatch:
+		tb := TupleBatch{QueryID: r.u64(), HostID: r.str(), TypeIdx: r.u8()}
+		n := r.uvarint()
+		if n > uint64(len(b)) {
+			r.fail("implausible tuple count")
+		}
+		if r.err == nil {
+			tb.Tuples = make([]Tuple, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				tp := Tuple{RequestID: r.u64(), TsNanos: r.i64()}
+				nv := r.uvarint()
+				if nv > uint64(len(b)) {
+					r.fail("implausible value count")
+					break
+				}
+				tp.Values = make([]event.Value, 0, nv)
+				for j := uint64(0); j < nv; j++ {
+					tp.Values = append(tp.Values, r.value())
+				}
+				tb.Tuples = append(tb.Tuples, tp)
+			}
+		}
+		tb.MatchedTotal = r.u64()
+		tb.SampledTotal = r.u64()
+		tb.QueueDrops = r.u64()
+		m = tb
+	case tagListQueries:
+		m = ListQueries{}
+	case tagQueryList:
+		ql := QueryList{}
+		n := r.uvarint()
+		if n > uint64(len(b)) {
+			r.fail("implausible query count")
+		}
+		if r.err == nil {
+			ql.Queries = make([]QuerySummary, 0, n)
+			for i := uint64(0); i < n && r.err == nil; i++ {
+				ql.Queries = append(ql.Queries, QuerySummary{
+					QueryID: r.u64(), Text: r.str(), Columns: r.strs(),
+					Hosts: r.u32(), EndNanos: r.i64(),
+					Stats: QueryStats{
+						Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
+						HostDrops: r.u64(), LateDrops: r.u64(),
+					},
+				})
+			}
+		}
+		m = ql
+	case tagPing:
+		m = Ping{Nonce: r.u64()}
+	case tagPong:
+		m = Pong{Nonce: r.u64()}
+	default:
+		return nil, fmt.Errorf("transport: decode: unknown tag %d", b[0])
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,132 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// MaxFrame bounds a single protocol frame. Batches larger than this are an
+// agent bug (the shipper bounds batch sizes well below it).
+const MaxFrame = 16 << 20
+
+// Conn is a framed, message-oriented connection. Send is safe for
+// concurrent use; Recv must be driven from one goroutine.
+type Conn struct {
+	nc   net.Conn
+	br   *bufio.Reader
+	wmu  sync.Mutex
+	bw   *bufio.Writer
+	once sync.Once
+}
+
+// NewConn wraps a net.Conn (TCP in production, net.Pipe in tests).
+func NewConn(nc net.Conn) *Conn {
+	return &Conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+}
+
+// Dial connects to a Scrub endpoint.
+func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	nc, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	return NewConn(nc), nil
+}
+
+// Send encodes, frames, and flushes one message.
+func (c *Conn) Send(m Message) error {
+	payload, err := Encode(m)
+	if err != nil {
+		return err
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("transport: frame too large: %d bytes (%s)", len(payload), Name(m))
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := c.bw.Write(payload); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}
+
+// Recv blocks for the next message.
+func (c *Conn) Recv() (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 || n > MaxFrame {
+		return nil, fmt.Errorf("transport: bad frame length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return nil, err
+	}
+	return Decode(payload)
+}
+
+// SetReadDeadline forwards to the underlying connection.
+func (c *Conn) SetReadDeadline(t time.Time) error { return c.nc.SetReadDeadline(t) }
+
+// RemoteAddr returns the peer address.
+func (c *Conn) RemoteAddr() net.Addr { return c.nc.RemoteAddr() }
+
+// Close shuts the connection down; safe to call multiple times.
+func (c *Conn) Close() error {
+	var err error
+	c.once.Do(func() { err = c.nc.Close() })
+	return err
+}
+
+// Listener accepts framed connections.
+type Listener struct {
+	nl net.Listener
+}
+
+// Listen opens a TCP listener. Pass "127.0.0.1:0" for an ephemeral test
+// port; Addr reports the bound address.
+func Listen(addr string) (*Listener, error) {
+	nl, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	return &Listener{nl: nl}, nil
+}
+
+// Accept blocks for the next connection.
+func (l *Listener) Accept() (*Conn, error) {
+	nc, err := l.nl.Accept()
+	if err != nil {
+		return nil, err
+	}
+	return NewConn(nc), nil
+}
+
+// Addr returns the bound address.
+func (l *Listener) Addr() string { return l.nl.Addr().String() }
+
+// Close stops accepting.
+func (l *Listener) Close() error { return l.nl.Close() }
+
+// Pipe returns an in-process connection pair for tests: messages written
+// to one end are received on the other.
+func Pipe() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}

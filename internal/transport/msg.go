@@ -1,0 +1,238 @@
+// Package transport defines Scrub's wire protocol: the messages exchanged
+// between troubleshooter clients, the query server, host agents, and
+// ScrubCentral, a compact binary codec for them, and length-prefixed
+// framing over net.Conn.
+//
+// Three conversations use this protocol:
+//
+//   - client ↔ query server: SubmitQuery / QueryAccepted / ResultWindow /
+//     QueryDone / QueryError / CancelQuery
+//   - host agent ↔ query server (control): RegisterHost, then the server
+//     pushes HostQuery / StopQuery
+//   - host agent → ScrubCentral (data): DataHello, then TupleBatch stream
+//
+// The query server and ScrubCentral share a process (the paper's dedicated
+// central facility), so no wire protocol exists between them.
+package transport
+
+import (
+	"fmt"
+
+	"scrub/internal/event"
+	"scrub/internal/expr"
+)
+
+// Message type tags.
+const (
+	tagSubmitQuery byte = iota + 1
+	tagQueryAccepted
+	tagQueryError
+	tagResultWindow
+	tagQueryDone
+	tagCancelQuery
+	tagRegisterHost
+	tagHostQuery
+	tagStopQuery
+	tagDataHello
+	tagTupleBatch
+	tagPing
+	tagPong
+	tagListQueries
+	tagQueryList
+)
+
+// Message is any protocol message.
+type Message interface{ msgTag() byte }
+
+// SubmitQuery carries query text from a client to the query server.
+type SubmitQuery struct {
+	Text string
+}
+
+// QueryAccepted acknowledges a submitted query.
+type QueryAccepted struct {
+	QueryID      uint64
+	Columns      []string // result column labels
+	NumHosts     uint32   // hosts matching the target spec
+	SampledHosts uint32   // hosts actually activated (after host sampling)
+	EndNanos     int64    // absolute end of the query span
+}
+
+// QueryError reports a rejected query or a mid-flight failure.
+type QueryError struct {
+	QueryID uint64 // 0 when the query was rejected before assignment
+	Msg     string
+}
+
+// WindowStats summarizes one emitted window's accounting, including the
+// accuracy losses the paper accepts by design (queue drops, late drops).
+type WindowStats struct {
+	TuplesIn       uint64 // tuples folded into this window
+	HostDrops      uint64 // host-side queue drops observed so far (cumulative)
+	LateDrops      uint64 // tuples rejected as late (cumulative)
+	HostsReporting uint32 // distinct hosts that contributed
+}
+
+// ResultWindow streams one closed window's result rows to the client.
+type ResultWindow struct {
+	QueryID     uint64
+	WindowStart int64
+	WindowEnd   int64
+	Columns     []string
+	Rows        [][]event.Value
+	// Approx is set when sampling scaled the results; ErrBounds then
+	// holds the ± bound per column (NaN for non-scalable columns).
+	Approx    bool
+	ErrBounds []float64
+	Stats     WindowStats
+}
+
+// QueryStats summarizes a finished query.
+type QueryStats struct {
+	Windows   uint64
+	Rows      uint64
+	TuplesIn  uint64
+	HostDrops uint64
+	LateDrops uint64
+}
+
+// QueryDone tells the client the query span ended.
+type QueryDone struct {
+	QueryID uint64
+	Stats   QueryStats
+}
+
+// CancelQuery asks the server to tear a query down before its span ends.
+type CancelQuery struct {
+	QueryID uint64
+}
+
+// RegisterHost announces an agent on its control connection.
+type RegisterHost struct {
+	HostID  string
+	Service string
+	DC      string
+}
+
+// HostQuery is the query object shipped to a host: only selection,
+// projection, and sampling — the operations the paper allows on hosts.
+type HostQuery struct {
+	QueryID      uint64
+	EventType    string
+	TypeIdx      uint8     // position of EventType in the query's FROM list
+	Pred         expr.Node // selection; nil ships every event
+	Columns      []string  // projection: user fields to ship
+	SampleEvents float64   // (0,1]
+	StartNanos   int64     // activate at
+	EndNanos     int64     // deactivate at (span expiry)
+}
+
+// StopQuery deactivates a query on a host (cancel or span end).
+type StopQuery struct {
+	QueryID uint64
+}
+
+// DataHello opens an agent's data connection to ScrubCentral.
+type DataHello struct {
+	HostID string
+}
+
+// Tuple is one projected event: system fields plus the projected column
+// values in HostQuery.Columns order.
+type Tuple struct {
+	RequestID uint64
+	TsNanos   int64
+	Values    []event.Value
+}
+
+// TupleBatch carries sampled, selected, projected tuples from a host to
+// ScrubCentral. The counters are cumulative per (query, host, type): they
+// let the estimator recover Mᵢ and mᵢ, and let results report drops.
+type TupleBatch struct {
+	QueryID      uint64
+	HostID       string
+	TypeIdx      uint8
+	Tuples       []Tuple
+	MatchedTotal uint64 // events matching selection (pre event-sampling)
+	SampledTotal uint64 // events shipped (post sampling, pre queue drops)
+	QueueDrops   uint64 // events lost to the bounded host queue
+}
+
+// ListQueries asks the server for its active queries (operational
+// visibility: the paper notes query load "can at times be considerable").
+type ListQueries struct{}
+
+// QuerySummary describes one active query.
+type QuerySummary struct {
+	QueryID  uint64
+	Text     string
+	Columns  []string
+	Hosts    uint32 // activated hosts
+	EndNanos int64
+	Stats    QueryStats
+}
+
+// QueryList answers ListQueries.
+type QueryList struct {
+	Queries []QuerySummary
+}
+
+// Ping/Pong keep long-lived control connections verified.
+type Ping struct{ Nonce uint64 }
+
+// Pong answers a Ping.
+type Pong struct{ Nonce uint64 }
+
+func (SubmitQuery) msgTag() byte   { return tagSubmitQuery }
+func (QueryAccepted) msgTag() byte { return tagQueryAccepted }
+func (QueryError) msgTag() byte    { return tagQueryError }
+func (ResultWindow) msgTag() byte  { return tagResultWindow }
+func (QueryDone) msgTag() byte     { return tagQueryDone }
+func (CancelQuery) msgTag() byte   { return tagCancelQuery }
+func (RegisterHost) msgTag() byte  { return tagRegisterHost }
+func (HostQuery) msgTag() byte     { return tagHostQuery }
+func (StopQuery) msgTag() byte     { return tagStopQuery }
+func (DataHello) msgTag() byte     { return tagDataHello }
+func (TupleBatch) msgTag() byte    { return tagTupleBatch }
+func (ListQueries) msgTag() byte   { return tagListQueries }
+func (QueryList) msgTag() byte     { return tagQueryList }
+func (Ping) msgTag() byte          { return tagPing }
+func (Pong) msgTag() byte          { return tagPong }
+
+// Name returns a human-readable message name for logs.
+func Name(m Message) string {
+	switch m.(type) {
+	case SubmitQuery:
+		return "SubmitQuery"
+	case QueryAccepted:
+		return "QueryAccepted"
+	case QueryError:
+		return "QueryError"
+	case ResultWindow:
+		return "ResultWindow"
+	case QueryDone:
+		return "QueryDone"
+	case CancelQuery:
+		return "CancelQuery"
+	case RegisterHost:
+		return "RegisterHost"
+	case HostQuery:
+		return "HostQuery"
+	case StopQuery:
+		return "StopQuery"
+	case DataHello:
+		return "DataHello"
+	case TupleBatch:
+		return "TupleBatch"
+	case ListQueries:
+		return "ListQueries"
+	case QueryList:
+		return "QueryList"
+	case Ping:
+		return "Ping"
+	case Pong:
+		return "Pong"
+	default:
+		return fmt.Sprintf("unknown(%T)", m)
+	}
+}

@@ -1,0 +1,353 @@
+package transport
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/expr"
+)
+
+func sampleMessages() []Message {
+	pred := expr.Binary{Op: expr.OpGt,
+		L: expr.FieldRef{Type: "bid", Name: "bid_price"},
+		R: expr.Lit{Val: event.Float(1.0)},
+	}
+	return []Message{
+		SubmitQuery{Text: "select count(*) from bid"},
+		QueryAccepted{QueryID: 7, Columns: []string{"user_id", "COUNT(*)"}, NumHosts: 100, SampledHosts: 10, EndNanos: 12345},
+		QueryError{QueryID: 7, Msg: "boom"},
+		QueryError{Msg: "rejected"},
+		ResultWindow{
+			QueryID: 7, WindowStart: 10, WindowEnd: 20,
+			Columns: []string{"user_id", "n"},
+			Rows: [][]event.Value{
+				{event.Int(42), event.Int(3)},
+				{event.Int(43), event.Int(1)},
+			},
+			Approx:    true,
+			ErrBounds: []float64{math.NaN(), 2.5},
+			Stats:     WindowStats{TuplesIn: 4, HostDrops: 1, LateDrops: 2, HostsReporting: 3},
+		},
+		ResultWindow{QueryID: 9, Columns: []string{"x"}}, // empty window
+		QueryDone{QueryID: 7, Stats: QueryStats{Windows: 2, Rows: 3, TuplesIn: 4, HostDrops: 1, LateDrops: 0}},
+		CancelQuery{QueryID: 7},
+		RegisterHost{HostID: "bid-sj-1", Service: "BidServers", DC: "DC1"},
+		HostQuery{
+			QueryID: 7, EventType: "bid", TypeIdx: 1, Pred: pred,
+			Columns: []string{"user_id", "bid_price"}, SampleEvents: 0.1,
+			StartNanos: 100, EndNanos: 200,
+		},
+		HostQuery{QueryID: 8, EventType: "click"}, // nil pred, no columns
+		StopQuery{QueryID: 7},
+		DataHello{HostID: "bid-sj-1"},
+		TupleBatch{
+			QueryID: 7, HostID: "bid-sj-1", TypeIdx: 0,
+			Tuples: []Tuple{
+				{RequestID: 1, TsNanos: 11, Values: []event.Value{event.Int(42), event.Float(1.5)}},
+				{RequestID: 2, TsNanos: 12, Values: []event.Value{event.Int(43), event.Invalid}},
+			},
+			MatchedTotal: 100, SampledTotal: 10, QueueDrops: 3,
+		},
+		TupleBatch{QueryID: 8, HostID: "h"}, // empty batch (counters only)
+		ListQueries{},
+		QueryList{Queries: []QuerySummary{
+			{QueryID: 7, Text: "select count(*) from bid", Columns: []string{"count(*)"},
+				Hosts: 3, EndNanos: 99, Stats: QueryStats{Windows: 1, Rows: 2, TuplesIn: 3}},
+			{QueryID: 8},
+		}},
+		QueryList{},
+		Ping{Nonce: 99},
+		Pong{Nonce: 99},
+	}
+}
+
+// msgEqual compares messages, treating NaN float slices as equal.
+func msgEqual(a, b Message) bool {
+	ra, ok1 := a.(ResultWindow)
+	rb, ok2 := b.(ResultWindow)
+	if ok1 && ok2 {
+		if len(ra.ErrBounds) != len(rb.ErrBounds) {
+			return false
+		}
+		for i := range ra.ErrBounds {
+			x, y := ra.ErrBounds[i], rb.ErrBounds[i]
+			if math.IsNaN(x) != math.IsNaN(y) {
+				return false
+			}
+			if !math.IsNaN(x) && x != y {
+				return false
+			}
+		}
+		ra.ErrBounds, rb.ErrBounds = nil, nil
+		return reflect.DeepEqual(ra, rb)
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", Name(m), err)
+		}
+		got, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("Decode(%s): %v", Name(m), err)
+		}
+		if !msgEqual(normalize(got), normalize(m)) {
+			t.Errorf("round trip %s:\n  in:  %#v\n  out: %#v", Name(m), m, got)
+		}
+	}
+}
+
+// normalize maps empty slices to nil so DeepEqual compares cleanly.
+func normalize(m Message) Message {
+	switch t := m.(type) {
+	case ResultWindow:
+		if len(t.Rows) == 0 {
+			t.Rows = nil
+		}
+		if len(t.Columns) == 0 {
+			t.Columns = nil
+		}
+		if len(t.ErrBounds) == 0 {
+			t.ErrBounds = nil
+		}
+		return t
+	case TupleBatch:
+		if len(t.Tuples) == 0 {
+			t.Tuples = nil
+		}
+		return t
+	case QueryAccepted:
+		if len(t.Columns) == 0 {
+			t.Columns = nil
+		}
+		return t
+	case HostQuery:
+		if len(t.Columns) == 0 {
+			t.Columns = nil
+		}
+		return t
+	case QueryList:
+		if len(t.Queries) == 0 {
+			t.Queries = nil
+		}
+		for i := range t.Queries {
+			if len(t.Queries[i].Columns) == 0 {
+				t.Queries[i].Columns = nil
+			}
+		}
+		return t
+	default:
+		return m
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); err == nil {
+		t.Error("empty payload should fail")
+	}
+	if _, err := Decode([]byte{200}); err == nil {
+		t.Error("unknown tag should fail")
+	}
+	// Truncations of every sample message must error, never panic.
+	for _, m := range sampleMessages() {
+		buf, err := Encode(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 1; i < len(buf); i++ {
+			if _, err := Decode(buf[:i]); err == nil {
+				t.Errorf("%s truncated at %d should fail", Name(m), i)
+			}
+		}
+		// Trailing garbage must be rejected too.
+		if _, err := Decode(append(append([]byte{}, buf...), 0xFF)); err == nil {
+			t.Errorf("%s with trailing byte should fail", Name(m))
+		}
+	}
+}
+
+func TestNames(t *testing.T) {
+	for _, m := range sampleMessages() {
+		if Name(m) == "" || Name(m)[0] == 'u' {
+			t.Errorf("Name(%T) = %q", m, Name(m))
+		}
+	}
+}
+
+func TestPipeSendRecv(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	var wg sync.WaitGroup
+	msgs := sampleMessages()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for _, m := range msgs {
+			if err := a.Send(m); err != nil {
+				t.Errorf("Send: %v", err)
+				return
+			}
+		}
+	}()
+	for _, want := range msgs {
+		got, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if !msgEqual(normalize(got), normalize(want)) {
+			t.Errorf("pipe mismatch: got %s want %s", Name(got), Name(want))
+		}
+	}
+	wg.Wait()
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	l, err := Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		c, err := l.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer c.Close()
+		// Echo everything back.
+		for {
+			m, err := c.Recv()
+			if err != nil {
+				done <- nil // client closed
+				return
+			}
+			if err := c.Send(m); err != nil {
+				done <- err
+				return
+			}
+		}
+	}()
+
+	c, err := Dial(l.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range sampleMessages() {
+		if err := c.Send(m); err != nil {
+			t.Fatalf("Send: %v", err)
+		}
+		got, err := c.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		if !msgEqual(normalize(got), normalize(m)) {
+			t.Errorf("tcp echo mismatch for %s", Name(m))
+		}
+	}
+	c.Close()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentSend(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	const per = 50
+	const senders = 4
+	var wg sync.WaitGroup
+	for s := 0; s < senders; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := a.Send(Ping{Nonce: uint64(s*1000 + i)}); err != nil {
+					t.Errorf("Send: %v", err)
+					return
+				}
+			}
+		}(s)
+	}
+	seen := make(map[uint64]bool)
+	for i := 0; i < per*senders; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatalf("Recv: %v", err)
+		}
+		p, ok := m.(Ping)
+		if !ok {
+			t.Fatalf("got %s", Name(m))
+		}
+		if seen[p.Nonce] {
+			t.Fatalf("duplicate nonce %d (frame interleaving?)", p.Nonce)
+		}
+		seen[p.Nonce] = true
+	}
+	wg.Wait()
+}
+
+func TestOversizeFrameRejected(t *testing.T) {
+	a, b := Pipe()
+	defer a.Close()
+	defer b.Close()
+	big := TupleBatch{QueryID: 1, HostID: string(make([]byte, MaxFrame+1))}
+	if err := a.Send(big); err == nil {
+		t.Error("oversize frame should be rejected at send")
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	a, b := Pipe()
+	b.Close()
+	if err := a.Close(); err != nil {
+		t.Errorf("first close: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func BenchmarkTupleBatchEncode(b *testing.B) {
+	tuples := make([]Tuple, 100)
+	for i := range tuples {
+		tuples[i] = Tuple{RequestID: uint64(i), TsNanos: int64(i),
+			Values: []event.Value{event.Int(int64(i)), event.Str("san jose"), event.Float(1.5)}}
+	}
+	batch := TupleBatch{QueryID: 1, HostID: "h1", Tuples: tuples, MatchedTotal: 100, SampledTotal: 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(batch); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTupleBatchDecode(b *testing.B) {
+	tuples := make([]Tuple, 100)
+	for i := range tuples {
+		tuples[i] = Tuple{RequestID: uint64(i), TsNanos: int64(i),
+			Values: []event.Value{event.Int(int64(i)), event.Str("san jose"), event.Float(1.5)}}
+	}
+	buf, err := Encode(TupleBatch{QueryID: 1, HostID: "h1", Tuples: tuples})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

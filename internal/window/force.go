@@ -1,0 +1,15 @@
+package window
+
+// ForceBefore closes every window whose end is at or before bound,
+// regardless of the event-time watermark. ScrubCentral drives this from a
+// wall-clock tick so that idle event streams still emit their windows: the
+// tuples are near-real-time, so processing time bounds event time closely.
+func (m *Manager[S]) ForceBefore(bound int64) []Closed[S] {
+	// The forced bound also acts as a watermark: events older than it are
+	// late by definition.
+	if !m.hasMark || bound > m.watermark-m.lateness {
+		m.watermark = bound + m.lateness
+		m.hasMark = true
+	}
+	return m.closeBefore(bound)
+}

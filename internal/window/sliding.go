@@ -1,0 +1,169 @@
+package window
+
+import (
+	"fmt"
+	"time"
+)
+
+// Sliding windows — the extension the paper explicitly leaves open
+// (§3.2: "currently, only tumbling windows are supported, but Scrub can
+// easily be extended to allow sliding windows"). A sliding window of
+// size S and slide s assigns each event to the ⌈S/s⌉ windows whose span
+// covers it; tumbling is the special case s == S.
+
+// SlidingAssigner maps event times to the set of covering window starts.
+type SlidingAssigner struct {
+	size  int64
+	slide int64
+}
+
+// NewSlidingAssigner validates and builds an assigner. The slide must be
+// positive, no larger than the size, and divide it evenly (so windows
+// align and results are deterministic).
+func NewSlidingAssigner(size, slide time.Duration) (SlidingAssigner, error) {
+	if size <= 0 {
+		return SlidingAssigner{}, fmt.Errorf("window: size must be positive, got %v", size)
+	}
+	if slide <= 0 || slide > size {
+		return SlidingAssigner{}, fmt.Errorf("window: slide must be in (0, size], got %v for size %v", slide, size)
+	}
+	if int64(size)%int64(slide) != 0 {
+		return SlidingAssigner{}, fmt.Errorf("window: slide %v must divide size %v", slide, size)
+	}
+	return SlidingAssigner{size: int64(size), slide: int64(slide)}, nil
+}
+
+// Size returns the window length.
+func (a SlidingAssigner) Size() time.Duration { return time.Duration(a.size) }
+
+// Slide returns the slide interval.
+func (a SlidingAssigner) Slide() time.Duration { return time.Duration(a.slide) }
+
+// Count returns how many windows cover each event.
+func (a SlidingAssigner) Count() int { return int(a.size / a.slide) }
+
+// Starts appends the start times of every window containing ts, in
+// ascending order.
+func (a SlidingAssigner) Starts(ts int64, dst []int64) []int64 {
+	// Latest window start covering ts.
+	latest := ts - (ts % a.slide)
+	if ts%a.slide < 0 { // floor for negative timestamps
+		latest -= a.slide
+	}
+	earliest := latest - a.size + a.slide
+	for s := earliest; s <= latest; s += a.slide {
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+// SlidingManager tracks open sliding windows of per-window state S,
+// closing them as the watermark advances. Semantics mirror Manager; each
+// event contributes to every covering window.
+type SlidingManager[S any] struct {
+	assigner  SlidingAssigner
+	lateness  int64
+	newState  func(start, end int64) S
+	open      map[int64]S
+	watermark int64
+	hasMark   bool
+	lateDrops uint64
+	scratch   []int64
+}
+
+// NewSlidingManager builds a manager; see NewManager for the lateness and
+// constructor semantics.
+func NewSlidingManager[S any](size, slide, lateness time.Duration, newState func(start, end int64) S) (*SlidingManager[S], error) {
+	a, err := NewSlidingAssigner(size, slide)
+	if err != nil {
+		return nil, err
+	}
+	if lateness < 0 {
+		return nil, fmt.Errorf("window: lateness must be non-negative, got %v", lateness)
+	}
+	if newState == nil {
+		return nil, fmt.Errorf("window: nil state constructor")
+	}
+	return &SlidingManager[S]{
+		assigner: a,
+		lateness: int64(lateness),
+		newState: newState,
+		open:     make(map[int64]S),
+	}, nil
+}
+
+// GetAll returns the states of every window covering ts, creating them as
+// needed. Windows already closed by the watermark are skipped and counted
+// once per event in LateDrops when every covering window is gone.
+func (m *SlidingManager[S]) GetAll(ts int64) []S {
+	m.scratch = m.assigner.Starts(ts, m.scratch[:0])
+	out := make([]S, 0, len(m.scratch))
+	for _, start := range m.scratch {
+		if s, ok := m.open[start]; ok {
+			out = append(out, s)
+			continue
+		}
+		if m.hasMark && start+m.assigner.size+m.lateness <= m.watermark {
+			continue // this window already closed
+		}
+		s := m.newState(start, start+m.assigner.size)
+		m.open[start] = s
+		out = append(out, s)
+	}
+	if len(out) == 0 {
+		m.lateDrops++
+	}
+	return out
+}
+
+// Observe advances the watermark and returns closed windows in start
+// order.
+func (m *SlidingManager[S]) Observe(ts int64) []Closed[S] {
+	if !m.hasMark || ts > m.watermark {
+		m.watermark = ts
+		m.hasMark = true
+	}
+	return m.closeBefore(m.watermark - m.lateness)
+}
+
+// ForceBefore closes every window ending at or before bound (wall-clock
+// tick path; see Manager.ForceBefore).
+func (m *SlidingManager[S]) ForceBefore(bound int64) []Closed[S] {
+	if !m.hasMark || bound > m.watermark-m.lateness {
+		m.watermark = bound + m.lateness
+		m.hasMark = true
+	}
+	return m.closeBefore(bound)
+}
+
+func (m *SlidingManager[S]) closeBefore(bound int64) []Closed[S] {
+	var out []Closed[S]
+	for start, s := range m.open {
+		end := start + m.assigner.size
+		if end <= bound {
+			out = append(out, Closed[S]{Start: start, End: end, State: s})
+			delete(m.open, start)
+		}
+	}
+	sortClosed(out)
+	return out
+}
+
+// Flush closes every open window.
+func (m *SlidingManager[S]) Flush() []Closed[S] {
+	return m.closeBefore(int64(1)<<62 - 1)
+}
+
+// Open returns the number of open windows.
+func (m *SlidingManager[S]) Open() int { return len(m.open) }
+
+// LateDrops counts events whose every covering window had closed.
+func (m *SlidingManager[S]) LateDrops() uint64 { return m.lateDrops }
+
+func sortClosed[S any](cs []Closed[S]) {
+	for i := 1; i < len(cs); i++ {
+		for j := i; j > 0 && cs[j].Start < cs[j-1].Start; j-- {
+			cs[j], cs[j-1] = cs[j-1], cs[j]
+		}
+	}
+}

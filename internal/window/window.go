@@ -1,0 +1,155 @@
+// Package window implements the tumbling event-time windows Scrub queries
+// aggregate over (paper §3.2: "currently, only tumbling windows are
+// supported, but Scrub can easily be extended to allow sliding windows" —
+// the Manager below is the extension point: a sliding variant would assign
+// each event to multiple windows in Get).
+//
+// Windows close on a watermark: the maximum event time seen, minus an
+// allowed lateness. Events arriving after their window closed are counted
+// and dropped — accuracy traded for bounded state, the paper's standing
+// rule.
+package window
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Assigner maps event times to tumbling-window start times.
+type Assigner struct {
+	size int64 // nanoseconds
+}
+
+// NewAssigner creates an assigner for the given window size.
+func NewAssigner(size time.Duration) (Assigner, error) {
+	if size <= 0 {
+		return Assigner{}, fmt.Errorf("window: size must be positive, got %v", size)
+	}
+	return Assigner{size: int64(size)}, nil
+}
+
+// Size returns the window length.
+func (a Assigner) Size() time.Duration { return time.Duration(a.size) }
+
+// Start returns the start of the window containing ts (unix nanos).
+// Negative timestamps floor correctly.
+func (a Assigner) Start(ts int64) int64 {
+	s := ts % a.size
+	if s < 0 {
+		s += a.size
+	}
+	return ts - s
+}
+
+// End returns the exclusive end of the window containing ts.
+func (a Assigner) End(ts int64) int64 { return a.Start(ts) + a.size }
+
+// Closed is a window the watermark has passed, carrying its accumulated
+// state.
+type Closed[S any] struct {
+	Start int64 // unix nanos, inclusive
+	End   int64 // unix nanos, exclusive
+	State S
+}
+
+// Manager tracks open windows of per-window state S, closing them as the
+// watermark advances. It is not safe for concurrent use; ScrubCentral
+// drives one Manager per query from its event loop.
+type Manager[S any] struct {
+	assigner  Assigner
+	lateness  int64
+	newState  func(start, end int64) S
+	open      map[int64]S
+	watermark int64 // max event time observed
+	hasMark   bool
+	lateDrops uint64
+}
+
+// NewManager creates a window manager. newState allocates the accumulator
+// for a window when its first event arrives; lateness is how far behind
+// the max observed event time an event may be and still be accepted.
+func NewManager[S any](size, lateness time.Duration, newState func(start, end int64) S) (*Manager[S], error) {
+	a, err := NewAssigner(size)
+	if err != nil {
+		return nil, err
+	}
+	if lateness < 0 {
+		return nil, fmt.Errorf("window: lateness must be non-negative, got %v", lateness)
+	}
+	if newState == nil {
+		return nil, fmt.Errorf("window: nil state constructor")
+	}
+	return &Manager[S]{
+		assigner: a,
+		lateness: int64(lateness),
+		newState: newState,
+		open:     make(map[int64]S),
+	}, nil
+}
+
+// Get returns the state for the window containing ts, creating it if
+// needed. ok is false when the event is too late (its window already
+// closed); such events are counted in LateDrops.
+func (m *Manager[S]) Get(ts int64) (state S, ok bool) {
+	start := m.assigner.Start(ts)
+	if s, exists := m.open[start]; exists {
+		return s, true
+	}
+	// A window can only be (re)opened if the watermark has not passed its
+	// end plus lateness.
+	if m.hasMark && start+int64(m.assigner.size)+m.lateness <= m.watermark {
+		m.lateDrops++
+		var zero S
+		return zero, false
+	}
+	s := m.newState(start, start+m.assigner.size)
+	m.open[start] = s
+	return s, true
+}
+
+// Observe advances the watermark with an event time and returns any
+// windows that closed as a result, ordered by start time. Call it after
+// Get for each event (or on a timer with the wall clock to flush idle
+// streams).
+func (m *Manager[S]) Observe(ts int64) []Closed[S] {
+	if !m.hasMark || ts > m.watermark {
+		m.watermark = ts
+		m.hasMark = true
+	}
+	return m.closeBefore(m.watermark - m.lateness)
+}
+
+// closeBefore pops windows whose end <= bound.
+func (m *Manager[S]) closeBefore(bound int64) []Closed[S] {
+	var out []Closed[S]
+	for start, s := range m.open {
+		end := start + m.assigner.size
+		if end <= bound {
+			out = append(out, Closed[S]{Start: start, End: end, State: s})
+			delete(m.open, start)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Flush closes every open window regardless of the watermark, in start
+// order. Used when a query's span expires.
+func (m *Manager[S]) Flush() []Closed[S] {
+	out := m.closeBefore(int64(1)<<62 - 1)
+	return out
+}
+
+// Open returns the number of currently open windows.
+func (m *Manager[S]) Open() int { return len(m.open) }
+
+// LateDrops returns how many events were rejected as too late.
+func (m *Manager[S]) LateDrops() uint64 { return m.lateDrops }
+
+// Watermark returns the current watermark and whether any event has been
+// observed.
+func (m *Manager[S]) Watermark() (int64, bool) { return m.watermark, m.hasMark }
+
+// Assigner returns the manager's window assigner.
+func (m *Manager[S]) Assigner() Assigner { return m.assigner }

@@ -1,0 +1,230 @@
+package window
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestAssignerStartEnd(t *testing.T) {
+	a, err := NewAssigner(10 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := int64(time.Second)
+	cases := []struct{ ts, start int64 }{
+		{0, 0},
+		{1, 0},
+		{9 * sec, 0},
+		{10 * sec, 10 * sec},
+		{19*sec + 999, 10 * sec},
+		{-1, -10 * sec},
+		{-10 * sec, -10 * sec},
+		{-11 * sec, -20 * sec},
+	}
+	for _, c := range cases {
+		if got := a.Start(c.ts); got != c.start {
+			t.Errorf("Start(%d) = %d, want %d", c.ts, got, c.start)
+		}
+		if got := a.End(c.ts); got != c.start+10*sec {
+			t.Errorf("End(%d) = %d", c.ts, got)
+		}
+	}
+	if a.Size() != 10*time.Second {
+		t.Error("Size wrong")
+	}
+}
+
+func TestAssignerValidation(t *testing.T) {
+	if _, err := NewAssigner(0); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewAssigner(-time.Second); err == nil {
+		t.Error("negative size should fail")
+	}
+}
+
+func TestAssignerInvariantQuick(t *testing.T) {
+	a, _ := NewAssigner(7 * time.Millisecond)
+	f := func(ts int64) bool {
+		start := a.Start(ts)
+		return start <= ts && ts < start+int64(a.Size()) && start%int64(a.Size()) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+type counter struct{ n int }
+
+func newManager(t *testing.T, lateness time.Duration) *Manager[*counter] {
+	t.Helper()
+	m, err := NewManager(10*time.Second, lateness, func(start, end int64) *counter { return &counter{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestManagerValidation(t *testing.T) {
+	mk := func(start, end int64) *counter { return &counter{} }
+	if _, err := NewManager(0, 0, mk); err == nil {
+		t.Error("zero size should fail")
+	}
+	if _, err := NewManager(time.Second, -1, mk); err == nil {
+		t.Error("negative lateness should fail")
+	}
+	if _, err := NewManager[*counter](time.Second, 0, nil); err == nil {
+		t.Error("nil constructor should fail")
+	}
+}
+
+func TestManagerBasicFlow(t *testing.T) {
+	m := newManager(t, 0)
+	sec := int64(time.Second)
+
+	s, ok := m.Get(1 * sec)
+	if !ok {
+		t.Fatal("first event rejected")
+	}
+	s.n++
+	if closed := m.Observe(1 * sec); len(closed) != 0 {
+		t.Errorf("premature close: %v", closed)
+	}
+
+	// Same window reuses state.
+	s2, _ := m.Get(9 * sec)
+	s2.n++
+	if s2 != s {
+		t.Error("same window should share state")
+	}
+	m.Observe(9 * sec)
+
+	// Event in the next window closes the first.
+	s3, _ := m.Get(12 * sec)
+	s3.n++
+	closed := m.Observe(12 * sec)
+	if len(closed) != 1 {
+		t.Fatalf("closed = %v", closed)
+	}
+	if closed[0].Start != 0 || closed[0].End != 10*sec || closed[0].State.n != 2 {
+		t.Errorf("closed[0] = %+v (n=%d)", closed[0], closed[0].State.n)
+	}
+	if m.Open() != 1 {
+		t.Errorf("open = %d", m.Open())
+	}
+}
+
+func TestManagerLateEvents(t *testing.T) {
+	m := newManager(t, 0)
+	sec := int64(time.Second)
+	m.Get(5 * sec)
+	m.Observe(5 * sec)
+	m.Get(25 * sec)
+	m.Observe(25 * sec) // closes [0,10s)
+
+	// An event for the closed window is rejected and counted.
+	if _, ok := m.Get(7 * sec); ok {
+		t.Error("late event accepted into closed window")
+	}
+	if m.LateDrops() != 1 {
+		t.Errorf("LateDrops = %d", m.LateDrops())
+	}
+}
+
+func TestManagerLatenessGrace(t *testing.T) {
+	m := newManager(t, 5*time.Second)
+	sec := int64(time.Second)
+	m.Get(5 * sec)
+	m.Observe(5 * sec)
+
+	// Watermark 12s: window [0,10s) not closed yet (needs 10s+5s).
+	m.Get(12 * sec)
+	if closed := m.Observe(12 * sec); len(closed) != 0 {
+		t.Errorf("closed too early: %v", closed)
+	}
+	// Late event within the grace period is accepted.
+	if _, ok := m.Get(8 * sec); !ok {
+		t.Error("in-grace late event rejected")
+	}
+	// Watermark 15s closes [0,10s).
+	closed := m.Observe(15 * sec)
+	if len(closed) != 1 || closed[0].Start != 0 {
+		t.Errorf("closed = %v", closed)
+	}
+}
+
+func TestManagerWatermarkMonotonic(t *testing.T) {
+	m := newManager(t, 0)
+	sec := int64(time.Second)
+	m.Observe(20 * sec)
+	m.Observe(5 * sec) // out-of-order observation must not regress
+	if w, ok := m.Watermark(); !ok || w != 20*sec {
+		t.Errorf("watermark = %d, %v", w, ok)
+	}
+}
+
+func TestManagerMultipleWindowsCloseInOrder(t *testing.T) {
+	m := newManager(t, 0)
+	sec := int64(time.Second)
+	for _, ts := range []int64{5, 15, 25, 35} {
+		s, ok := m.Get(ts * sec)
+		if !ok {
+			t.Fatalf("event at %ds rejected", ts)
+		}
+		s.n++
+	}
+	closed := m.Observe(100 * sec)
+	if len(closed) != 4 {
+		t.Fatalf("closed %d windows", len(closed))
+	}
+	for i := 1; i < len(closed); i++ {
+		if closed[i].Start <= closed[i-1].Start {
+			t.Error("closed windows out of order")
+		}
+	}
+}
+
+func TestManagerFlush(t *testing.T) {
+	m := newManager(t, 0)
+	sec := int64(time.Second)
+	s, _ := m.Get(5 * sec)
+	s.n = 42
+	m.Get(15 * sec)
+	closed := m.Flush()
+	if len(closed) != 2 || m.Open() != 0 {
+		t.Fatalf("Flush closed %d, open %d", len(closed), m.Open())
+	}
+	if closed[0].State.n != 42 {
+		t.Error("flush lost state")
+	}
+	// Flush of empty manager.
+	if closed := m.Flush(); len(closed) != 0 {
+		t.Errorf("second flush = %v", closed)
+	}
+}
+
+func TestManagerNoEventsNoWatermark(t *testing.T) {
+	m := newManager(t, 0)
+	if _, ok := m.Watermark(); ok {
+		t.Error("empty manager should have no watermark")
+	}
+	// Get before any Observe works (no watermark to compare against).
+	if _, ok := m.Get(-1000); !ok {
+		t.Error("first Get should always succeed")
+	}
+}
+
+func BenchmarkManagerGetObserve(b *testing.B) {
+	m, _ := NewManager(10*time.Second, 0, func(start, end int64) *counter { return &counter{} })
+	b.ReportAllocs()
+	ts := int64(0)
+	for i := 0; i < b.N; i++ {
+		ts += int64(time.Millisecond)
+		s, ok := m.Get(ts)
+		if ok {
+			s.n++
+		}
+		m.Observe(ts)
+	}
+}
