@@ -1,0 +1,26 @@
+GO ?= go
+
+.PHONY: build test race vet ci bench bench-p1
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+ci:
+	./scripts/ci.sh
+
+# Full evaluation sweep (writes BENCH_P1.json alongside the tables).
+bench:
+	$(GO) run ./cmd/benchrunner
+
+# Host-overhead sweep only: the hot-path perf gate tracked across PRs.
+bench-p1:
+	$(GO) run ./cmd/benchrunner -only P1

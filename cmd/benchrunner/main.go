@@ -5,10 +5,15 @@
 //
 // Usage:
 //
-//	benchrunner [-only E1,P3,...] [-quick] [-seed N]
+//	benchrunner [-only E1,P3,...] [-quick] [-seed N] [-p1json FILE]
+//
+// When P1 runs, its sweep is also written as machine-readable JSON
+// (default BENCH_P1.json) so the host-overhead trajectory is trackable
+// across PRs.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -23,10 +28,14 @@ type runner struct {
 	run func(quick bool, seed int64) (*experiments.Table, error)
 }
 
+// p1JSONPath receives the P1 sweep as JSON; empty disables.
+var p1JSONPath string
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,P3); empty runs all")
 	quick := flag.Bool("quick", false, "smaller configurations for a fast pass")
 	seed := flag.Int64("seed", 0, "override experiment seeds (0 keeps per-experiment defaults)")
+	flag.StringVar(&p1JSONPath, "p1json", "BENCH_P1.json", "file for the machine-readable P1 sweep (ns/request per query count); empty disables")
 	flag.Parse()
 
 	runners := []runner{
@@ -158,7 +167,20 @@ func runP1(quick bool, seed int64) (*experiments.Table, error) {
 	if err != nil {
 		return nil, err
 	}
+	if p1JSONPath != "" {
+		if err := writeP1JSON(p1JSONPath, res); err != nil {
+			return nil, err
+		}
+	}
 	return res.Table(), nil
+}
+
+func writeP1JSON(path string, res *experiments.P1Result) error {
+	b, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
 }
 
 func runP2(quick bool, seed int64) (*experiments.Table, error) {

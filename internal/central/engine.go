@@ -58,6 +58,10 @@ type queryState struct {
 	lastTs   map[hostTypeKey]int64
 	stats    transport.QueryStats
 	overflow uint64 // raw-row + join-pending drops
+	// scratchKey is the reused group-key buffer for accumulate (engine
+	// lock held throughout a batch, so one buffer per query suffices);
+	// only a tuple that opens a new group copies it.
+	scratchKey []event.Value
 }
 
 // watermark returns the min of per-stream max event times, and false when
@@ -238,7 +242,14 @@ func (e *Engine) processTuple(qs *queryState, ws *winState, host string, typeIdx
 		qs.overflow++
 		return
 	}
-	cell.sides[typeIdx] = append(cell.sides[typeIdx], *t)
+	// The batch's Values arrays live in host-agent chunk memory that is
+	// recycled once SendBatch returns (see host.Sink); a tuple retained
+	// past this call must own its values.
+	kept := *t
+	if len(t.Values) > 0 {
+		kept.Values = append([]event.Value(nil), t.Values...)
+	}
+	cell.sides[typeIdx] = append(cell.sides[typeIdx], kept)
 	ws.pendingCount++
 }
 
@@ -259,7 +270,10 @@ func (e *Engine) accumulate(qs *queryState, ws *winState, row expr.Row, host str
 		return
 	}
 
-	keyVals := make([]event.Value, len(qs.comp.groupEvals))
+	if cap(qs.scratchKey) < len(qs.comp.groupEvals) {
+		qs.scratchKey = make([]event.Value, len(qs.comp.groupEvals))
+	}
+	keyVals := qs.scratchKey[:len(qs.comp.groupEvals)]
 	for i, ev := range qs.comp.groupEvals {
 		keyVals[i] = ev(row)
 	}
@@ -270,7 +284,7 @@ func (e *Engine) accumulate(qs *queryState, ws *winState, row expr.Row, host str
 		if err != nil {
 			return // validated at StartQuery; unreachable
 		}
-		g = &group{keyVals: keyVals, aggs: aggs}
+		g = &group{keyVals: append([]event.Value(nil), keyVals...), aggs: aggs}
 		ws.groups[key] = g
 	}
 	for i, ag := range g.aggs {

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"scrub/internal/adplatform"
@@ -17,17 +18,17 @@ import (
 // Scrub queries; the per-request processing cost is compared with the
 // zero-query baseline.
 type P1Config struct {
-	Requests   int   // requests per measurement; default 30000
-	LineItems  int   // default 150
-	QuerySweep []int // concurrent query counts; default {0,1,2,4,8,16,32}
-	Seed       int64
+	Requests   int   `json:"requests"`    // requests per measurement; default 30000
+	LineItems  int   `json:"line_items"`  // default 150
+	QuerySweep []int `json:"query_sweep"` // concurrent query counts; default {0,1,2,4,8,16,32}
+	Seed       int64 `json:"seed"`
 	// ReferenceRequestNs is the production request budget the paper's
 	// percentages are relative to: Turn's whole bid transaction completes
 	// "in under 20 milliseconds" (§7). The simulator's request costs ~10µs
 	// (no ML scoring, no real network), which inflates relative overhead
 	// ~1000×; the absolute added ns/request is the transferable number.
 	// Default 10ms.
-	ReferenceRequestNs float64
+	ReferenceRequestNs float64 `json:"reference_request_ns"`
 }
 
 func (c *P1Config) fillDefaults() {
@@ -50,19 +51,21 @@ func (c *P1Config) fillDefaults() {
 
 // P1Point is one sweep measurement.
 type P1Point struct {
-	Queries     int
-	NsPerReq    float64
-	AddedNs     float64 // absolute Scrub cost per request vs baseline
-	OverheadPct float64 // vs the (simulated) 0-query baseline
+	Queries     int     `json:"queries"`
+	NsPerReq    float64 `json:"ns_per_request"`
+	AddedNs     float64 `json:"added_ns"`      // absolute Scrub cost per request vs baseline
+	OverheadPct float64 `json:"overhead_pct"`  // vs the (simulated) 0-query baseline
 	// SLOPct is AddedNs relative to the production request budget —
 	// the number comparable with the paper's ≤2.5%.
-	SLOPct float64
+	SLOPct float64 `json:"slo_pct"`
 }
 
-// P1Result carries the sweep.
+// P1Result carries the sweep. The JSON form is what cmd/benchrunner
+// writes to BENCH_P1.json so the perf trajectory is machine-trackable
+// across PRs.
 type P1Result struct {
-	Config P1Config
-	Points []P1Point
+	Config P1Config  `json:"config"`
+	Points []P1Point `json:"points"`
 }
 
 // queryTemplates are the shapes troubleshooters run concurrently; the
@@ -97,9 +100,15 @@ func newOverheadPlatform(cfg P1Config) (*adplatform.Platform, error) {
 	// The sink serializes every batch (the real wire cost stays on the
 	// host) and discards it: ScrubCentral is a dedicated remote facility
 	// in the paper's deployment, so its CPU must not be charged to the
-	// application host under measurement.
+	// application host under measurement. Encode buffers are pooled
+	// (several agents share this sink) so the sink itself adds no
+	// steady-state allocation to the measured path.
+	encPool := sync.Pool{New: func() any { return new([]byte) }}
 	shipAndDiscard := host.SinkFunc(func(b transport.TupleBatch) error {
-		_, err := transport.Encode(b)
+		bp := encPool.Get().(*[]byte)
+		out, err := transport.AppendEncode((*bp)[:0], b)
+		*bp = out[:0]
+		encPool.Put(bp)
 		return err
 	})
 	return adplatform.New(adplatform.Config{

@@ -11,6 +11,14 @@
 //     tuples are dropped and counted. Accuracy is traded for impact.
 //   - With no active queries, Log is one atomic pointer load and a map
 //     lookup.
+//   - Log makes no steady-state heap allocations. Projected tuples are
+//     appended into per-query chunk buffers backed by a sync.Pool whose
+//     flat value arrays are recycled after shipment, and only a full
+//     chunk (not every tuple) crosses a channel to the shipper, so the
+//     synchronization cost is amortized ~BatchSize×.
+//   - Event sampling is amortized too: instead of drawing RNG per event,
+//     a geometric skip count is drawn per *kept* event, so an unsampled
+//     event costs one atomic decrement.
 //   - No joins, group-bys, or aggregations ever run here — those belong
 //     to ScrubCentral. Selection and projection run on the host only
 //     because they shrink what must be shipped.
@@ -18,6 +26,7 @@ package host
 
 import (
 	"fmt"
+	"hash/fnv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -31,6 +40,13 @@ import (
 // Sink receives tuple batches bound for ScrubCentral. Implementations:
 // a transport connection (production) or a direct engine handle (tests,
 // single-process clusters).
+//
+// Ownership: the batch — including the Tuples slice and every tuple's
+// Values backing array — is only valid for the duration of the call. The
+// agent recycles the memory as soon as SendBatch returns, so an
+// implementation that retains tuples past the call must copy them.
+// Encoding sinks (the wire, serialize-and-discard benchmarks) copy by
+// construction; the central engine copies the tuples it keeps.
 type Sink interface {
 	SendBatch(transport.TupleBatch) error
 }
@@ -49,13 +65,15 @@ type Config struct {
 	Catalog *event.Catalog
 	Sink    Sink
 
-	// QueueSize bounds the pending-tuple queue shared by all queries on
-	// this host. Default 8192. When full, Log drops (never blocks).
+	// QueueSize bounds (in tuples) the pending work shared by all queries
+	// on this host; it is rounded to whole chunks of BatchSize tuples.
+	// Default 8192. When full, Log drops (never blocks).
 	QueueSize int
-	// BatchSize flushes a per-query batch when it reaches this many
-	// tuples. Default 256.
+	// BatchSize is the chunk capacity: Log appends tuples into a
+	// per-query chunk and the shipper sends one TupleBatch per full
+	// chunk. Default 256.
 	BatchSize int
-	// FlushInterval flushes pending batches at least this often.
+	// FlushInterval flushes partial chunks at least this often.
 	// Default 100ms.
 	FlushInterval time.Duration
 	// Clock substitutes time.Now for tests and simulations.
@@ -101,24 +119,67 @@ type queryKey struct {
 // activeQuery is one installed query object, pre-compiled for the hot
 // path.
 type activeQuery struct {
-	hq      transport.HostQuery
-	pred    func(expr.Row) bool // nil: match everything
-	colIdx  []int               // schema field indices to project
-	sampler *sampling.EventSampler
+	hq     transport.HostQuery
+	pred   func(expr.Row) bool // nil: match everything
+	colIdx []int               // schema field indices to project
+	width  int                 // len(colIdx), the projected tuple width
+	// Span bounds mirrored out of hq so the per-event gate reads flat
+	// fields adjacent to the rest of the hot state.
+	startNs, endNs int64
+
+	// Event sampling, amortized: skip counts down to the next kept event;
+	// an unsampled event is one atomic decrement. sampleAll short-circuits
+	// the common rate-1 case. sampler re-draws are guarded by mu (the
+	// kept event takes that lock anyway to append its tuple).
+	sampleAll bool
+	skip      atomic.Int64
+	sampler   *sampling.GeometricSampler
+
+	mu  sync.Mutex // guards cur and sampler
+	cur *chunk     // partially filled chunk, nil when none
 
 	matched atomic.Uint64 // Mᵢ: events passing selection
-	sampled atomic.Uint64 // mᵢ: events surviving event sampling
+	// sampled is mᵢ: events surviving event sampling. Maintained only
+	// when sampling is active — at rate 1 every matched event is sampled,
+	// so sendBatch reports mᵢ = Mᵢ without a second per-event atomic.
+	sampled atomic.Uint64
 	drops   atomic.Uint64 // queue-full drops
-	// countersDirty marks that totals changed since the last ship, so
-	// counter-only batches keep the estimator fresh even when sampling
-	// drops every tuple.
+	// countersDirty marks that totals changed since the last successful
+	// ship, so counter-only batches keep the estimator fresh even when
+	// sampling drops every tuple. The flag is cleared before a send's
+	// totals are loaded and re-armed on sink error, so a bump is either
+	// included in a successful batch or leaves the flag set — never
+	// silently skipped.
 	countersDirty atomic.Bool
 }
 
-// queued is one tuple awaiting shipment.
-type queued struct {
-	q     *activeQuery
-	tuple transport.Tuple
+// chunk is a block of pending tuples for one query. tuples has BatchSize
+// capacity; vals is the flat backing array the tuples' Values slices are
+// carved from, so filling a chunk allocates nothing.
+type chunk struct {
+	q      *activeQuery
+	n      int
+	tuples []transport.Tuple
+	vals   []event.Value
+}
+
+// typeQueries is the per-event-type entry of the immutable dispatch
+// snapshot, pre-split at rebuild time so Log pays span comparisons only
+// for queries that actually carry a span:
+//
+//   - always: no span bounds — zero per-event comparisons.
+//   - gated: span-bounded; a single ts >= minStart comparison skips the
+//     whole list while every spanned query is still pending. Expired
+//     queries are removed by PruneExpired (the shipper ticks it), after
+//     which they cost nothing.
+//
+// The split is by query shape, not wall clock, because event timestamps
+// may run on virtual time in simulations — classifying by time.Now would
+// drop in-span virtual-time events.
+type typeQueries struct {
+	always   []*activeQuery
+	gated    []*activeQuery
+	minStart int64
 }
 
 // Stats is a snapshot of agent-level accounting.
@@ -137,15 +198,20 @@ type Agent struct {
 
 	// byType is an immutable snapshot map, swapped wholesale on query
 	// start/stop. Log only ever loads it — no locks on the hot path.
-	byType atomic.Pointer[map[string][]*activeQuery]
+	byType atomic.Pointer[map[string]*typeQueries]
 
 	mu      sync.Mutex // guards mutations of the query set
 	queries map[queryKey]*activeQuery
 
-	queue  chan queued
-	done   chan struct{}
-	closed sync.Once
-	wg     sync.WaitGroup
+	chunkPool sync.Pool
+	chunks    chan *chunk
+	flushReq  chan chan struct{}
+	done      chan struct{}
+	closed    sync.Once
+	wg        sync.WaitGroup
+
+	// shipperScratch is reused across flush cycles; shipper-only.
+	shipperScratch []*activeQuery
 
 	logged     atomic.Uint64
 	matched    atomic.Uint64
@@ -160,13 +226,18 @@ func New(cfg Config) (*Agent, error) {
 	if err := cfg.fillDefaults(); err != nil {
 		return nil, err
 	}
-	a := &Agent{
-		cfg:     cfg,
-		queries: make(map[queryKey]*activeQuery),
-		queue:   make(chan queued, cfg.QueueSize),
-		done:    make(chan struct{}),
+	slots := cfg.QueueSize / cfg.BatchSize
+	if slots < 2 {
+		slots = 2
 	}
-	empty := make(map[string][]*activeQuery)
+	a := &Agent{
+		cfg:      cfg,
+		queries:  make(map[queryKey]*activeQuery),
+		chunks:   make(chan *chunk, slots),
+		flushReq: make(chan chan struct{}),
+		done:     make(chan struct{}),
+	}
+	empty := make(map[string]*typeQueries)
 	a.byType.Store(&empty)
 	a.wg.Add(1)
 	go a.shipper()
@@ -194,7 +265,7 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 	if !ok {
 		return fmt.Errorf("host: unknown event type %q", hq.EventType)
 	}
-	aq := &activeQuery{hq: hq}
+	aq := &activeQuery{hq: hq, startNs: hq.StartNanos, endNs: hq.EndNanos}
 	if hq.Pred != nil {
 		checked, kind, err := expr.Check(hq.Pred, expr.SchemaResolver{Schemas: []*event.Schema{schema}})
 		if err != nil {
@@ -217,17 +288,22 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 		}
 		aq.colIdx[i] = idx
 	}
+	aq.width = len(aq.colIdx)
 	rate := hq.SampleEvents
 	if rate <= 0 || rate > 1 {
 		rate = 1
 	}
 	// Seed ties the sample to (query, host) so re-runs are reproducible
-	// but hosts sample independently.
-	seed := hq.QueryID*1000003 + uint64(len(a.cfg.HostID))*97
-	for _, c := range a.cfg.HostID {
-		seed = seed*131 + uint64(c)
+	// but hosts sample independently. FNV-1a over the full HostID keeps
+	// anagram host ids (h-ab vs h-ba) uncorrelated.
+	h := fnv.New64a()
+	h.Write([]byte(a.cfg.HostID))
+	seed := hq.QueryID*1000003 ^ h.Sum64()
+	aq.sampleAll = rate >= 1
+	aq.sampler = sampling.NewGeometricSampler(rate, seed)
+	if !aq.sampleAll {
+		aq.skip.Store(aq.sampler.NextSkip())
 	}
-	aq.sampler = sampling.NewEventSampler(rate, seed)
 
 	key := queryKey{id: hq.QueryID, typeIdx: hq.TypeIdx}
 	a.mu.Lock()
@@ -242,19 +318,23 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 
 // Stop removes a query's objects (all event types); unknown ids are a
 // no-op — stop is idempotent because span expiry and explicit cancel can
-// race.
+// race. A removed query's partial chunk is pushed to the shipper so stop
+// does not lose sampled tuples.
 func (a *Agent) Stop(queryID uint64) {
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	removed := false
-	for key := range a.queries {
+	var removed []*activeQuery
+	for key, aq := range a.queries {
 		if key.id == queryID {
 			delete(a.queries, key)
-			removed = true
+			removed = append(removed, aq)
 		}
 	}
-	if removed {
+	if len(removed) > 0 {
 		a.rebuildLocked()
+	}
+	a.mu.Unlock()
+	for _, aq := range removed {
+		a.salvage(aq)
 	}
 }
 
@@ -280,72 +360,74 @@ func (a *Agent) ActiveQueries() []uint64 {
 func (a *Agent) PruneExpired(now time.Time) int {
 	nowN := now.UnixNano()
 	a.mu.Lock()
-	defer a.mu.Unlock()
-	n := 0
+	var removed []*activeQuery
 	for key, aq := range a.queries {
 		if aq.hq.EndNanos != 0 && nowN >= aq.hq.EndNanos {
 			delete(a.queries, key)
-			n++
+			removed = append(removed, aq)
 		}
 	}
-	if n > 0 {
+	if len(removed) > 0 {
 		a.rebuildLocked()
 	}
-	return n
+	a.mu.Unlock()
+	for _, aq := range removed {
+		a.salvage(aq)
+	}
+	return len(removed)
 }
 
-// rebuildLocked swaps in a new immutable type→queries snapshot.
+// rebuildLocked swaps in a new immutable type→queries snapshot,
+// pre-split into span-free and span-gated lists (see typeQueries).
 func (a *Agent) rebuildLocked() {
-	m := make(map[string][]*activeQuery, len(a.queries))
+	m := make(map[string]*typeQueries, len(a.queries))
 	for _, aq := range a.queries {
-		m[aq.hq.EventType] = append(m[aq.hq.EventType], aq)
+		tq := m[aq.hq.EventType]
+		if tq == nil {
+			tq = &typeQueries{}
+			m[aq.hq.EventType] = tq
+		}
+		if aq.hq.StartNanos == 0 && aq.hq.EndNanos == 0 {
+			tq.always = append(tq.always, aq)
+		} else {
+			if len(tq.gated) == 0 || aq.hq.StartNanos < tq.minStart {
+				tq.minStart = aq.hq.StartNanos
+			}
+			tq.gated = append(tq.gated, aq)
+		}
 	}
 	a.byType.Store(&m)
 }
 
 // Log offers one event to every active query. This is the application hot
-// path: selection → Mᵢ count → sampling → projection → non-blocking
-// enqueue. It never blocks and never returns an error to the caller; all
-// losses are counted.
+// path: selection → Mᵢ count → sampling → projection → chunk append. It
+// never blocks, never returns an error to the caller, and makes no
+// steady-state heap allocations; all losses are counted.
 func (a *Agent) Log(ev *event.Event) {
 	a.logged.Add(1)
-	byType := *a.byType.Load()
-	qs := byType[ev.Schema.Name()]
-	if len(qs) == 0 {
+	tq := (*a.byType.Load())[ev.Schema.Name()]
+	if tq == nil {
 		return
 	}
 	ts := ev.TimeNanos
-	var row expr.EventRow
-	row.Event = ev
+	row := expr.EventRow{Event: ev}
 	anyMatch := false
-	for _, aq := range qs {
-		if aq.hq.StartNanos != 0 && ts < aq.hq.StartNanos {
-			continue
+	for _, aq := range tq.always {
+		if a.offer(aq, row, ev, ts) {
+			anyMatch = true
 		}
-		if aq.hq.EndNanos != 0 && ts >= aq.hq.EndNanos {
-			continue
-		}
-		if aq.pred != nil && !aq.pred(row) {
-			continue
-		}
-		aq.matched.Add(1)
-		aq.countersDirty.Store(true)
-		anyMatch = true
-		if !aq.sampler.Keep() {
-			continue
-		}
-		aq.sampled.Add(1)
-		vals := make([]event.Value, len(aq.colIdx))
-		for i, idx := range aq.colIdx {
-			vals[i] = ev.At(idx)
-		}
-		select {
-		case a.queue <- queued{q: aq, tuple: transport.Tuple{
-			RequestID: ev.RequestID, TsNanos: ts, Values: vals,
-		}}:
-		default:
-			aq.drops.Add(1)
-			a.queueDrops.Add(1)
+	}
+	if len(tq.gated) > 0 && ts >= tq.minStart {
+		for _, aq := range tq.gated {
+			if ts < aq.startNs {
+				continue
+			}
+			if aq.endNs != 0 && ts >= aq.endNs {
+				continue
+			}
+			if a.offer(aq, row, ev, ts) {
+				anyMatch = true
+			}
 		}
 	}
 	if anyMatch {
@@ -353,93 +435,242 @@ func (a *Agent) Log(ev *event.Event) {
 	}
 }
 
-// shipper drains the queue, batching per query, flushing on size or timer.
+// offer runs one in-span query over the event: selection, accounting,
+// sampling, and (for kept events) projection into the query's chunk. It
+// reports whether the event matched the query's selection.
+func (a *Agent) offer(aq *activeQuery, row expr.EventRow, ev *event.Event, ts int64) bool {
+	if aq.pred != nil && !aq.pred(row) {
+		return false
+	}
+	aq.matched.Add(1)
+	if !aq.countersDirty.Load() {
+		aq.countersDirty.Store(true)
+	}
+	if !aq.sampleAll {
+		if aq.skip.Add(-1) != 0 {
+			// >0: inside the current gap. <0: a racing decrement during a
+			// concurrent re-arm; the re-arm's Add folds it into the next
+			// gap. Either way the event is unsampled and cost one decrement.
+			return true
+		}
+		aq.sampled.Add(1)
+	}
+	a.enqueue(aq, ev, ts)
+	return true
+}
+
+// enqueue projects the event into the query's active chunk, submitting
+// the chunk to the shipper when it fills. Allocation-free in steady
+// state: the tuple and its values land in pooled chunk memory.
+func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
+	aq.mu.Lock()
+	if !aq.sampleAll {
+		// Re-arm the countdown for the next kept event. Adding (rather
+		// than storing) credits decrements that raced past zero, keeping
+		// the long-run keep rate unbiased.
+		aq.skip.Add(aq.sampler.NextSkip())
+	}
+	c := aq.cur
+	if c == nil {
+		c = a.getChunk(aq)
+		aq.cur = c
+	}
+	i := c.n
+	var vals []event.Value
+	if w := aq.width; w > 0 {
+		base := i * w
+		vals = c.vals[base : base+w : base+w]
+		for j, idx := range aq.colIdx {
+			vals[j] = ev.At(idx)
+		}
+	}
+	c.tuples[i] = transport.Tuple{RequestID: ev.RequestID, TsNanos: ts, Values: vals}
+	c.n++
+	full := c.n == len(c.tuples)
+	if full {
+		aq.cur = nil
+	}
+	aq.mu.Unlock()
+	if full {
+		a.submit(c)
+	}
+}
+
+// submit hands a full (or salvaged) chunk to the shipper without
+// blocking; when the shipping queue is backlogged the whole chunk is
+// dropped and every tuple counted.
+func (a *Agent) submit(c *chunk) {
+	select {
+	case a.chunks <- c:
+	default:
+		n := uint64(c.n)
+		c.q.drops.Add(n)
+		a.queueDrops.Add(n)
+		c.q.countersDirty.Store(true)
+		a.putChunk(c)
+	}
+}
+
+// getChunk takes a pooled chunk and sizes its flat value array for the
+// query's projection width. Steady state allocates nothing; a fresh
+// allocation happens only when the pool is empty or a wider query first
+// uses a recycled chunk.
+func (a *Agent) getChunk(aq *activeQuery) *chunk {
+	c, _ := a.chunkPool.Get().(*chunk)
+	if c == nil {
+		c = &chunk{tuples: make([]transport.Tuple, a.cfg.BatchSize)}
+	}
+	if need := len(c.tuples) * aq.width; cap(c.vals) < need {
+		c.vals = make([]event.Value, need)
+	}
+	c.q = aq
+	c.n = 0
+	return c
+}
+
+// putChunk clears value references (so pooled chunks don't pin event
+// payloads) and recycles the chunk.
+func (a *Agent) putChunk(c *chunk) {
+	used := c.n * c.q.width
+	vals := c.vals[:cap(c.vals)]
+	for i := 0; i < used; i++ {
+		vals[i] = event.Value{}
+	}
+	for i := 0; i < c.n; i++ {
+		c.tuples[i] = transport.Tuple{}
+	}
+	c.q = nil
+	c.n = 0
+	a.chunkPool.Put(c)
+}
+
+// salvage pushes a removed query's partial chunk to the shipper so stop
+// and span expiry don't lose sampled tuples.
+func (a *Agent) salvage(aq *activeQuery) {
+	aq.mu.Lock()
+	c := aq.cur
+	aq.cur = nil
+	aq.mu.Unlock()
+	if c == nil {
+		return
+	}
+	if c.n == 0 {
+		a.putChunk(c)
+		return
+	}
+	a.submit(c)
+}
+
+// shipper drains full chunks as they arrive and runs a flush cycle on
+// the timer, on explicit Flush requests, and at shutdown.
 func (a *Agent) shipper() {
 	defer a.wg.Done()
-	pending := make(map[*activeQuery][]transport.Tuple)
 	ticker := time.NewTicker(a.cfg.FlushInterval)
 	defer ticker.Stop()
-
-	flush := func(aq *activeQuery, tuples []transport.Tuple) {
-		batch := transport.TupleBatch{
-			QueryID:      aq.hq.QueryID,
-			HostID:       a.cfg.HostID,
-			TypeIdx:      aq.hq.TypeIdx,
-			Tuples:       tuples,
-			MatchedTotal: aq.matched.Load(),
-			SampledTotal: aq.sampled.Load(),
-			QueueDrops:   aq.drops.Load(),
-		}
-		aq.countersDirty.Store(false)
-		if err := a.cfg.Sink.SendBatch(batch); err != nil {
-			a.sinkErrors.Add(1)
-			return
-		}
-		a.shipped.Add(uint64(len(tuples)))
-	}
-
-	flushAll := func() {
-		for aq, tuples := range pending {
-			if len(tuples) > 0 {
-				flush(aq, tuples)
-				delete(pending, aq)
-			}
-		}
-		// Counter-only heartbeats for queries with fresh totals but no
-		// tuples (heavy sampling or all-drop situations).
-		a.mu.Lock()
-		actives := make([]*activeQuery, 0, len(a.queries))
-		for _, aq := range a.queries {
-			actives = append(actives, aq)
-		}
-		a.mu.Unlock()
-		for _, aq := range actives {
-			if aq.countersDirty.Load() && len(pending[aq]) == 0 {
-				flush(aq, nil)
-			}
-		}
-	}
-
 	for {
 		select {
-		case item := <-a.queue:
-			tuples := append(pending[item.q], item.tuple)
-			if len(tuples) >= a.cfg.BatchSize {
-				flush(item.q, tuples)
-				delete(pending, item.q)
-			} else {
-				pending[item.q] = tuples
-			}
+		case c := <-a.chunks:
+			a.ship(c)
+		case ack := <-a.flushReq:
+			a.flushCycle()
+			close(ack)
 		case <-ticker.C:
-			flushAll()
+			a.flushCycle()
 			a.PruneExpired(a.cfg.Clock())
 		case <-a.done:
-			// Drain what's already queued, then flush and exit.
-			for {
-				select {
-				case item := <-a.queue:
-					pending[item.q] = append(pending[item.q], item.tuple)
-					continue
-				default:
-				}
-				break
-			}
-			flushAll()
+			a.flushCycle()
 			return
 		}
 	}
 }
 
-// Flush synchronously pushes pending batches out (test and shutdown aid):
-// it waits for the queue to drain and one flush cycle to complete.
-func (a *Agent) Flush() {
-	// Wait for the queue to empty, then for a tick to flush pending
-	// batches. Bounded wait: 50 flush intervals.
-	deadline := time.Now().Add(50 * a.cfg.FlushInterval)
-	for len(a.queue) > 0 && time.Now().Before(deadline) {
-		time.Sleep(time.Millisecond)
+// flushCycle drains queued chunks, swaps out and ships every query's
+// partial chunk, then sends counter-only heartbeats for queries whose
+// totals moved without producing tuples.
+func (a *Agent) flushCycle() {
+	for {
+		select {
+		case c := <-a.chunks:
+			a.ship(c)
+			continue
+		default:
+		}
+		break
 	}
-	time.Sleep(2 * a.cfg.FlushInterval)
+	a.mu.Lock()
+	actives := a.shipperScratch[:0]
+	for _, aq := range a.queries {
+		actives = append(actives, aq)
+	}
+	a.shipperScratch = actives
+	a.mu.Unlock()
+	for _, aq := range actives {
+		aq.mu.Lock()
+		c := aq.cur
+		aq.cur = nil
+		aq.mu.Unlock()
+		if c == nil {
+			continue
+		}
+		if c.n > 0 {
+			a.ship(c)
+		} else {
+			a.putChunk(c)
+		}
+	}
+	for _, aq := range actives {
+		if aq.countersDirty.Load() {
+			a.sendBatch(aq, nil)
+		}
+	}
+}
+
+// ship sends one chunk's tuples and recycles the chunk.
+func (a *Agent) ship(c *chunk) {
+	a.sendBatch(c.q, c.tuples[:c.n])
+	a.putChunk(c)
+}
+
+// sendBatch ships tuples (nil for a counter-only heartbeat) with the
+// query's cumulative accounting. See countersDirty for the flag
+// protocol that keeps mid-flush counter bumps from being skipped.
+func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
+	aq.countersDirty.Store(false)
+	matched := aq.matched.Load()
+	sampled := aq.sampled.Load()
+	if aq.sampleAll {
+		sampled = matched // rate 1: every matched event is sampled
+	}
+	batch := transport.TupleBatch{
+		QueryID:      aq.hq.QueryID,
+		HostID:       a.cfg.HostID,
+		TypeIdx:      aq.hq.TypeIdx,
+		Tuples:       tuples,
+		MatchedTotal: matched,
+		SampledTotal: sampled,
+		QueueDrops:   aq.drops.Load(),
+	}
+	if err := a.cfg.Sink.SendBatch(batch); err != nil {
+		a.sinkErrors.Add(1)
+		aq.countersDirty.Store(true)
+		return
+	}
+	a.shipped.Add(uint64(len(tuples)))
+}
+
+// Flush synchronously pushes pending chunks and counters out (test and
+// shutdown aid): it asks the shipper for a flush cycle and waits for the
+// acknowledgement, so tests flush deterministically instead of sleeping.
+func (a *Agent) Flush() {
+	ack := make(chan struct{})
+	select {
+	case a.flushReq <- ack:
+		select {
+		case <-ack:
+		case <-a.done:
+		}
+	case <-a.done:
+	}
 }
 
 // Stats snapshots the agent counters.

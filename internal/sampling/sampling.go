@@ -81,6 +81,65 @@ func (s *EventSampler) Keep() bool {
 // paths).
 func (s *EventSampler) Seen() uint64 { return s.seq.Load() }
 
+// GeometricSampler amortizes Bernoulli(rate) sampling into skip counts:
+// instead of drawing per event, it draws the gap until the next kept event
+// from the geometric distribution with success probability rate. A stream
+// consumer decrements a counter per event (one cheap operation) and only
+// re-draws when the counter hits zero, so unsampled events — the vast
+// majority at troubleshooting rates — cost O(1) with no RNG work at all.
+// The sequence of gaps is deterministic for a seed, so two runs over the
+// same stream sample identically. Not safe for concurrent use; callers
+// serialize draws (the host agent re-draws under the lock it already
+// holds for the sampled event's enqueue).
+type GeometricSampler struct {
+	rate float64
+	lnq  float64 // ln(1 − rate), < 0
+	seed uint64
+	seq  uint64
+}
+
+// NewGeometricSampler creates a sampler keeping approximately rate of
+// events. rate is clamped to (0, 1]: rate >= 1 keeps everything (every
+// gap is 1); rate <= 0 keeps nothing (NextSkip returns MaxInt64).
+func NewGeometricSampler(rate float64, seed uint64) *GeometricSampler {
+	s := &GeometricSampler{rate: rate, seed: seed}
+	if rate > 0 && rate < 1 {
+		s.lnq = math.Log1p(-rate)
+	}
+	return s
+}
+
+// Rate returns the clamped keep probability.
+func (s *GeometricSampler) Rate() float64 {
+	switch {
+	case s.rate >= 1:
+		return 1
+	case s.rate <= 0:
+		return 0
+	}
+	return s.rate
+}
+
+// NextSkip returns k >= 1 meaning "the k-th event offered from now is the
+// next kept one" — i.e. skip k−1 events, keep the k-th. Gaps have mean
+// 1/rate, so over N events approximately N·rate are kept.
+func (s *GeometricSampler) NextSkip() int64 {
+	switch {
+	case s.rate >= 1:
+		return 1
+	case s.rate <= 0:
+		return math.MaxInt64
+	}
+	s.seq++
+	// u uniform in (0, 1]: the +1 keeps it off zero so Log is finite.
+	u := (float64(mix64(s.seed^s.seq)>>11) + 1) / (1 << 53)
+	k := int64(math.Log(u)/s.lnq) + 1
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
 // SelectHosts deterministically samples ceil(rate·len(hosts)) hosts using
 // the query id as seed, so the query server, hosts, and ScrubCentral all
 // agree on the chosen set without coordination. The input order does not

@@ -359,3 +359,70 @@ func BenchmarkEstimateSum(b *testing.B) {
 		}
 	}
 }
+
+func TestGeometricSamplerMeanGap(t *testing.T) {
+	for _, rate := range []float64{0.5, 0.1, 0.01} {
+		s := NewGeometricSampler(rate, 42)
+		const draws = 20000
+		var total int64
+		for i := 0; i < draws; i++ {
+			total += s.NextSkip()
+		}
+		// Keep fraction over the simulated stream = draws / Σ gaps.
+		got := float64(draws) / float64(total)
+		if got < rate*0.9 || got > rate*1.1 {
+			t.Errorf("rate %g: effective keep fraction %g, want within ±10%%", rate, got)
+		}
+	}
+}
+
+func TestGeometricSamplerDeterministic(t *testing.T) {
+	a := NewGeometricSampler(0.05, 7)
+	b := NewGeometricSampler(0.05, 7)
+	c := NewGeometricSampler(0.05, 8)
+	same, diff := true, true
+	for i := 0; i < 1000; i++ {
+		ka := a.NextSkip()
+		if ka != b.NextSkip() {
+			same = false
+		}
+		if ka != c.NextSkip() {
+			diff = false
+		}
+	}
+	if !same {
+		t.Error("same seed must reproduce the same gap sequence")
+	}
+	if diff {
+		t.Error("different seeds should diverge")
+	}
+}
+
+func TestGeometricSamplerClamps(t *testing.T) {
+	all := NewGeometricSampler(1.5, 1)
+	if all.Rate() != 1 {
+		t.Errorf("rate = %g, want clamp to 1", all.Rate())
+	}
+	for i := 0; i < 10; i++ {
+		if k := all.NextSkip(); k != 1 {
+			t.Fatalf("rate>=1 gap = %d, want 1", k)
+		}
+	}
+	none := NewGeometricSampler(-0.1, 1)
+	if none.Rate() != 0 {
+		t.Errorf("rate = %g, want clamp to 0", none.Rate())
+	}
+	if k := none.NextSkip(); k != math.MaxInt64 {
+		t.Errorf("rate<=0 gap = %d, want MaxInt64", k)
+	}
+}
+
+func BenchmarkGeometricSamplerNextSkip(b *testing.B) {
+	s := NewGeometricSampler(0.1, 1)
+	b.ReportAllocs()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		sink += s.NextSkip()
+	}
+	_ = sink
+}

@@ -200,7 +200,15 @@ func (r *reader) finish() error {
 // Encode serializes a message payload (without framing) prefixed by its
 // type tag.
 func Encode(m Message) ([]byte, error) {
-	w := &writer{buf: make([]byte, 0, 128)}
+	return AppendEncode(make([]byte, 0, 128), m)
+}
+
+// AppendEncode serializes like Encode but appends to dst, so steady-state
+// senders (connections, benchmark sinks) can reuse one buffer across
+// messages instead of allocating per encode. dst may be nil; the appended
+// buffer is returned.
+func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	w := &writer{buf: dst}
 	w.u8(m.msgTag())
 	switch t := m.(type) {
 	case SubmitQuery:

@@ -21,6 +21,7 @@ type Conn struct {
 	br   *bufio.Reader
 	wmu  sync.Mutex
 	bw   *bufio.Writer
+	enc  []byte // reusable encode buffer, guarded by wmu
 	once sync.Once
 }
 
@@ -42,19 +43,22 @@ func Dial(addr string, timeout time.Duration) (*Conn, error) {
 	return NewConn(nc), nil
 }
 
-// Send encodes, frames, and flushes one message.
+// Send encodes, frames, and flushes one message. The encode buffer is
+// owned by the connection and reused across calls, so a busy sender
+// (e.g. the host shipper) allocates nothing per message in steady state.
 func (c *Conn) Send(m Message) error {
-	payload, err := Encode(m)
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	payload, err := AppendEncode(c.enc[:0], m)
 	if err != nil {
 		return err
 	}
+	c.enc = payload[:0]
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame too large: %d bytes (%s)", len(payload), Name(m))
 	}
 	var hdr [4]byte
 	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	c.wmu.Lock()
-	defer c.wmu.Unlock()
 	if _, err := c.bw.Write(hdr[:]); err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"bytes"
 	"math"
 	"reflect"
 	"sync"
@@ -349,5 +350,43 @@ func BenchmarkTupleBatchDecode(b *testing.B) {
 		if _, err := Decode(buf); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestAppendEncodeMatchesEncode(t *testing.T) {
+	// AppendEncode into a reused buffer must produce byte-identical
+	// payloads to Encode, message after message.
+	var buf []byte
+	for _, m := range sampleMessages() {
+		want, err := Encode(m)
+		if err != nil {
+			t.Fatalf("Encode(%s): %v", Name(m), err)
+		}
+		got, err := AppendEncode(buf[:0], m)
+		if err != nil {
+			t.Fatalf("AppendEncode(%s): %v", Name(m), err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("AppendEncode(%s) differs from Encode", Name(m))
+		}
+		buf = got // reuse across iterations, like a connection does
+	}
+}
+
+func TestAppendEncodePreservesPrefix(t *testing.T) {
+	prefix := []byte("hdr:")
+	out, err := AppendEncode(append([]byte(nil), prefix...), Ping{Nonce: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(out, prefix) {
+		t.Fatal("existing bytes must be preserved")
+	}
+	m, err := Decode(out[len(prefix):])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, ok := m.(Ping); !ok || p.Nonce != 7 {
+		t.Errorf("decoded %#v", m)
 	}
 }

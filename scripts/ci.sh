@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Full verification pass: vet, build, and the complete test suite under
+# the race detector. Tier-1 (ROADMAP.md) is the subset
+# `go build ./... && go test ./...`; this script is the stricter gate.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "ci: OK"
