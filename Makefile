@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1
+.PHONY: build test race vet ci bench bench-p1 fuzz-smoke chaos-soak
 
 build:
 	$(GO) build ./...
@@ -24,3 +24,13 @@ bench:
 # Host-overhead sweep only: the hot-path perf gate tracked across PRs.
 bench-p1:
 	$(GO) run ./cmd/benchrunner -only P1
+
+# Short coverage-guided fuzz pass over the transport frame decoder — the
+# surface a partitioned or chaotic network feeds arbitrary bytes into.
+fuzz-smoke:
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecode -fuzztime=5s
+	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzRecvFrame -fuzztime=5s
+
+# Fixed-seed chaos soak (quick mode) under the race detector.
+chaos-soak:
+	$(GO) run -race ./cmd/benchrunner -only C1 -quick -p1json ''

@@ -1,7 +1,10 @@
 // Command benchrunner regenerates every table and figure of the paper's
 // evaluation (see DESIGN.md §5 and EXPERIMENTS.md). It runs the twelve
 // experiments at full (or quick) scale and prints each as an aligned
-// text table with the paper's qualitative claim attached.
+// text table with the paper's qualitative claim attached. Beyond the
+// paper's tables it also runs C1, a chaos soak over real TCP that pins
+// the reproduction's failure-domain contract (degraded windows, lease
+// eviction, spill redelivery).
 //
 // Usage:
 //
@@ -44,6 +47,7 @@ func main() {
 		{"P1", runP1}, {"P2", runP2}, {"P3", runP3},
 		{"P4", runP4}, {"P5", runP5}, {"P6", runP6},
 		{"A1", runA1}, {"A2", runA2},
+		{"C1", runC1},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -255,6 +259,20 @@ func runA2(quick bool, seed int64) (*experiments.Table, error) {
 		cfg.Users, cfg.Duration, cfg.LineItems = 800, 2*time.Minute, 200
 	}
 	res, err := experiments.A2BaggageVsOnDemand(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.Table(), nil
+}
+
+func runC1(quick bool, seed int64) (*experiments.Table, error) {
+	cfg := experiments.C1Config{Seed: seed}
+	if quick {
+		cfg.Duration = 6 * time.Second
+	} else {
+		cfg.Duration = 30 * time.Second
+	}
+	res, err := experiments.C1ChaosSoak(cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -6,6 +6,10 @@
 //
 //	scrubql -server 127.0.0.1:7700 'select bid.user_id, count(*) from bid group by bid.user_id window 10s duration 1m'
 //	echo 'select count(*) from bid' | scrubql -server 127.0.0.1:7700
+//
+// With -stats, each window also lists per-stream accounting — matched,
+// sampled, dropped, and late tuples per (host, event type) — and flags
+// DEGRADED windows whose missing hosts were evicted by lease expiry.
 package main
 
 import (
@@ -28,6 +32,7 @@ func main() {
 	serverAddr := flag.String("server", "127.0.0.1:7700", "query server client address")
 	maxWindows := flag.Int("windows", 0, "stop after this many windows (0 = run to span end)")
 	quiet := flag.Bool("quiet", false, "suppress per-window headers")
+	stats := flag.Bool("stats", false, "print per-stream accounting (matched/sampled/drops/late) and degraded state with each window")
 	list := flag.Bool("list", false, "list the server's active queries and exit")
 	flag.Parse()
 
@@ -91,33 +96,51 @@ func main() {
 
 	n := 0
 	for rw := range qs.Windows {
-		printWindow(rw, *quiet)
+		printWindow(rw, *quiet, *stats)
 		n++
 		if *maxWindows > 0 && n >= *maxWindows {
 			_ = qs.Cancel()
 			break
 		}
 	}
-	stats, err := qs.Final()
+	final, err := qs.Final()
 	if err != nil {
 		log.Fatalf("scrubql: %v", err)
 	}
 	fmt.Printf("done: %d windows, %d rows, %d tuples in (host drops %d, late drops %d)\n",
-		stats.Windows, stats.Rows, stats.TuplesIn, stats.HostDrops, stats.LateDrops)
+		final.Windows, final.Rows, final.TuplesIn, final.HostDrops, final.LateDrops)
+	if *stats && final.DegradedWindows > 0 {
+		fmt.Printf("degraded windows: %d (at least one stream's liveness lease had expired at emission)\n",
+			final.DegradedWindows)
+	}
 }
 
-func printWindow(rw transport.ResultWindow, quiet bool) {
+func printWindow(rw transport.ResultWindow, quiet, stats bool) {
 	if !quiet {
 		approx := ""
 		if rw.Approx {
 			approx = " (approximate)"
 		}
-		fmt.Printf("-- window [%s, %s)%s  tuples=%d hosts=%d drops=%d\n",
+		degraded := ""
+		if rw.Degraded {
+			degraded = " DEGRADED"
+		}
+		fmt.Printf("-- window [%s, %s)%s%s  tuples=%d hosts=%d drops=%d\n",
 			time.Unix(0, rw.WindowStart).Format("15:04:05"),
 			time.Unix(0, rw.WindowEnd).Format("15:04:05"),
-			approx, rw.Stats.TuplesIn, rw.Stats.HostsReporting,
+			approx, degraded, rw.Stats.TuplesIn, rw.Stats.HostsReporting,
 			rw.Stats.HostDrops+rw.Stats.LateDrops)
 		fmt.Println(strings.Join(rw.Columns, "\t"))
+	}
+	if stats {
+		for _, s := range rw.Streams {
+			state := ""
+			if s.Evicted {
+				state = "  EVICTED"
+			}
+			fmt.Printf("   stream %s/type%d: matched=%d sampled=%d drops=%d late=%d%s\n",
+				s.HostID, s.TypeIdx, s.Matched, s.Sampled, s.Drops, s.LateDrops, state)
+		}
 	}
 	for _, row := range rw.Rows {
 		parts := make([]string, len(row))

@@ -5,10 +5,12 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"time"
 
 	"scrub/internal/agg"
 	"scrub/internal/event"
 	"scrub/internal/expr"
+	"scrub/internal/liveness"
 	"scrub/internal/sampling"
 	"scrub/internal/stats"
 	"scrub/internal/transport"
@@ -19,28 +21,45 @@ import (
 // engine lock held; implementations must be fast (enqueue and return).
 type EmitFunc func(transport.ResultWindow)
 
+// Options tunes an engine's failure-domain behavior. The zero value is
+// production-ready.
+type Options struct {
+	// LeaseTTL is the per-stream liveness lease timeout: a (host, type)
+	// stream that neither ships a batch nor heartbeats for this long is
+	// evicted from the query watermark so windows keep closing without
+	// it. <= 0 selects liveness.DefaultTTL.
+	LeaseTTL time.Duration
+	// Clock substitutes time.Now for lease bookkeeping (tests). Lease
+	// time is deliberately wall-clock, independent of event time, so
+	// virtual-time simulations cannot spuriously evict healthy streams.
+	Clock func() time.Time
+}
+
+func (o *Options) fillDefaults() {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = liveness.DefaultTTL
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+}
+
 // Engine executes the central half of Scrub queries: windowing, the
 // request-id equi-join, grouping, aggregation, sampling scale-up, and
 // error bounds.
 type Engine struct {
+	opt     Options
 	mu      sync.Mutex
 	queries map[uint64]*queryState
 }
 
-// NewEngine returns an empty engine.
-func NewEngine() *Engine {
-	return &Engine{queries: make(map[uint64]*queryState)}
-}
+// NewEngine returns an empty engine with default Options.
+func NewEngine() *Engine { return NewEngineWith(Options{}) }
 
-type hostTypeKey struct {
-	host    string
-	typeIdx uint8
-}
-
-type hostCounters struct {
-	matched uint64
-	sampled uint64
-	drops   uint64
+// NewEngineWith returns an empty engine with the given Options.
+func NewEngineWith(opt Options) *Engine {
+	opt.fillDefaults()
+	return &Engine{opt: opt, queries: make(map[uint64]*queryState)}
 }
 
 type queryState struct {
@@ -49,33 +68,19 @@ type queryState struct {
 	win  *window.SlidingManager[*winState]
 	emit EmitFunc
 
-	counters map[hostTypeKey]hostCounters
-	// lastTs tracks each reporting (host, type) stream's max event time.
-	// The query watermark is the minimum across streams, so hosts whose
-	// shipping (or simulated clock) lags never see their tuples declared
-	// late by a faster peer — only genuinely late events within one
-	// stream are dropped.
-	lastTs   map[hostTypeKey]int64
+	// streams holds per-(host, type) stream leases, last-known counters,
+	// and max event times. The query watermark is the minimum across
+	// *live* streams: hosts whose shipping (or simulated clock) lags
+	// never see their tuples declared late by a faster peer, while a
+	// crashed or partitioned host is evicted on lease expiry instead of
+	// freezing window emission forever.
+	streams  *liveness.Table
 	stats    transport.QueryStats
 	overflow uint64 // raw-row + join-pending drops
 	// scratchKey is the reused group-key buffer for accumulate (engine
 	// lock held throughout a batch, so one buffer per query suffices);
 	// only a tuple that opens a new group copies it.
 	scratchKey []event.Value
-}
-
-// watermark returns the min of per-stream max event times, and false when
-// nothing has reported yet.
-func (qs *queryState) watermark() (int64, bool) {
-	first := true
-	var wm int64
-	for _, ts := range qs.lastTs {
-		if first || ts < wm {
-			wm = ts
-			first = false
-		}
-	}
-	return wm, !first
 }
 
 type group struct {
@@ -134,12 +139,11 @@ func (e *Engine) StartQuery(p Plan, emit EmitFunc) error {
 		return fmt.Errorf("central: query %d already active", p.QueryID)
 	}
 	e.queries[p.QueryID] = &queryState{
-		plan:     p,
-		comp:     comp,
-		win:      win,
-		emit:     emit,
-		counters: make(map[hostTypeKey]hostCounters),
-		lastTs:   make(map[hostTypeKey]int64),
+		plan:    p,
+		comp:    comp,
+		win:     win,
+		emit:    emit,
+		streams: liveness.NewTable(e.opt.LeaseTTL),
 	}
 	return nil
 }
@@ -158,7 +162,11 @@ func (e *Engine) ActiveQueries() []uint64 {
 
 // HandleBatch folds a host's tuple batch into the query's window state.
 // Batches for unknown queries are dropped silently (they race with query
-// teardown by design).
+// teardown by design). Every batch — counter-only heartbeats included —
+// renews the stream's liveness lease; a batch from an evicted stream
+// re-admits it, and any of its tuples whose windows closed in the
+// meantime are counted as late against that stream, never applied to
+// closed results.
 func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -169,10 +177,15 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	if int(b.TypeIdx) >= len(qs.plan.Types) {
 		return
 	}
-	key := hostTypeKey{host: b.HostID, typeIdx: b.TypeIdx}
-	qs.counters[key] = hostCounters{
-		matched: b.MatchedTotal, sampled: b.SampledTotal, drops: b.QueueDrops,
-	}
+	key := liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx}
+	st, _ := qs.streams.Touch(key, e.opt.Clock().UnixNano())
+	// Counters are cumulative; max() keeps a delayed or duplicated batch
+	// (chaos, retransmits) from regressing them.
+	st.Matched = max(st.Matched, b.MatchedTotal)
+	st.Sampled = max(st.Sampled, b.SampledTotal)
+	st.Drops = max(st.Drops, b.QueueDrops)
+
+	lateBefore := qs.win.LateDrops()
 	var maxTs int64
 	hasTs := false
 	for i := range b.Tuples {
@@ -191,11 +204,10 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 			hasTs = true
 		}
 	}
+	st.LateDrops += qs.win.LateDrops() - lateBefore
 	if hasTs {
-		if maxTs > qs.lastTs[key] {
-			qs.lastTs[key] = maxTs
-		}
-		if wm, ok := qs.watermark(); ok {
+		st.ObserveTs(maxTs)
+		if wm, ok := qs.streams.Watermark(); ok {
 			for _, closed := range qs.win.Observe(wm) {
 				e.emitWindow(qs, closed)
 			}
@@ -383,20 +395,24 @@ func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) trans
 }
 
 // emitWindow renders a closed window into a ResultWindow and hands it to
-// the query's emit callback.
+// the query's emit callback. A window emitted while any stream's lease
+// is expired carries the degraded marker and the full per-stream
+// accounting, so the consumer knows exactly whose data is missing.
 func (e *Engine) emitWindow(qs *queryState, closed window.Closed[*winState]) {
 	rw := renderWindow(&qs.plan, qs.comp, closed.Start, closed.End, closed.State)
 
-	var hostDrops uint64
-	for _, c := range qs.counters {
-		hostDrops += c.drops
-	}
+	hostDrops := qs.streams.HostDrops()
 	rw.Stats.HostDrops = hostDrops
 	rw.Stats.LateDrops = qs.win.LateDrops() + qs.overflow
+	rw.Degraded = qs.streams.AnyEvicted()
+	rw.Streams = qs.streams.Snapshot()
 	qs.stats.Windows++
 	qs.stats.Rows += uint64(len(rw.Rows))
 	qs.stats.HostDrops = hostDrops
 	qs.stats.LateDrops = qs.win.LateDrops() + qs.overflow
+	if rw.Degraded {
+		qs.stats.DegradedWindows++
+	}
 	qs.emit(rw)
 }
 
@@ -445,12 +461,25 @@ func computeBounds(p *Plan, comp *compiled, ws *winState) []float64 {
 }
 
 // Tick closes windows by wall clock so idle streams still emit: every
-// window ending at or before now−lateness is emitted. Call it
-// periodically (the query server runs a ticker).
+// window ending at or before now−lateness is emitted. It also expires
+// stream liveness leases (on the engine's own clock, which may differ
+// from nowNanos in virtual-time setups): when a stream is evicted, the
+// watermark recomputed over the surviving streams is observed
+// immediately, so windows a dead host was holding open close now instead
+// of waiting out the force bound. Call it periodically (the query server
+// runs a ticker).
 func (e *Engine) Tick(nowNanos int64) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	leaseNow := e.opt.Clock().UnixNano()
 	for _, qs := range e.queries {
+		if evicted := qs.streams.Expire(leaseNow); len(evicted) > 0 {
+			if wm, ok := qs.streams.Watermark(); ok {
+				for _, closed := range qs.win.Observe(wm) {
+					e.emitWindow(qs, closed)
+				}
+			}
+		}
 		for _, closed := range qs.win.ForceBefore(nowNanos - int64(qs.plan.Lateness)) {
 			e.emitWindow(qs, closed)
 		}
@@ -468,11 +497,7 @@ func (e *Engine) StopQuery(id uint64) (transport.QueryStats, bool) {
 	for _, closed := range qs.win.Flush() {
 		e.emitWindow(qs, closed)
 	}
-	var hostDrops uint64
-	for _, c := range qs.counters {
-		hostDrops += c.drops
-	}
-	qs.stats.HostDrops = hostDrops
+	qs.stats.HostDrops = qs.streams.HostDrops()
 	qs.stats.LateDrops = qs.win.LateDrops() + qs.overflow
 	delete(e.queries, id)
 	return qs.stats, true

@@ -1,0 +1,231 @@
+package central
+
+import (
+	"testing"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/transport"
+)
+
+// virtualClock is a hand-advanced wall clock for lease tests. Engine
+// calls it only with its own lock held, so a plain field suffices.
+type virtualClock struct{ nanos int64 }
+
+func (vc *virtualClock) now() time.Time      { return time.Unix(0, vc.nanos) }
+func (vc *virtualClock) set(d time.Duration) { vc.nanos = int64(d) }
+
+// heartbeat is a counter-only batch: it renews the stream lease without
+// contributing tuples, the wire form a quiet-but-healthy host ships.
+func heartbeat(queryID uint64, host string) transport.TupleBatch {
+	return transport.TupleBatch{QueryID: queryID, HostID: host, TypeIdx: 0}
+}
+
+func streamFor(t *testing.T, rw transport.ResultWindow, host string) transport.StreamStat {
+	t.Helper()
+	for _, s := range rw.Streams {
+		if s.HostID == host {
+			return s
+		}
+	}
+	t.Fatalf("window [%d,%d) has no stream for %s: %+v", rw.WindowStart, rw.WindowEnd, host, rw.Streams)
+	return transport.StreamStat{}
+}
+
+// TestEvictionClosesDegradedWindow walks the full failure arc on the
+// single-node engine: a host dies mid-window and stalls the watermark;
+// its lease expires and the window closes degraded, naming the evicted
+// host; the host reconnects, its late tuples are counted (not applied),
+// and subsequent windows come out clean.
+func TestEvictionClosesDegradedWindow(t *testing.T) {
+	vc := &virtualClock{}
+	e := NewEngineWith(Options{LeaseTTL: 2 * time.Second, Clock: vc.now})
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s`, 1, 2, 2)
+	if err := e.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both hosts report into window [0,10); h1 then runs ahead to 25s,
+	// but the watermark stays pinned at h2's 3s, so nothing closes.
+	vc.set(1 * time.Second)
+	e.HandleBatch(bidBatch(1, "h1", tup(1, sec(5), event.Int(1))))
+	e.HandleBatch(bidBatch(1, "h2", tup(2, sec(3), event.Int(2))))
+	e.HandleBatch(bidBatch(1, "h1", tup(3, sec(25), event.Int(3))))
+	if got := c.all(); len(got) != 0 {
+		t.Fatalf("windows closed while a live host lags: %d", len(got))
+	}
+
+	// h2 goes silent. h1 heartbeats (no tuples) to keep its own lease —
+	// a healthy stream with nothing to report must not be evicted.
+	vc.set(3 * time.Second)
+	e.HandleBatch(heartbeat(1, "h1"))
+
+	// Lease expiry: at 4s, h2 is 3s stale (> 2s TTL), h1 only 1s. Tick's
+	// event-time bound is kept out of the way so only eviction can close.
+	vc.set(4 * time.Second)
+	e.Tick(0)
+	wins := c.all()
+	if len(wins) != 1 {
+		t.Fatalf("eviction closed %d windows, want 1", len(wins))
+	}
+	w := wins[0]
+	if w.WindowStart != 0 || w.WindowEnd != sec(10) {
+		t.Fatalf("window = [%d,%d)", w.WindowStart, w.WindowEnd)
+	}
+	if !w.Degraded {
+		t.Error("window emitted under eviction must be degraded")
+	}
+	// Partial data: both hosts' pre-failure tuples are in.
+	if len(w.Rows) != 1 || w.Rows[0][0].String() != "2" {
+		t.Errorf("rows = %v, want one count(*) row of 2", w.Rows)
+	}
+	if s := streamFor(t, w, "h2"); !s.Evicted {
+		t.Error("h2 must be marked evicted in the window's stream stats")
+	}
+	if s := streamFor(t, w, "h1"); s.Evicted {
+		t.Error("h1 is alive and must not be marked evicted")
+	}
+
+	// h2 reconnects with one tuple for the already-closed window and one
+	// fresh tuple. The late tuple is counted against h2, never applied.
+	vc.set(5 * time.Second)
+	e.HandleBatch(bidBatch(1, "h2",
+		tup(4, sec(8), event.Int(4)),  // late: [0,10) closed above
+		tup(5, sec(26), event.Int(5)), // lands in [20,30)
+	))
+	// Both hosts advance; watermark 40s closes [20,30) cleanly.
+	e.HandleBatch(bidBatch(1, "h1", tup(6, sec(40), event.Int(6))))
+	e.HandleBatch(bidBatch(1, "h2", tup(7, sec(41), event.Int(7))))
+
+	wins = c.all()
+	if len(wins) != 2 {
+		t.Fatalf("emitted %d windows, want 2", len(wins))
+	}
+	clean := wins[1]
+	if clean.WindowStart != sec(20) || clean.WindowEnd != sec(30) {
+		t.Fatalf("window = [%d,%d)", clean.WindowStart, clean.WindowEnd)
+	}
+	if clean.Degraded {
+		t.Error("window after re-admission must not be degraded")
+	}
+	// h1's 25s tuple + h2's 26s tuple.
+	if len(clean.Rows) != 1 || clean.Rows[0][0].String() != "2" {
+		t.Errorf("rows = %v, want one count(*) row of 2", clean.Rows)
+	}
+	s2 := streamFor(t, clean, "h2")
+	if s2.Evicted {
+		t.Error("re-admitted h2 still marked evicted")
+	}
+	if s2.LateDrops != 1 {
+		t.Errorf("h2 LateDrops = %d, want 1 (the 8s tuple)", s2.LateDrops)
+	}
+	if s1 := streamFor(t, clean, "h1"); s1.LateDrops != 0 {
+		t.Errorf("h1 LateDrops = %d, want 0", s1.LateDrops)
+	}
+
+	stats, ok := e.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery")
+	}
+	if stats.DegradedWindows != 1 {
+		t.Errorf("DegradedWindows = %d, want 1", stats.DegradedWindows)
+	}
+	if stats.LateDrops != 1 {
+		t.Errorf("LateDrops = %d, want 1", stats.LateDrops)
+	}
+}
+
+// TestHeartbeatKeepsQuietStreamAlive pins the fix for the false-eviction
+// hazard: a stream that only ever heartbeats (no matching events) must
+// survive lease expiry and must not drag the watermark to zero.
+func TestHeartbeatKeepsQuietStreamAlive(t *testing.T) {
+	vc := &virtualClock{}
+	e := NewEngineWith(Options{LeaseTTL: 2 * time.Second, Clock: vc.now})
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s`, 1, 2, 2)
+	if err := e.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+	for s := int64(1); s <= 6; s++ {
+		vc.set(time.Duration(s) * time.Second)
+		e.HandleBatch(heartbeat(1, "h2"))
+		e.HandleBatch(bidBatch(1, "h1", tup(uint64(s), sec(s*10), event.Int(1))))
+		e.Tick(0)
+	}
+	for _, w := range c.all() {
+		if w.Degraded {
+			t.Fatalf("window [%d,%d) degraded despite steady heartbeats", w.WindowStart, w.WindowEnd)
+		}
+		if s := streamFor(t, w, "h2"); s.Evicted {
+			t.Fatal("heartbeat-only h2 was evicted")
+		}
+	}
+	if len(c.all()) == 0 {
+		t.Fatal("no windows closed; quiet h2 is pinning the watermark")
+	}
+}
+
+// TestShardedEvictionDegraded exercises the same arc on the sharded
+// merger: the degraded flag and per-stream accounting ride on windows it
+// emits, and clear after the host returns.
+func TestShardedEvictionDegraded(t *testing.T) {
+	vc := &virtualClock{}
+	se, err := NewShardedEngineWith(2, Options{LeaseTTL: 2 * time.Second, Clock: vc.now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &collector{}
+	p := buildPlan(t, `select count(*) from bid window 10s`, 1, 2, 2)
+	if err := se.StartQuery(p, c.emit); err != nil {
+		t.Fatal(err)
+	}
+
+	vc.set(1 * time.Second)
+	se.HandleBatch(bidBatch(1, "h1", tup(1, sec(2), event.Int(1)), tup(2, sec(4), event.Int(2))))
+	se.HandleBatch(bidBatch(1, "h2", tup(3, sec(5), event.Int(3))))
+
+	// h2 dies; its lease expires before the merger's barrier closes the
+	// window, so the emission is degraded and names it.
+	vc.set(2 * time.Second)
+	se.HandleBatch(heartbeat(1, "h1"))
+	vc.set(4 * time.Second)
+	se.Tick(sec(15)) // bound 15−2 = 13s closes [0,10)
+	wins := c.all()
+	if len(wins) != 1 {
+		t.Fatalf("emitted %d windows, want 1", len(wins))
+	}
+	if !wins[0].Degraded {
+		t.Error("merger window under eviction must be degraded")
+	}
+	if len(wins[0].Rows) != 1 || wins[0].Rows[0][0].String() != "3" {
+		t.Errorf("rows = %v, want one count(*) row of 3", wins[0].Rows)
+	}
+	if s := streamFor(t, wins[0], "h2"); !s.Evicted {
+		t.Error("h2 must be evicted in merger stream stats")
+	}
+
+	// h2 returns; the next window is clean.
+	vc.set(5 * time.Second)
+	se.HandleBatch(bidBatch(1, "h1", tup(4, sec(12), event.Int(4))))
+	se.HandleBatch(bidBatch(1, "h2", tup(5, sec(14), event.Int(5))))
+	se.Tick(sec(25))
+	wins = c.all()
+	if len(wins) != 2 {
+		t.Fatalf("emitted %d windows, want 2", len(wins))
+	}
+	if wins[1].Degraded {
+		t.Error("merger window after re-admission must not be degraded")
+	}
+	if s := streamFor(t, wins[1], "h2"); s.Evicted {
+		t.Error("re-admitted h2 still marked evicted")
+	}
+
+	stats, ok := se.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery")
+	}
+	if stats.DegradedWindows != 1 {
+		t.Errorf("DegradedWindows = %d, want 1", stats.DegradedWindows)
+	}
+}

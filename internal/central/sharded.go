@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"scrub/internal/liveness"
 	"scrub/internal/transport"
 	"scrub/internal/window"
 )
@@ -38,6 +39,7 @@ const shardLateness = 365 * 24 * time.Hour
 // mergeable aggregators, then rendered exactly like the single-node
 // engine (scale-up, bounds, HAVING, ORDER BY, LIMIT).
 type ShardedEngine struct {
+	opt    Options
 	shards []*Engine
 
 	mu      sync.Mutex
@@ -49,20 +51,31 @@ type shardedQuery struct {
 	comp *compiled
 	emit EmitFunc
 
-	counters map[hostTypeKey]hostCounters
+	// streams holds the per-(host, type) leases and counters at the
+	// merger — the only place that sees whole batches. Shards receive
+	// tuples stripped of counters and never emit on their own, so stream
+	// liveness lives here.
+	streams *liveness.Table
 	// pending holds merged-but-unflushed window partials by start time.
 	pending map[int64]*winState
 	stats   transport.QueryStats
 }
 
-// NewShardedEngine creates an engine with n shards (n >= 1).
+// NewShardedEngine creates an engine with n shards (n >= 1) and default
+// Options.
 func NewShardedEngine(n int) (*ShardedEngine, error) {
+	return NewShardedEngineWith(n, Options{})
+}
+
+// NewShardedEngineWith creates an engine with n shards (n >= 1).
+func NewShardedEngineWith(n int, opt Options) (*ShardedEngine, error) {
 	if n < 1 {
 		return nil, fmt.Errorf("central: shard count must be >= 1, got %d", n)
 	}
-	se := &ShardedEngine{queries: make(map[uint64]*shardedQuery)}
+	opt.fillDefaults()
+	se := &ShardedEngine{opt: opt, queries: make(map[uint64]*shardedQuery)}
 	for i := 0; i < n; i++ {
-		se.shards = append(se.shards, NewEngine())
+		se.shards = append(se.shards, NewEngineWith(opt))
 	}
 	return se, nil
 }
@@ -93,8 +106,8 @@ func (se *ShardedEngine) StartQuery(p Plan, emit EmitFunc) error {
 	}
 	se.queries[p.QueryID] = &shardedQuery{
 		plan: p, comp: comp, emit: emit,
-		counters: make(map[hostTypeKey]hostCounters),
-		pending:  make(map[int64]*winState),
+		streams: liveness.NewTable(se.opt.LeaseTTL),
+		pending: make(map[int64]*winState),
 	}
 	se.mu.Unlock()
 
@@ -121,8 +134,17 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	se.mu.Lock()
 	sq, ok := se.queries[b.QueryID]
 	if ok {
-		sq.counters[hostTypeKey{host: b.HostID, typeIdx: b.TypeIdx}] = hostCounters{
-			matched: b.MatchedTotal, sampled: b.SampledTotal, drops: b.QueueDrops,
+		st, _ := sq.streams.Touch(
+			liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx},
+			se.opt.Clock().UnixNano(),
+		)
+		// Counters are cumulative; max() keeps chaos-induced reorder or
+		// duplication from regressing them.
+		st.Matched = max(st.Matched, b.MatchedTotal)
+		st.Sampled = max(st.Sampled, b.SampledTotal)
+		st.Drops = max(st.Drops, b.QueueDrops)
+		for _, t := range b.Tuples {
+			st.ObserveTs(t.TsNanos)
 		}
 	}
 	se.mu.Unlock()
@@ -154,7 +176,9 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 func (se *ShardedEngine) Tick(nowNanos int64) {
 	se.mu.Lock()
 	defer se.mu.Unlock()
+	leaseNow := se.opt.Clock().UnixNano()
 	for id, sq := range se.queries {
+		sq.streams.Expire(leaseNow)
 		bound := nowNanos - int64(sq.plan.Lateness)
 		se.collectLocked(id, sq, bound)
 		se.flushLocked(sq, bound)
@@ -198,10 +222,7 @@ func (se *ShardedEngine) flushLocked(sq *shardedQuery, bound int64) {
 
 func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState) {
 	rw := renderWindow(&sq.plan, sq.comp, start, start+int64(sq.plan.Window), ws)
-	var hostDrops uint64
-	for _, c := range sq.counters {
-		hostDrops += c.drops
-	}
+	hostDrops := sq.streams.HostDrops()
 	var lateDrops uint64
 	for _, sh := range se.shards {
 		if d, ok := sh.dropsOf(sq.plan.QueryID); ok {
@@ -210,6 +231,11 @@ func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState)
 	}
 	rw.Stats.HostDrops = hostDrops
 	rw.Stats.LateDrops = lateDrops
+	rw.Degraded = sq.streams.AnyEvicted()
+	rw.Streams = sq.streams.Snapshot()
+	if rw.Degraded {
+		sq.stats.DegradedWindows++
+	}
 	sq.stats.Windows++
 	sq.stats.Rows += uint64(len(rw.Rows))
 	sq.stats.TuplesIn += ws.tuples
@@ -240,6 +266,7 @@ func (se *ShardedEngine) StopQuery(id uint64) (transport.QueryStats, bool) {
 	}
 	se.flushLocked(sq, int64(1)<<62-1)
 	sq.stats.LateDrops = lateDrops
+	sq.stats.HostDrops = sq.streams.HostDrops()
 	delete(se.queries, id)
 	return sq.stats, true
 }

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/chaos"
+	"scrub/internal/host"
+	"scrub/internal/transport"
+)
+
+// TestChaosPartitionDegradesAndHeals is the full failure arc over real
+// TCP with fault injection: a host is partitioned mid-query; its stream
+// lease expires; windows keep closing and carry the degraded flag naming
+// the evicted host; the partition heals; the stream is re-admitted and
+// windows come out clean again. The chaos seed is fixed, so the fault
+// decisions replay identically.
+func TestChaosPartitionDegradesAndHeals(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second failure scenario")
+	}
+	inj := chaos.New(1234)
+	nc, err := NewNetCluster(NetConfig{
+		Catalog: testCatalog(),
+		Hosts: []HostSpec{
+			{Name: "h1", Service: "BidServers", DC: "DC1"},
+			{Name: "h2", Service: "BidServers", DC: "DC1"},
+		},
+		Agent: host.Config{
+			FlushInterval:     10 * time.Millisecond,
+			HeartbeatInterval: 50 * time.Millisecond,
+		},
+		Central:  central.Options{LeaseTTL: 600 * time.Millisecond},
+		Sink:     host.NetSinkOptions{DialTimeout: 500 * time.Millisecond},
+		Control:  host.ControlOptions{BaseBackoff: 50 * time.Millisecond, MaxBackoff: 200 * time.Millisecond},
+		WrapConn: inj.Wrap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	client, err := nc.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	qs, err := client.Query(`select count(*) from bid window 500ms duration 30s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitInstalled := time.Now().Add(5 * time.Second)
+	for {
+		installed := 0
+		for i := 0; i < nc.NumAgents(); i++ {
+			if len(nc.Agent(i).ActiveQueries()) > 0 {
+				installed++
+			}
+		}
+		if installed == nc.NumAgents() {
+			break
+		}
+		if time.Now().After(waitInstalled) {
+			t.Fatalf("only %d/%d agents activated the query", installed, nc.NumAgents())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Both hosts log continuously in the background until the arc ends.
+	var stop atomic.Bool
+	loggers := make(chan struct{})
+	go func() {
+		defer close(loggers)
+		var req uint64
+		for !stop.Load() {
+			req++
+			now := time.Now()
+			logBid(t, nc.Agent(0), req, 1, 1.0, now)
+			logBid(t, nc.Agent(1), req+1<<32, 2, 2.0, now)
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	// Phase A: healthy. Long enough (vs. the 2s lateness) that the first
+	// windows are emitted before any fault lands.
+	time.Sleep(3 * time.Second)
+	// Phase B: two-way partition of h2. Its batches blackhole, its lease
+	// expires, and windows emitted in this span must be degraded.
+	inj.Set("h2", chaos.Partitioned())
+	time.Sleep(2600 * time.Millisecond)
+	// Phase C: heal. h2's next batch re-admits the stream.
+	inj.Heal("h2")
+	time.Sleep(2800 * time.Millisecond)
+
+	stop.Store(true)
+	<-loggers
+	// Let in-flight windows drain, then end the query.
+	time.Sleep(500 * time.Millisecond)
+	if err := qs.Cancel(); err != nil {
+		t.Fatal(err)
+	}
+	var wins []transport.ResultWindow
+	for rw := range qs.Windows {
+		wins = append(wins, rw)
+	}
+	stats, err := qs.Final()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(wins) == 0 {
+		t.Fatal("no windows emitted")
+	}
+	var clean, degraded int
+	firstState := -1
+	for _, rw := range wins {
+		if !rw.Degraded {
+			clean++
+			if firstState == -1 {
+				firstState = 0
+			}
+			continue
+		}
+		degraded++
+		if firstState == -1 {
+			firstState = 1
+		}
+		// Every degraded window must name exactly who is missing.
+		var h2Evicted, h1Evicted bool
+		for _, s := range rw.Streams {
+			switch s.HostID {
+			case "h2":
+				h2Evicted = h2Evicted || s.Evicted
+			case "h1":
+				h1Evicted = h1Evicted || s.Evicted
+			}
+		}
+		if !h2Evicted {
+			t.Errorf("degraded window [%d,%d) does not name h2 as evicted: %+v", rw.WindowStart, rw.WindowEnd, rw.Streams)
+		}
+		if h1Evicted {
+			t.Errorf("window [%d,%d) marks healthy h1 evicted", rw.WindowStart, rw.WindowEnd)
+		}
+	}
+	if degraded == 0 {
+		t.Fatalf("no degraded windows across the partition (%d windows total)", len(wins))
+	}
+	if clean == 0 {
+		t.Fatalf("no clean windows at all (%d windows total)", len(wins))
+	}
+	if firstState != 0 {
+		t.Error("first emitted window was already degraded; phase A produced nothing clean")
+	}
+	if last := wins[len(wins)-1]; last.Degraded {
+		t.Errorf("last window still degraded after heal: [%d,%d)", last.WindowStart, last.WindowEnd)
+	}
+	if stats.DegradedWindows == 0 {
+		t.Errorf("final stats report no degraded windows: %+v", stats)
+	}
+	if stats.Windows != uint64(len(wins)) {
+		// The stream channel is lossy only under consumer stall, which
+		// this test never induces; a mismatch means accounting drift.
+		t.Errorf("stats.Windows = %d, received %d", stats.Windows, len(wins))
+	}
+}

@@ -47,6 +47,9 @@ type LocalConfig struct {
 	// shards (the paper's "small ScrubCentral cluster"). 0 or 1 uses the
 	// single-node engine.
 	CentralShards int
+	// Central tunes the engine's failure-domain behavior (stream lease
+	// TTL, lease clock). Zero value is production defaults.
+	Central central.Options
 }
 
 // LocalCluster is a complete single-process Scrub deployment: one agent
@@ -71,9 +74,9 @@ func NewLocalCluster(cfg LocalConfig) (*LocalCluster, error) {
 	if len(cfg.Hosts) == 0 {
 		return nil, fmt.Errorf("core: no hosts")
 	}
-	var engine central.Executor = central.NewEngine()
+	var engine central.Executor = central.NewEngineWith(cfg.Central)
 	if cfg.CentralShards > 1 {
-		se, err := central.NewShardedEngine(cfg.CentralShards)
+		se, err := central.NewShardedEngineWith(cfg.CentralShards, cfg.Central)
 		if err != nil {
 			return nil, err
 		}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"net"
 	"time"
 
 	"scrub/internal/central"
@@ -10,6 +11,7 @@ import (
 	"scrub/internal/event"
 	"scrub/internal/host"
 	"scrub/internal/server"
+	"scrub/internal/transport"
 )
 
 // NetConfig parametrizes a NetCluster.
@@ -26,6 +28,20 @@ type NetConfig struct {
 	Logf func(string, ...any)
 	// CentralShards: see LocalConfig.CentralShards.
 	CentralShards int
+	// Central: see LocalConfig.Central.
+	Central central.Options
+	// Sink is the base option set for every host's data sink (dial
+	// timeout, spill limit). Per-host wrapping and drop accounting are
+	// filled in by the assembly.
+	Sink host.NetSinkOptions
+	// Control is the base option set for every agent's control loop
+	// (dial timeout, reconnect backoff). The jitter seed is derived per
+	// host; the dialer is wrapped per host when WrapConn is set.
+	Control host.ControlOptions
+	// WrapConn, when non-nil, interposes on every outbound connection a
+	// host makes (control and data), keyed by host name — the
+	// fault-injection seam. Wire it to chaos.Injector.Wrap.
+	WrapConn func(hostName string, nc net.Conn) net.Conn
 }
 
 // NetCluster is a full Scrub deployment over real TCP in one process:
@@ -71,9 +87,9 @@ func NewNetCluster(cfg NetConfig) (*NetCluster, error) {
 	} else {
 		hub.SetLogf(func(string, ...any) {})
 	}
-	var engine central.Executor = central.NewEngine()
+	var engine central.Executor = central.NewEngineWith(cfg.Central)
 	if cfg.CentralShards > 1 {
-		se, err := central.NewShardedEngine(cfg.CentralShards)
+		se, err := central.NewShardedEngineWith(cfg.CentralShards, cfg.Central)
 		if err != nil {
 			hub.Close()
 			return nil, err
@@ -104,9 +120,20 @@ func NewNetCluster(cfg NetConfig) (*NetCluster, error) {
 	nc.cancel = cancel
 
 	for _, h := range cfg.Hosts {
-		sink := host.NewNetSink(hub.DataAddr(), h.Name)
+		hostName := h.Name
+		sopt := cfg.Sink
+		copt := cfg.Control
+		if cfg.WrapConn != nil {
+			sopt.Wrap = func(raw net.Conn) net.Conn { return cfg.WrapConn(hostName, raw) }
+			copt.Dial = func(addr string, timeout time.Duration) (*transport.Conn, error) {
+				return transport.DialWith(addr, timeout, func(raw net.Conn) net.Conn {
+					return cfg.WrapConn(hostName, raw)
+				})
+			}
+		}
+		sink := host.NewNetSinkWith(hub.DataAddr(), hostName, sopt)
 		acfg := cfg.Agent
-		acfg.HostID = h.Name
+		acfg.HostID = hostName
 		acfg.Service = h.Service
 		acfg.DC = h.DC
 		acfg.Catalog = cfg.Catalog
@@ -117,9 +144,12 @@ func NewNetCluster(cfg NetConfig) (*NetCluster, error) {
 			nc.Close()
 			return nil, err
 		}
+		// Spill-buffer overflow lands in the agent's cumulative drop
+		// counters, so central reports outage losses like queue drops.
+		sink.SetDropAccounting(agent.AccountDrops)
 		nc.agents = append(nc.agents, agent)
 		nc.sinks = append(nc.sinks, sink)
-		go func() { _ = agent.RunControl(ctx, hub.ControlAddr()) }()
+		go func() { _ = agent.RunControlWith(ctx, hub.ControlAddr(), copt) }()
 	}
 
 	// Wait for registrations so queries submitted right away see their

@@ -76,6 +76,12 @@ type Config struct {
 	// FlushInterval flushes partial chunks at least this often.
 	// Default 100ms.
 	FlushInterval time.Duration
+	// HeartbeatInterval bounds how long a query goes without shipping
+	// anything: a query whose last batch is older than this gets a
+	// counter-only heartbeat even when its totals haven't moved, so
+	// ScrubCentral's stream liveness lease stays renewed for healthy
+	// hosts with nothing to report. Default 1s.
+	HeartbeatInterval time.Duration
 	// Clock substitutes time.Now for tests and simulations.
 	Clock func() time.Time
 }
@@ -101,6 +107,9 @@ func (c *Config) fillDefaults() error {
 	}
 	if c.FlushInterval <= 0 {
 		c.FlushInterval = 100 * time.Millisecond
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
 	}
 	if c.Clock == nil {
 		c.Clock = time.Now
@@ -151,6 +160,9 @@ type activeQuery struct {
 	// included in a successful batch or leaves the flag set — never
 	// silently skipped.
 	countersDirty atomic.Bool
+	// lastSentNanos is when the last batch for this query reached the
+	// sink. Shipper-goroutine only; drives the liveness heartbeat cadence.
+	lastSentNanos int64
 }
 
 // chunk is a block of pending tuples for one query. tuples has BatchSize
@@ -618,8 +630,9 @@ func (a *Agent) flushCycle() {
 			a.putChunk(c)
 		}
 	}
+	now := a.cfg.Clock().UnixNano()
 	for _, aq := range actives {
-		if aq.countersDirty.Load() {
+		if aq.countersDirty.Load() || now-aq.lastSentNanos >= int64(a.cfg.HeartbeatInterval) {
 			a.sendBatch(aq, nil)
 		}
 	}
@@ -655,7 +668,28 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 		aq.countersDirty.Store(true)
 		return
 	}
+	aq.lastSentNanos = a.cfg.Clock().UnixNano()
 	a.shipped.Add(uint64(len(tuples)))
+}
+
+// AccountDrops charges n dropped tuples against a query's cumulative
+// drop counter. Sinks that buffer across disconnects (NetSink's spill
+// queue) call this when their buffer overflows, so tuples lost between
+// the agent and the wire land in the same QueueDrops accounting central
+// reports. Unknown queries charge only the agent-level counter (the
+// query may have been stopped while its batches waited out an outage).
+func (a *Agent) AccountDrops(queryID uint64, typeIdx uint8, n uint64) {
+	if n == 0 {
+		return
+	}
+	a.queueDrops.Add(n)
+	a.mu.Lock()
+	aq := a.queries[queryKey{id: queryID, typeIdx: typeIdx}]
+	a.mu.Unlock()
+	if aq != nil {
+		aq.drops.Add(n)
+		aq.countersDirty.Store(true)
+	}
 }
 
 // Flush synchronously pushes pending chunks and counters out (test and

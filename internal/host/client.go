@@ -3,51 +3,203 @@ package host
 import (
 	"context"
 	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
 	"sync"
 	"time"
 
+	"scrub/internal/event"
 	"scrub/internal/transport"
 )
 
+// NetSinkOptions tunes a NetSink. The zero value matches the historical
+// behavior plus a small spill buffer.
+type NetSinkOptions struct {
+	// DialTimeout bounds each dial attempt. Default 3s.
+	DialTimeout time.Duration
+	// SpillLimit bounds, in tuples, how much data the sink buffers across
+	// a disconnect for redelivery on reconnect. Oldest batches are evicted
+	// (and their tuples charged to AccountDrops) when the buffer is full.
+	// Default 4096; negative disables spilling entirely.
+	SpillLimit int
+	// Wrap, when non-nil, interposes on the raw data connection — the
+	// fault-injection seam (internal/chaos).
+	Wrap func(net.Conn) net.Conn
+	// AccountDrops, when non-nil, is told about every tuple the spill
+	// buffer gives up on, keyed by query and type. Wire it to
+	// Agent.AccountDrops so outage losses surface in the cumulative
+	// QueueDrops counters central reports.
+	AccountDrops func(queryID uint64, typeIdx uint8, n uint64)
+}
+
+func (o *NetSinkOptions) fillDefaults() {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.SpillLimit == 0 {
+		o.SpillLimit = 4096
+	}
+}
+
 // NetSink ships tuple batches to ScrubCentral over TCP. It dials lazily,
 // sends a DataHello, and on any send error drops the connection and
-// redials on the next batch — a failed batch is lost, not retried, in
-// keeping with drop-over-block.
+// redials on the next batch. A failed batch is not retried in place —
+// that would block the shipper — but it is deep-copied into a bounded
+// spill buffer and redelivered, in order, once a connection comes back.
+// Spill overflow evicts oldest-first and feeds the drop accounting, so
+// drop-over-block is preserved and every loss is counted.
 type NetSink struct {
 	addr   string
 	hostID string
-	dialTO time.Duration
+	opt    NetSinkOptions
 
-	mu   sync.Mutex
-	conn *transport.Conn
+	mu         sync.Mutex
+	conn       *transport.Conn
+	spill      []transport.TupleBatch // deep copies, oldest first
+	spillSize  int                    // tuples across spill
+	spillDrops uint64                 // tuples evicted; monotone, for tests
 }
 
-// NewNetSink creates a sink for the given ScrubCentral data address.
+// NewNetSink creates a sink for the given ScrubCentral data address with
+// default options.
 func NewNetSink(addr, hostID string) *NetSink {
-	return &NetSink{addr: addr, hostID: hostID, dialTO: 3 * time.Second}
+	return NewNetSinkWith(addr, hostID, NetSinkOptions{})
 }
 
-// SendBatch implements Sink.
+// NewNetSinkWith creates a sink with explicit options.
+func NewNetSinkWith(addr, hostID string, opt NetSinkOptions) *NetSink {
+	opt.fillDefaults()
+	return &NetSink{addr: addr, hostID: hostID, opt: opt}
+}
+
+// SendBatch implements Sink. On failure the batch (if it carries tuples)
+// is spilled for redelivery and the error is still returned: the caller's
+// accounting sees the send as failed, and the counters it re-ships are
+// cumulative, so a later redelivery cannot double-count.
 func (s *NetSink) SendBatch(b transport.TupleBatch) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.conn == nil {
-		conn, err := transport.Dial(s.addr, s.dialTO)
-		if err != nil {
-			return err
-		}
-		if err := conn.Send(transport.DataHello{HostID: s.hostID}); err != nil {
-			conn.Close()
-			return err
-		}
-		s.conn = conn
+	if err := s.ensureConnLocked(); err != nil {
+		s.spillLocked(b)
+		return err
+	}
+	if err := s.drainSpillLocked(); err != nil {
+		s.spillLocked(b)
+		return err
 	}
 	if err := s.conn.Send(b); err != nil {
 		s.conn.Close()
 		s.conn = nil
+		s.spillLocked(b)
 		return err
 	}
 	return nil
+}
+
+func (s *NetSink) ensureConnLocked() error {
+	if s.conn != nil {
+		return nil
+	}
+	conn, err := transport.DialWith(s.addr, s.opt.DialTimeout, s.opt.Wrap)
+	if err != nil {
+		return err
+	}
+	if err := conn.Send(transport.DataHello{HostID: s.hostID}); err != nil {
+		conn.Close()
+		return err
+	}
+	s.conn = conn
+	return nil
+}
+
+// drainSpillLocked redelivers spilled batches in arrival order. On error
+// the unsent remainder (failed batch included) stays spilled.
+func (s *NetSink) drainSpillLocked() error {
+	for len(s.spill) > 0 {
+		if err := s.conn.Send(s.spill[0]); err != nil {
+			s.conn.Close()
+			s.conn = nil
+			return err
+		}
+		s.spillSize -= len(s.spill[0].Tuples)
+		s.spill[0] = transport.TupleBatch{}
+		s.spill = s.spill[1:]
+	}
+	if len(s.spill) == 0 {
+		s.spill = nil // release the drained backing array
+	}
+	return nil
+}
+
+// spillLocked deep-copies b into the spill buffer, evicting oldest
+// batches (with drop accounting) to stay under SpillLimit. Counter-only
+// heartbeats are never spilled: the totals are cumulative and the next
+// heartbeat supersedes them.
+func (s *NetSink) spillLocked(b transport.TupleBatch) {
+	if s.opt.SpillLimit < 0 || len(b.Tuples) == 0 {
+		return
+	}
+	if len(b.Tuples) > s.opt.SpillLimit {
+		s.dropLocked(b)
+		return
+	}
+	for s.spillSize+len(b.Tuples) > s.opt.SpillLimit {
+		s.dropLocked(s.spill[0])
+		s.spillSize -= len(s.spill[0].Tuples)
+		s.spill[0] = transport.TupleBatch{}
+		s.spill = s.spill[1:]
+	}
+	s.spill = append(s.spill, cloneBatch(b))
+	s.spillSize += len(b.Tuples)
+}
+
+func (s *NetSink) dropLocked(b transport.TupleBatch) {
+	n := uint64(len(b.Tuples))
+	s.spillDrops += n
+	if s.opt.AccountDrops != nil {
+		s.opt.AccountDrops(b.QueryID, b.TypeIdx, n)
+	}
+}
+
+// SetDropAccounting installs (or replaces) the AccountDrops callback.
+// Assembly code needs this because the sink is constructed before the
+// agent whose counters it should charge.
+func (s *NetSink) SetDropAccounting(fn func(queryID uint64, typeIdx uint8, n uint64)) {
+	s.mu.Lock()
+	s.opt.AccountDrops = fn
+	s.mu.Unlock()
+}
+
+// SpillDrops reports how many tuples the spill buffer has given up on.
+func (s *NetSink) SpillDrops() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.spillDrops
+}
+
+// cloneBatch deep-copies a batch: the Sink contract says the tuples and
+// their Values arrays live in agent chunk memory that is recycled the
+// moment SendBatch returns, so anything retained must own its bytes.
+func cloneBatch(b transport.TupleBatch) transport.TupleBatch {
+	out := b
+	out.Tuples = make([]transport.Tuple, len(b.Tuples))
+	var vals []event.Value
+	need := 0
+	for i := range b.Tuples {
+		need += len(b.Tuples[i].Values)
+	}
+	if need > 0 {
+		vals = make([]event.Value, 0, need)
+	}
+	for i := range b.Tuples {
+		out.Tuples[i] = b.Tuples[i]
+		if n := len(b.Tuples[i].Values); n > 0 {
+			vals = append(vals, b.Tuples[i].Values...)
+			out.Tuples[i].Values = vals[len(vals)-n:]
+		}
+	}
+	return out
 }
 
 // Close drops the data connection.
@@ -60,35 +212,82 @@ func (s *NetSink) Close() {
 	}
 }
 
-// RunControl connects the agent to the query server's control port,
-// registers the host, and applies pushed query objects until the context
-// ends. It reconnects with backoff on failures, so a server restart does
-// not require an application restart.
+// ControlOptions tunes the agent's control-plane connection loop.
+type ControlOptions struct {
+	// DialTimeout bounds each dial attempt. Default 3s.
+	DialTimeout time.Duration
+	// BaseBackoff and MaxBackoff shape the reconnect schedule: each
+	// attempt sleeps a uniformly random duration in (0, cap] where cap
+	// doubles from BaseBackoff up to MaxBackoff (full jitter, so a fleet
+	// of hosts doesn't reconnect in lockstep after a server restart).
+	// Defaults 250ms and 5s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Seed fixes the jitter RNG for reproducible runs; 0 derives one from
+	// the host id.
+	Seed int64
+	// Dial substitutes the control-connection dialer (tests, chaos).
+	Dial func(addr string, timeout time.Duration) (*transport.Conn, error)
+}
+
+func (o *ControlOptions) fillDefaults(hostID string) {
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 3 * time.Second
+	}
+	if o.BaseBackoff <= 0 {
+		o.BaseBackoff = 250 * time.Millisecond
+	}
+	if o.MaxBackoff < o.BaseBackoff {
+		o.MaxBackoff = 5 * time.Second
+	}
+	if o.Seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(hostID))
+		o.Seed = int64(h.Sum64())
+	}
+	if o.Dial == nil {
+		o.Dial = transport.Dial
+	}
+}
+
+// RunControl connects the agent to the query server's control port with
+// default ControlOptions. See RunControlWith.
 func (a *Agent) RunControl(ctx context.Context, serverAddr string) error {
-	backoff := 250 * time.Millisecond
-	const maxBackoff = 5 * time.Second
+	return a.RunControlWith(ctx, serverAddr, ControlOptions{})
+}
+
+// RunControlWith connects the agent to the query server's control port,
+// registers the host, and applies pushed query objects until the context
+// ends. It reconnects with full-jitter exponential backoff on failures,
+// so a server restart neither requires an application restart nor gets a
+// synchronized reconnect stampede from the whole fleet.
+func (a *Agent) RunControlWith(ctx context.Context, serverAddr string, opt ControlOptions) error {
+	opt.fillDefaults(a.cfg.HostID)
+	rng := rand.New(rand.NewSource(opt.Seed))
+	ceil := opt.BaseBackoff
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		err := a.controlSession(ctx, serverAddr)
+		err := a.controlSession(ctx, serverAddr, &opt)
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
 		_ = err // session errors only affect the retry cadence
+		sleep := time.Duration(1 + rng.Int63n(int64(ceil)))
 		select {
 		case <-ctx.Done():
 			return ctx.Err()
-		case <-time.After(backoff):
+		case <-time.After(sleep):
 		}
-		if backoff *= 2; backoff > maxBackoff {
-			backoff = maxBackoff
+		if ceil *= 2; ceil > opt.MaxBackoff {
+			ceil = opt.MaxBackoff
 		}
 	}
 }
 
-func (a *Agent) controlSession(ctx context.Context, serverAddr string) error {
-	conn, err := transport.Dial(serverAddr, 3*time.Second)
+func (a *Agent) controlSession(ctx context.Context, serverAddr string, opt *ControlOptions) error {
+	conn, err := opt.Dial(serverAddr, opt.DialTimeout)
 	if err != nil {
 		return err
 	}

@@ -119,8 +119,8 @@ func TestNetSinkRedialsAfterFailure(t *testing.T) {
 }
 
 func TestNetSinkUnreachable(t *testing.T) {
-	sink := NewNetSink("127.0.0.1:1", "h") // nothing listens on port 1
-	sink.dialTO = 50 * time.Millisecond
+	// Nothing listens on port 1.
+	sink := NewNetSinkWith("127.0.0.1:1", "h", NetSinkOptions{DialTimeout: 50 * time.Millisecond})
 	if err := sink.SendBatch(transport.TupleBatch{QueryID: 1}); err == nil {
 		t.Fatal("send to unreachable central should fail (and be counted by the agent)")
 	}

@@ -1,0 +1,205 @@
+// Package liveness tracks the health of the per-(host, event-type) tuple
+// streams feeding ScrubCentral. Every batch (including counter-only
+// heartbeats) renews a stream's lease; a stream whose lease expires is
+// *evicted*: it stops participating in the query watermark — so one
+// crashed or partitioned host can no longer stall window emission for
+// everyone — and the windows emitted while it is out carry a degraded
+// marker naming it, with its last-known accounting. A stream that
+// reconnects is re-admitted: it rejoins the watermark, and tuples it
+// ships for windows that closed in its absence are counted as late
+// instead of corrupting closed results.
+//
+// The paper's design (§4/§6: bounded queues, drop-under-pressure, finite
+// spans, no durable state) calls for exactly this shape of graceful
+// degradation: progress is never held hostage to a dead peer, and every
+// loss is accounted, never silent.
+//
+// A Table is NOT self-locking: the central engines mutate it while
+// holding their own query locks, so adding a second mutex here would only
+// buy deadlock surface. Callers must serialize access themselves.
+package liveness
+
+import (
+	"sort"
+	"time"
+
+	"scrub/internal/transport"
+)
+
+// Key identifies one tuple stream: a host shipping one event type of one
+// query. (The query dimension is implicit — engines keep one Table per
+// query.)
+type Key struct {
+	Host    string
+	TypeIdx uint8
+}
+
+// Stream is the per-stream lease and accounting state.
+type Stream struct {
+	// LastSeen is the wall-clock nanos of the last batch or heartbeat.
+	LastSeen int64
+	// LastTs is the max event time shipped so far; HasTs gates it so a
+	// stream that has only sent heartbeats does not pin the watermark at 0.
+	LastTs int64
+	HasTs  bool
+	// Last-known cumulative counters from the host (TupleBatch fields).
+	Matched uint64
+	Sampled uint64
+	Drops   uint64
+	// LateDrops counts this stream's tuples that arrived after every
+	// covering window had closed — counted, not applied.
+	LateDrops uint64
+	// Evicted marks an expired lease. Evictions counts how many times the
+	// lease has expired over the stream's life (a flapping host shows up
+	// here).
+	Evicted   bool
+	Evictions uint64
+}
+
+// Table holds the lease state for one query's streams.
+type Table struct {
+	ttl     int64
+	streams map[Key]*Stream
+}
+
+// DefaultTTL is the lease timeout applied when none is configured. It
+// must comfortably exceed the host agents' heartbeat cadence (default 1s)
+// so a healthy-but-quiet stream is never evicted between heartbeats.
+const DefaultTTL = 3 * time.Second
+
+// NewTable creates an empty lease table; ttl <= 0 selects DefaultTTL.
+func NewTable(ttl time.Duration) *Table {
+	if ttl <= 0 {
+		ttl = DefaultTTL
+	}
+	return &Table{ttl: int64(ttl), streams: make(map[Key]*Stream)}
+}
+
+// TTL reports the configured lease timeout.
+func (t *Table) TTL() time.Duration { return time.Duration(t.ttl) }
+
+// Touch renews k's lease at nowNanos, creating the stream on first
+// contact. It reports the stream state and whether this touch re-admitted
+// a previously evicted stream.
+func (t *Table) Touch(k Key, nowNanos int64) (s *Stream, readmitted bool) {
+	s = t.streams[k]
+	if s == nil {
+		s = &Stream{}
+		t.streams[k] = s
+	}
+	s.LastSeen = nowNanos
+	if s.Evicted {
+		s.Evicted = false
+		readmitted = true
+	}
+	return s, readmitted
+}
+
+// ObserveTs folds one batch's max event time into the stream.
+func (s *Stream) ObserveTs(maxTs int64) {
+	if !s.HasTs || maxTs > s.LastTs {
+		s.LastTs = maxTs
+		s.HasTs = true
+	}
+}
+
+// Expire evicts every live stream whose lease is older than the TTL at
+// nowNanos and returns the newly evicted keys (sorted, deterministic).
+// Already-evicted streams are not reported again.
+func (t *Table) Expire(nowNanos int64) []Key {
+	var out []Key
+	for k, s := range t.streams {
+		if s.Evicted {
+			continue
+		}
+		if nowNanos-s.LastSeen >= t.ttl {
+			s.Evicted = true
+			s.Evictions++
+			out = append(out, k)
+		}
+	}
+	sortKeys(out)
+	return out
+}
+
+// Watermark returns the minimum LastTs across live (non-evicted) streams
+// that have shipped at least one tuple, and false when no such stream
+// exists. Evicted streams are excluded — that is the whole point: a dead
+// host's frozen clock must not stop everyone else's windows from
+// closing.
+func (t *Table) Watermark() (int64, bool) {
+	first := true
+	var wm int64
+	for _, s := range t.streams {
+		if s.Evicted || !s.HasTs {
+			continue
+		}
+		if first || s.LastTs < wm {
+			wm = s.LastTs
+			first = false
+		}
+	}
+	return wm, !first
+}
+
+// AnyEvicted reports whether at least one stream is currently evicted.
+func (t *Table) AnyEvicted() bool {
+	for _, s := range t.streams {
+		if s.Evicted {
+			return true
+		}
+	}
+	return false
+}
+
+// HostDrops sums the last-known host queue-drop counters across streams
+// (evicted ones included — their losses still happened).
+func (t *Table) HostDrops() uint64 {
+	var n uint64
+	for _, s := range t.streams {
+		n += s.Drops
+	}
+	return n
+}
+
+// Len returns the number of tracked streams.
+func (t *Table) Len() int { return len(t.streams) }
+
+// Get returns a stream's state, or nil.
+func (t *Table) Get(k Key) *Stream { return t.streams[k] }
+
+// Snapshot renders every stream as a transport.StreamStat, sorted by
+// (host, type) so emitted windows are deterministic.
+func (t *Table) Snapshot() []transport.StreamStat {
+	if len(t.streams) == 0 {
+		return nil
+	}
+	out := make([]transport.StreamStat, 0, len(t.streams))
+	for k, s := range t.streams {
+		out = append(out, transport.StreamStat{
+			HostID:    k.Host,
+			TypeIdx:   k.TypeIdx,
+			Matched:   s.Matched,
+			Sampled:   s.Sampled,
+			Drops:     s.Drops,
+			LateDrops: s.LateDrops,
+			Evicted:   s.Evicted,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].HostID != out[j].HostID {
+			return out[i].HostID < out[j].HostID
+		}
+		return out[i].TypeIdx < out[j].TypeIdx
+	})
+	return out
+}
+
+func sortKeys(ks []Key) {
+	sort.Slice(ks, func(i, j int) bool {
+		if ks[i].Host != ks[j].Host {
+			return ks[i].Host < ks[j].Host
+		}
+		return ks[i].TypeIdx < ks[j].TypeIdx
+	})
+}

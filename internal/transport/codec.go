@@ -58,6 +58,25 @@ func (w *writer) bool(b bool) {
 	}
 }
 
+func (w *writer) streamStat(s StreamStat) {
+	w.str(s.HostID)
+	w.u8(s.TypeIdx)
+	w.u64(s.Matched)
+	w.u64(s.Sampled)
+	w.u64(s.Drops)
+	w.u64(s.LateDrops)
+	w.bool(s.Evicted)
+}
+
+func (w *writer) queryStats(s QueryStats) {
+	w.u64(s.Windows)
+	w.u64(s.Rows)
+	w.u64(s.TuplesIn)
+	w.u64(s.HostDrops)
+	w.u64(s.LateDrops)
+	w.u64(s.DegradedWindows)
+}
+
 // reader consumes a payload, accumulating the first error.
 type reader struct {
 	buf []byte
@@ -187,6 +206,21 @@ func (r *reader) node() expr.Node {
 	return n
 }
 
+func (r *reader) streamStat() StreamStat {
+	return StreamStat{
+		HostID: r.str(), TypeIdx: r.u8(),
+		Matched: r.u64(), Sampled: r.u64(), Drops: r.u64(),
+		LateDrops: r.u64(), Evicted: r.boolv(),
+	}
+}
+
+func (r *reader) queryStats() QueryStats {
+	return QueryStats{
+		Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
+		HostDrops: r.u64(), LateDrops: r.u64(), DegradedWindows: r.u64(),
+	}
+}
+
 func (r *reader) finish() error {
 	if r.err != nil {
 		return r.err
@@ -243,13 +277,14 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.u64(t.Stats.HostDrops)
 		w.u64(t.Stats.LateDrops)
 		w.u32(t.Stats.HostsReporting)
+		w.bool(t.Degraded)
+		w.uvarint(uint64(len(t.Streams)))
+		for _, s := range t.Streams {
+			w.streamStat(s)
+		}
 	case QueryDone:
 		w.u64(t.QueryID)
-		w.u64(t.Stats.Windows)
-		w.u64(t.Stats.Rows)
-		w.u64(t.Stats.TuplesIn)
-		w.u64(t.Stats.HostDrops)
-		w.u64(t.Stats.LateDrops)
+		w.queryStats(t.Stats)
 	case CancelQuery:
 		w.u64(t.QueryID)
 	case RegisterHost:
@@ -295,11 +330,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 			w.strs(q.Columns)
 			w.u32(q.Hosts)
 			w.i64(q.EndNanos)
-			w.u64(q.Stats.Windows)
-			w.u64(q.Stats.Rows)
-			w.u64(q.Stats.TuplesIn)
-			w.u64(q.Stats.HostDrops)
-			w.u64(q.Stats.LateDrops)
+			w.queryStats(q.Stats)
 		}
 	case Ping:
 		w.u64(t.Nonce)
@@ -370,15 +401,20 @@ func Decode(b []byte) (Message, error) {
 			TuplesIn: r.u64(), HostDrops: r.u64(), LateDrops: r.u64(),
 			HostsReporting: r.u32(),
 		}
+		rw.Degraded = r.boolv()
+		ns := r.uvarint()
+		if ns > uint64(len(b)) {
+			r.fail("implausible stream count")
+		}
+		if r.err == nil && ns > 0 {
+			rw.Streams = make([]StreamStat, 0, ns)
+			for i := uint64(0); i < ns && r.err == nil; i++ {
+				rw.Streams = append(rw.Streams, r.streamStat())
+			}
+		}
 		m = rw
 	case tagQueryDone:
-		m = QueryDone{
-			QueryID: r.u64(),
-			Stats: QueryStats{
-				Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
-				HostDrops: r.u64(), LateDrops: r.u64(),
-			},
-		}
+		m = QueryDone{QueryID: r.u64(), Stats: r.queryStats()}
 	case tagCancelQuery:
 		m = CancelQuery{QueryID: r.u64()}
 	case tagRegisterHost:
@@ -433,10 +469,7 @@ func Decode(b []byte) (Message, error) {
 				ql.Queries = append(ql.Queries, QuerySummary{
 					QueryID: r.u64(), Text: r.str(), Columns: r.strs(),
 					Hosts: r.u32(), EndNanos: r.i64(),
-					Stats: QueryStats{
-						Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
-						HostDrops: r.u64(), LateDrops: r.u64(),
-					},
+					Stats: r.queryStats(),
 				})
 			}
 		}

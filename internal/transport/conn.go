@@ -36,9 +36,20 @@ func NewConn(nc net.Conn) *Conn {
 
 // Dial connects to a Scrub endpoint.
 func Dial(addr string, timeout time.Duration) (*Conn, error) {
+	return DialWith(addr, timeout, nil)
+}
+
+// DialWith connects like Dial but passes the raw connection through wrap
+// (when non-nil) before framing. This is the seam fault-injection layers
+// (internal/chaos) use to interpose on live connections without the
+// protocol code knowing.
+func DialWith(addr string, timeout time.Duration, wrap func(net.Conn) net.Conn) (*Conn, error) {
 	nc, err := net.DialTimeout("tcp", addr, timeout)
 	if err != nil {
 		return nil, fmt.Errorf("transport: dial %s: %w", addr, err)
+	}
+	if wrap != nil {
+		nc = wrap(nc)
 	}
 	return NewConn(nc), nil
 }
@@ -78,9 +89,19 @@ func (c *Conn) Recv() (Message, error) {
 	if n == 0 || n > MaxFrame {
 		return nil, fmt.Errorf("transport: bad frame length %d", n)
 	}
-	payload := make([]byte, n)
+	// Read incrementally rather than trusting the length prefix with one
+	// up-front allocation: a corrupt or hostile header claiming MaxFrame
+	// costs at most 64KiB before the short read surfaces.
+	payload := make([]byte, min(int(n), 64<<10))
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return nil, err
+	}
+	for len(payload) < int(n) {
+		step := min(int(n)-len(payload), 1<<20)
+		payload = append(payload, make([]byte, step)...)
+		if _, err := io.ReadFull(c.br, payload[len(payload)-step:]); err != nil {
+			return nil, err
+		}
 	}
 	return Decode(payload)
 }

@@ -73,6 +73,20 @@ type WindowStats struct {
 	HostsReporting uint32 // distinct hosts that contributed
 }
 
+// StreamStat reports one (host, event-type) tuple stream's last-known
+// cumulative accounting as of a window's emission, plus its liveness
+// state. A troubleshooter reads these to see exactly how much data a
+// result is missing and from whom.
+type StreamStat struct {
+	HostID    string
+	TypeIdx   uint8
+	Matched   uint64 // events matching selection (pre event-sampling)
+	Sampled   uint64 // events shipped (post sampling, pre queue drops)
+	Drops     uint64 // host-side queue + spill drops
+	LateDrops uint64 // this stream's tuples that missed their windows
+	Evicted   bool   // liveness lease expired; excluded from the watermark
+}
+
 // ResultWindow streams one closed window's result rows to the client.
 type ResultWindow struct {
 	QueryID     uint64
@@ -85,6 +99,13 @@ type ResultWindow struct {
 	Approx    bool
 	ErrBounds []float64
 	Stats     WindowStats
+	// Degraded marks a window emitted while at least one reporting
+	// stream's liveness lease had expired: results are complete with
+	// respect to the live hosts, but the evicted hosts' data is missing.
+	// Streams lists every reporting stream (sorted by host, then type)
+	// with its last-known counters; the evicted ones are flagged.
+	Degraded bool
+	Streams  []StreamStat
 }
 
 // QueryStats summarizes a finished query.
@@ -94,6 +115,8 @@ type QueryStats struct {
 	TuplesIn  uint64
 	HostDrops uint64
 	LateDrops uint64
+	// DegradedWindows counts windows emitted with >= 1 evicted stream.
+	DegradedWindows uint64
 }
 
 // QueryDone tells the client the query span ended.

@@ -34,6 +34,17 @@ func sampleMessages() []Message {
 			Stats:     WindowStats{TuplesIn: 4, HostDrops: 1, LateDrops: 2, HostsReporting: 3},
 		},
 		ResultWindow{QueryID: 9, Columns: []string{"x"}}, // empty window
+		ResultWindow{ // degraded window: one stream evicted
+			QueryID: 11, WindowStart: 30, WindowEnd: 40,
+			Columns:  []string{"n"},
+			Rows:     [][]event.Value{{event.Int(5)}},
+			Degraded: true,
+			Streams: []StreamStat{
+				{HostID: "h1", TypeIdx: 0, Matched: 10, Sampled: 10, Drops: 0},
+				{HostID: "h2", TypeIdx: 0, Matched: 7, Sampled: 7, Drops: 2, LateDrops: 1, Evicted: true},
+			},
+			Stats: WindowStats{TuplesIn: 10, HostsReporting: 1},
+		},
 		QueryDone{QueryID: 7, Stats: QueryStats{Windows: 2, Rows: 3, TuplesIn: 4, HostDrops: 1, LateDrops: 0}},
 		CancelQuery{QueryID: 7},
 		RegisterHost{HostID: "bid-sj-1", Service: "BidServers", DC: "DC1"},

@@ -14,4 +14,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== chaos soak (fixed seed, quick, -race) =="
+go run -race ./cmd/benchrunner -only C1 -quick -p1json ''
+
+echo "== fuzz smoke (transport frame decoding) =="
+go test ./internal/transport -run='^$' -fuzz=FuzzDecode -fuzztime=3s
+go test ./internal/transport -run='^$' -fuzz=FuzzRecvFrame -fuzztime=3s
+
 echo "ci: OK"
