@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1 fuzz-smoke chaos-soak
+.PHONY: build test race vet ci bench bench-p1 bench-g1 fuzz-smoke chaos-soak metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -24,6 +24,16 @@ bench:
 # Host-overhead sweep only: the hot-path perf gate tracked across PRs.
 bench-p1:
 	$(GO) run ./cmd/benchrunner -only P1
+
+# Governor comparison: the same expensive query unbounded vs budgeted
+# (writes BENCH_G1.json).
+bench-g1:
+	$(GO) run ./cmd/benchrunner -only G1
+
+# Boot scrubcentral + scrubd with -metrics, scrape both /metrics
+# endpoints, and fail on missing or duplicate series (plus a pprof probe).
+metrics-smoke:
+	$(GO) run ./scripts/metricssmoke
 
 # Short coverage-guided fuzz pass over the transport frame decoder — the
 # surface a partitioned or chaotic network feeds arbitrary bytes into.

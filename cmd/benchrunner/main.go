@@ -34,11 +34,15 @@ type runner struct {
 // p1JSONPath receives the P1 sweep as JSON; empty disables.
 var p1JSONPath string
 
+// g1JSONPath receives the G1 governor comparison as JSON; empty disables.
+var g1JSONPath string
+
 func main() {
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,P3); empty runs all")
 	quick := flag.Bool("quick", false, "smaller configurations for a fast pass")
 	seed := flag.Int64("seed", 0, "override experiment seeds (0 keeps per-experiment defaults)")
 	flag.StringVar(&p1JSONPath, "p1json", "BENCH_P1.json", "file for the machine-readable P1 sweep (ns/request per query count); empty disables")
+	flag.StringVar(&g1JSONPath, "g1json", "BENCH_G1.json", "file for the machine-readable G1 governor comparison (added ns and bytes shipped, unbounded vs budgeted); empty disables")
 	flag.Parse()
 
 	runners := []runner{
@@ -48,6 +52,7 @@ func main() {
 		{"P4", runP4}, {"P5", runP5}, {"P6", runP6},
 		{"A1", runA1}, {"A2", runA2},
 		{"C1", runC1},
+		{"G1", runG1},
 	}
 	want := map[string]bool{}
 	if *only != "" {
@@ -275,6 +280,29 @@ func runC1(quick bool, seed int64) (*experiments.Table, error) {
 	res, err := experiments.C1ChaosSoak(cfg)
 	if err != nil {
 		return nil, err
+	}
+	return res.Table(), nil
+}
+
+func runG1(quick bool, seed int64) (*experiments.Table, error) {
+	cfg := experiments.G1Config{Seed: seed}
+	if quick {
+		cfg.Requests = 10000
+	} else {
+		cfg.Requests = 40000
+	}
+	res, err := experiments.G1Governor(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if g1JSONPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(g1JSONPath, append(b, '\n'), 0o644); err != nil {
+			return nil, err
+		}
 	}
 	return res.Table(), nil
 }

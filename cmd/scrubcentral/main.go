@@ -24,6 +24,7 @@ import (
 	"scrub/internal/central"
 	"scrub/internal/cluster"
 	"scrub/internal/event"
+	"scrub/internal/obs"
 	"scrub/internal/server"
 )
 
@@ -34,6 +35,7 @@ func main() {
 	controlAddr := flag.String("control", "127.0.0.1:7701", "agent control listen address")
 	dataAddr := flag.String("data", "127.0.0.1:7702", "agent data listen address")
 	shards := flag.Int("shards", 1, "ScrubCentral shards (>1 runs the sharded cluster)")
+	metricsAddr := flag.String("metrics", "", "observability listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:0); empty disables")
 	flag.Parse()
 
 	catalog := event.NewCatalog()
@@ -64,9 +66,14 @@ func main() {
 	if err != nil {
 		log.Fatalf("scrubcentral: %v", err)
 	}
-	var engine central.Executor = central.NewEngine()
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	copt := central.Options{Metrics: reg}
+	var engine central.Executor = central.NewEngineWith(copt)
 	if *shards > 1 {
-		se, err := central.NewShardedEngine(*shards)
+		se, err := central.NewShardedEngineWith(*shards, copt)
 		if err != nil {
 			log.Fatalf("scrubcentral: %v", err)
 		}
@@ -81,9 +88,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("scrubcentral: %v", err)
 	}
+	hub.SetMetrics(reg)
 	hub.SetServer(srv)
 	hub.Serve()
 
+	if reg != nil {
+		bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("scrubcentral: metrics listener: %v", err)
+		}
+		// Parseable line: scripts/metricssmoke scrapes the bound address.
+		fmt.Printf("scrubcentral metrics: http://%s/metrics\n", bound)
+	}
 	fmt.Printf("scrubcentral up\n  client:  %s\n  control: %s\n  data:    %s\n  event types: %v\n",
 		hub.ClientAddr(), hub.ControlAddr(), hub.DataAddr(), catalog.Names())
 

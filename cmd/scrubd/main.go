@@ -30,7 +30,9 @@ import (
 
 	"scrub/internal/adplatform"
 	"scrub/internal/event"
+	"scrub/internal/governor"
 	"scrub/internal/host"
+	"scrub/internal/obs"
 )
 
 func main() {
@@ -43,6 +45,9 @@ func main() {
 	useAdPlatform := flag.Bool("adplatform", false, "register the simulated ad platform's event types")
 	demo := flag.String("demo", "", "generate demo events: type=rate[,type=rate...] per second")
 	seed := flag.Int64("seed", 1, "demo generator seed")
+	metricsAddr := flag.String("metrics", "", "observability listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:0); empty disables")
+	hostCPU := flag.Float64("budget-cpu", 0, "global per-host CPU budget for all scrub work, as a fraction of one core (0 disables)")
+	hostBytes := flag.Float64("budget-bytes", 0, "global per-host shipping budget in bytes/sec (0 disables)")
 	flag.Parse()
 
 	if *hostID == "" || *service == "" {
@@ -71,18 +76,34 @@ func main() {
 		log.Fatal("scrubd: no event types; pass -schema or -adplatform")
 	}
 
-	sink := host.NewNetSink(*dataAddr, *hostID)
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	sink := host.NewNetSinkWith(*dataAddr, *hostID, host.NetSinkOptions{Metrics: reg})
 	agent, err := host.New(host.Config{
 		HostID: *hostID, Service: *service, DC: *dc,
 		Catalog: catalog, Sink: sink,
+		Metrics: reg,
+		Governor: governor.Config{
+			HostBudget: governor.Budget{CPUPct: *hostCPU, BytesPerSec: *hostBytes},
+		},
 	})
 	if err != nil {
 		log.Fatalf("scrubd: %v", err)
 	}
+	if reg != nil {
+		bound, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("scrubd: metrics listener: %v", err)
+		}
+		// Parseable line: scripts/metricssmoke scrapes the bound address.
+		fmt.Printf("scrubd metrics: http://%s/metrics\n", bound)
+	}
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		if err := agent.RunControl(ctx, *controlAddr); err != nil && ctx.Err() == nil {
+		if err := agent.RunControlWith(ctx, *controlAddr, host.ControlOptions{Metrics: reg}); err != nil && ctx.Err() == nil {
 			log.Printf("scrubd: control loop: %v", err)
 		}
 	}()

@@ -8,8 +8,11 @@
 //	echo 'select count(*) from bid' | scrubql -server 127.0.0.1:7700
 //
 // With -stats, each window also lists per-stream accounting — matched,
-// sampled, dropped, and late tuples per (host, event type) — and flags
-// DEGRADED windows whose missing hosts were evicted by lease expiry.
+// sampled, dropped, and late tuples per (host, event type), plus the
+// governor's view (effective sampling rate, cumulative cpu-ns and bytes,
+// SHED state) — and flags DEGRADED windows whose missing hosts were
+// evicted by lease expiry and SHED windows where a host's budget
+// governor stopped the query.
 package main
 
 import (
@@ -113,6 +116,10 @@ func main() {
 		fmt.Printf("degraded windows: %d (at least one stream's liveness lease had expired at emission)\n",
 			final.DegradedWindows)
 	}
+	if *stats && final.ShedWindows > 0 {
+		fmt.Printf("shed windows: %d (at least one host's governor shed the query to hold its budget)\n",
+			final.ShedWindows)
+	}
 }
 
 func printWindow(rw transport.ResultWindow, quiet, stats bool) {
@@ -124,6 +131,9 @@ func printWindow(rw transport.ResultWindow, quiet, stats bool) {
 		degraded := ""
 		if rw.Degraded {
 			degraded = " DEGRADED"
+		}
+		if rw.BudgetShed {
+			degraded += " SHED"
 		}
 		fmt.Printf("-- window [%s, %s)%s%s  tuples=%d hosts=%d drops=%d\n",
 			time.Unix(0, rw.WindowStart).Format("15:04:05"),
@@ -138,8 +148,18 @@ func printWindow(rw transport.ResultWindow, quiet, stats bool) {
 			if s.Evicted {
 				state = "  EVICTED"
 			}
-			fmt.Printf("   stream %s/type%d: matched=%d sampled=%d drops=%d late=%d%s\n",
-				s.HostID, s.TypeIdx, s.Matched, s.Sampled, s.Drops, s.LateDrops, state)
+			if s.BudgetShed {
+				state += "  SHED"
+			}
+			gov := ""
+			if s.EffRate > 0 {
+				gov = fmt.Sprintf(" rate=%.3g%%", s.EffRate*100)
+			}
+			if s.CPUNs > 0 || s.Bytes > 0 {
+				gov += fmt.Sprintf(" cpu=%dns bytes=%d", s.CPUNs, s.Bytes)
+			}
+			fmt.Printf("   stream %s/type%d: matched=%d sampled=%d drops=%d late=%d%s%s\n",
+				s.HostID, s.TypeIdx, s.Matched, s.Sampled, s.Drops, s.LateDrops, gov, state)
 		}
 	}
 	for _, row := range rw.Rows {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -11,6 +12,7 @@ import (
 	"scrub/internal/event"
 	"scrub/internal/expr"
 	"scrub/internal/liveness"
+	"scrub/internal/obs"
 	"scrub/internal/sampling"
 	"scrub/internal/stats"
 	"scrub/internal/transport"
@@ -33,6 +35,59 @@ type Options struct {
 	// time is deliberately wall-clock, independent of event time, so
 	// virtual-time simulations cannot spuriously evict healthy streams.
 	Clock func() time.Time
+	// Metrics, when non-nil, registers the engine's scrub_central_*
+	// series, including a per-query tuple counter added at StartQuery and
+	// removed at StopQuery.
+	Metrics *obs.Registry
+}
+
+// centralMetrics bundles the engine's registered series; a nil
+// *centralMetrics (no registry configured) costs one pointer check per
+// batch.
+type centralMetrics struct {
+	reg         *obs.Registry
+	batches     *obs.Counter
+	tuples      *obs.Counter
+	windows     *obs.Counter
+	degraded    *obs.Counter
+	shed        *obs.Counter
+	closeNs     *obs.Histogram
+	wmLag       *obs.Gauge
+	joinPending *obs.Gauge
+}
+
+func newCentralMetrics(reg *obs.Registry) *centralMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &centralMetrics{
+		reg:         reg,
+		batches:     reg.Counter("scrub_central_batches_total", "tuple batches ingested"),
+		tuples:      reg.Counter("scrub_central_tuples_total", "tuples ingested"),
+		windows:     reg.Counter("scrub_central_windows_total", "result windows emitted"),
+		degraded:    reg.Counter("scrub_central_degraded_windows_total", "windows emitted with at least one evicted stream"),
+		shed:        reg.Counter("scrub_central_shed_windows_total", "windows emitted with at least one budget-shed stream"),
+		closeNs:     reg.Histogram("scrub_central_window_close_ns", "window render-and-emit latency in nanoseconds", obs.ExpBuckets(1024, 4, 12)),
+		wmLag:       reg.Gauge("scrub_central_watermark_lag_ns", "wall clock minus the query watermark at last ingest"),
+		joinPending: reg.Gauge("scrub_central_join_pending", "tuples buffered awaiting their join partner"),
+	}
+}
+
+const queryLabel = "query"
+
+func (m *centralMetrics) queryTuples(id uint64) *obs.Counter {
+	if m == nil {
+		return nil
+	}
+	return m.reg.Counter("scrub_central_query_tuples_total",
+		"tuples ingested per query", obs.L(queryLabel, strconv.FormatUint(id, 10)))
+}
+
+func (m *centralMetrics) dropQuery(id uint64) {
+	if m == nil {
+		return
+	}
+	m.reg.Unregister("scrub_central_query_tuples_total", obs.L(queryLabel, strconv.FormatUint(id, 10)))
 }
 
 func (o *Options) fillDefaults() {
@@ -49,6 +104,7 @@ func (o *Options) fillDefaults() {
 // error bounds.
 type Engine struct {
 	opt     Options
+	met     *centralMetrics // nil when no registry configured
 	mu      sync.Mutex
 	queries map[uint64]*queryState
 }
@@ -59,7 +115,7 @@ func NewEngine() *Engine { return NewEngineWith(Options{}) }
 // NewEngineWith returns an empty engine with the given Options.
 func NewEngineWith(opt Options) *Engine {
 	opt.fillDefaults()
-	return &Engine{opt: opt, queries: make(map[uint64]*queryState)}
+	return &Engine{opt: opt, met: newCentralMetrics(opt.Metrics), queries: make(map[uint64]*queryState)}
 }
 
 type queryState struct {
@@ -76,7 +132,8 @@ type queryState struct {
 	// freezing window emission forever.
 	streams  *liveness.Table
 	stats    transport.QueryStats
-	overflow uint64 // raw-row + join-pending drops
+	tuplesC  *obs.Counter // per-query ingest counter; nil without a registry
+	overflow uint64       // raw-row + join-pending drops
 	// scratchKey is the reused group-key buffer for accumulate (engine
 	// lock held throughout a batch, so one buffer per query suffices);
 	// only a tuple that opens a new group copies it.
@@ -144,6 +201,7 @@ func (e *Engine) StartQuery(p Plan, emit EmitFunc) error {
 		win:     win,
 		emit:    emit,
 		streams: liveness.NewTable(e.opt.LeaseTTL),
+		tuplesC: e.met.queryTuples(p.QueryID),
 	}
 	return nil
 }
@@ -184,6 +242,14 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	st.Matched = max(st.Matched, b.MatchedTotal)
 	st.Sampled = max(st.Sampled, b.SampledTotal)
 	st.Drops = max(st.Drops, b.QueueDrops)
+	st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
+	if e.met != nil {
+		e.met.batches.Inc()
+		e.met.tuples.Add(uint64(len(b.Tuples)))
+	}
+	if qs.tuplesC != nil {
+		qs.tuplesC.Add(uint64(len(b.Tuples)))
+	}
 
 	lateBefore := qs.win.LateDrops()
 	var maxTs int64
@@ -208,6 +274,9 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	if hasTs {
 		st.ObserveTs(maxTs)
 		if wm, ok := qs.streams.Watermark(); ok {
+			if e.met != nil {
+				e.met.wmLag.Set(e.opt.Clock().UnixNano() - wm)
+			}
 			for _, closed := range qs.win.Observe(wm) {
 				e.emitWindow(qs, closed)
 			}
@@ -263,6 +332,9 @@ func (e *Engine) processTuple(qs *queryState, ws *winState, host string, typeIdx
 	}
 	cell.sides[typeIdx] = append(cell.sides[typeIdx], kept)
 	ws.pendingCount++
+	if e.met != nil {
+		e.met.joinPending.Add(1)
+	}
 }
 
 // accumulate folds a (possibly joined) row into the window's groups, or
@@ -307,8 +379,14 @@ func (e *Engine) accumulate(qs *queryState, ws *winState, row expr.Row, host str
 		}
 	}
 
-	// Error-bound moments: ungrouped scalable aggregates under sampling.
-	if !p.Grouped() && p.scaleFactor() != 1 {
+	// Error-bound moments: ungrouped scalable aggregates. Collected even
+	// at plan rate 1, because the host-side budget governor can lower a
+	// host's effective sampling rate mid-query — and by the time the
+	// first deviating batch announces that, the window's earlier tuples
+	// are gone. Grouped queries have no moment tracking (bounds are
+	// per-column, not per-group); their degradation is surfaced via
+	// per-stream EffRate instead.
+	if !p.Grouped() && len(p.Aggs) > 0 {
 		moments := ws.perHost[host]
 		if moments == nil {
 			moments = make([]stats.Running, len(p.Aggs))
@@ -332,7 +410,14 @@ func (e *Engine) accumulate(qs *queryState, ws *winState, row expr.Row, host str
 // rows: group ordering, aggregate rendering with Horvitz-Thompson
 // scale-up, HAVING, error bounds, ORDER BY and LIMIT. Shared by the
 // single-node engine and the sharded merger.
-func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) transport.ResultWindow {
+//
+// rates, when non-nil, maps hosts to governor-degraded effective
+// event-sampling rates (liveness.Table.RatesByHost): the window is then
+// approximate even at plan rate 1, and ungrouped scalable aggregates are
+// re-estimated from the per-host moments with each host's own rate
+// (Eq. 1–3) instead of the uniform plan-rate scale-up, so budget
+// downsampling widens the bounds rather than silently skewing values.
+func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState, rates map[string]float64) transport.ResultWindow {
 	rw := transport.ResultWindow{
 		QueryID:     p.QueryID,
 		WindowStart: start,
@@ -341,7 +426,7 @@ func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) trans
 	}
 
 	factor := p.scaleFactor()
-	rw.Approx = factor != 1
+	rw.Approx = factor != 1 || len(rates) > 0
 
 	switch {
 	case !p.HasAgg() && !p.Grouped():
@@ -363,8 +448,9 @@ func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) trans
 			}
 		}
 		var bounds []float64
+		var sums map[int]float64
 		if rw.Approx && !p.Grouped() {
-			bounds = computeBounds(p, comp, ws)
+			bounds, sums = computeBounds(p, comp, ws, rates)
 		}
 		for _, k := range keys {
 			g := ws.groups[k]
@@ -372,7 +458,11 @@ func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) trans
 			for i, ag := range g.aggs {
 				v := ag.Result()
 				if p.Aggs[i].Spec.Scalable() {
-					v = agg.ScaleResult(v, factor)
+					if est, ok := sums[i]; ok {
+						v = substituteEstimate(v, est)
+					} else {
+						v = agg.ScaleResult(v, factor)
+					}
 				}
 				aggVals[i] = v
 			}
@@ -399,12 +489,18 @@ func renderWindow(p *Plan, comp *compiled, start, end int64, ws *winState) trans
 // is expired carries the degraded marker and the full per-stream
 // accounting, so the consumer knows exactly whose data is missing.
 func (e *Engine) emitWindow(qs *queryState, closed window.Closed[*winState]) {
-	rw := renderWindow(&qs.plan, qs.comp, closed.Start, closed.End, closed.State)
+	var t0 time.Time
+	if e.met != nil {
+		t0 = time.Now()
+	}
+	rw := renderWindow(&qs.plan, qs.comp, closed.Start, closed.End, closed.State,
+		qs.streams.RatesByHost(qs.plan.SampleEvents))
 
 	hostDrops := qs.streams.HostDrops()
 	rw.Stats.HostDrops = hostDrops
 	rw.Stats.LateDrops = qs.win.LateDrops() + qs.overflow
 	rw.Degraded = qs.streams.AnyEvicted()
+	rw.BudgetShed = qs.streams.AnyShed()
 	rw.Streams = qs.streams.Snapshot()
 	qs.stats.Windows++
 	qs.stats.Rows += uint64(len(rw.Rows))
@@ -413,20 +509,41 @@ func (e *Engine) emitWindow(qs *queryState, closed window.Closed[*winState]) {
 	if rw.Degraded {
 		qs.stats.DegradedWindows++
 	}
+	if rw.BudgetShed {
+		qs.stats.ShedWindows++
+	}
 	qs.emit(rw)
+	if e.met != nil {
+		e.met.windows.Inc()
+		if rw.Degraded {
+			e.met.degraded.Inc()
+		}
+		if rw.BudgetShed {
+			e.met.shed.Inc()
+		}
+		e.met.joinPending.Add(-int64(closed.State.pendingCount))
+		e.met.closeNs.Observe(float64(time.Since(t0)))
+	}
 }
 
 // computeBounds applies the paper's Eq. 1–3 per select column. Only
 // columns that are directly a scalable aggregate get a bound; others are
-// NaN. Per-host cluster sizes Mᵢ are estimated as mᵢ/q when event
+// NaN. Per-host cluster sizes Mᵢ are estimated as mᵢ/qᵢ when event
 // sampling is in effect (the host's exact matched totals are cumulative
 // across windows, so the per-window Mᵢ is recovered from the sampling
-// rate).
-func computeBounds(p *Plan, comp *compiled, ws *winState) []float64 {
+// rate); qᵢ is the host's governor-degraded effective rate when rates
+// carries one, else the uniform plan rate.
+//
+// When rates is non-nil (at least one host deviates from the plan rate),
+// the returned sums map also carries the Eq. 1 point estimate τ̂ per
+// aggregate index: the caller substitutes it for the uniform scale-up,
+// which would be biased by the unequal per-host rates.
+func computeBounds(p *Plan, comp *compiled, ws *winState, rates map[string]float64) ([]float64, map[int]float64) {
 	bounds := make([]float64, len(p.Select))
 	for i := range bounds {
 		bounds[i] = math.NaN()
 	}
+	var sums map[int]float64
 	for col, aggIdx := range comp.directAgg {
 		if aggIdx < 0 || !p.Aggs[aggIdx].Spec.Scalable() {
 			continue
@@ -437,7 +554,11 @@ func computeBounds(p *Plan, comp *compiled, ws *winState) []float64 {
 			if r.N() == 0 {
 				continue
 			}
-			m := uint64(math.Round(float64(r.N()) / p.SampleEvents))
+			rate := p.SampleEvents
+			if hr, ok := rates[host]; ok && hr > 0 && hr < rate {
+				rate = hr
+			}
+			m := uint64(math.Round(float64(r.N()) / rate))
 			if m < uint64(r.N()) {
 				m = uint64(r.N())
 			}
@@ -453,11 +574,28 @@ func computeBounds(p *Plan, comp *compiled, ws *winState) []float64 {
 			total = len(hosts)
 		}
 		est, err := sampling.EstimateSumMoments(total, hosts, p.Confidence)
-		if err == nil {
-			bounds[col] = est.Err
+		if err != nil {
+			continue
+		}
+		bounds[col] = est.Err
+		if rates != nil {
+			if sums == nil {
+				sums = make(map[int]float64, len(p.Aggs))
+			}
+			sums[aggIdx] = est.Value
 		}
 	}
-	return bounds
+	return bounds, sums
+}
+
+// substituteEstimate replaces a scalable aggregate's direct result with
+// the moments-based estimate, preserving the result's numeric kind the
+// way agg.ScaleResult does.
+func substituteEstimate(orig event.Value, est float64) event.Value {
+	if _, ok := orig.AsInt(); ok {
+		return event.Int(int64(math.Round(est)))
+	}
+	return event.Float(est)
 }
 
 // Tick closes windows by wall clock so idle streams still emit: every
@@ -500,6 +638,7 @@ func (e *Engine) StopQuery(id uint64) (transport.QueryStats, bool) {
 	qs.stats.HostDrops = qs.streams.HostDrops()
 	qs.stats.LateDrops = qs.win.LateDrops() + qs.overflow
 	delete(e.queries, id)
+	e.met.dropQuery(id)
 	return qs.stats, true
 }
 

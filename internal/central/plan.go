@@ -51,7 +51,16 @@ type Plan struct {
 	// Overflow is counted and dropped — bounded state, always.
 	MaxRawRows     int
 	MaxJoinPending int
+
+	// Host-impact budget (BUDGET clause), forwarded to hosts via
+	// HostQuery. Central keeps a copy so it knows to expect per-host
+	// effective-rate deviations and collects estimator moments for them.
+	BudgetCPUPct      float64
+	BudgetBytesPerSec float64
 }
+
+// Budgeted reports whether the query carries a host-impact budget.
+func (p *Plan) Budgeted() bool { return p.BudgetCPUPct > 0 || p.BudgetBytesPerSec > 0 }
 
 // FromPlan assembles a central Plan from an analyzed query.
 func FromPlan(p *ql.Plan, queryID uint64, startNanos, endNanos int64, totalHosts, sampledHosts int) Plan {
@@ -75,9 +84,11 @@ func FromPlan(p *ql.Plan, queryID uint64, startNanos, endNanos int64, totalHosts
 		Slide:        p.Slide,
 		StartNanos:   startNanos,
 		EndNanos:     endNanos,
-		TotalHosts:   totalHosts,
-		SampledHosts: sampledHosts,
-		SampleEvents: p.SampleEvents,
+		TotalHosts:        totalHosts,
+		SampledHosts:      sampledHosts,
+		SampleEvents:      p.SampleEvents,
+		BudgetCPUPct:      p.BudgetCPUPct,
+		BudgetBytesPerSec: p.BudgetBytesPerSec,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"scrub/internal/liveness"
+	"scrub/internal/obs"
 	"scrub/internal/transport"
 	"scrub/internal/window"
 )
@@ -40,6 +41,7 @@ const shardLateness = 365 * 24 * time.Hour
 // engine (scale-up, bounds, HAVING, ORDER BY, LIMIT).
 type ShardedEngine struct {
 	opt    Options
+	met    *centralMetrics // merger-level; shards keep private nil metrics
 	shards []*Engine
 
 	mu      sync.Mutex
@@ -59,6 +61,7 @@ type shardedQuery struct {
 	// pending holds merged-but-unflushed window partials by start time.
 	pending map[int64]*winState
 	stats   transport.QueryStats
+	tuplesC *obs.Counter // per-query ingest counter; nil without a registry
 }
 
 // NewShardedEngine creates an engine with n shards (n >= 1) and default
@@ -73,9 +76,14 @@ func NewShardedEngineWith(n int, opt Options) (*ShardedEngine, error) {
 		return nil, fmt.Errorf("central: shard count must be >= 1, got %d", n)
 	}
 	opt.fillDefaults()
-	se := &ShardedEngine{opt: opt, queries: make(map[uint64]*shardedQuery)}
+	se := &ShardedEngine{opt: opt, met: newCentralMetrics(opt.Metrics), queries: make(map[uint64]*shardedQuery)}
+	// Shards must not register series of their own — whole-batch ingest
+	// accounting lives at the merger, and shard-level registration would
+	// double-count it under the same names.
+	shardOpt := opt
+	shardOpt.Metrics = nil
 	for i := 0; i < n; i++ {
-		se.shards = append(se.shards, NewEngineWith(opt))
+		se.shards = append(se.shards, NewEngineWith(shardOpt))
 	}
 	return se, nil
 }
@@ -108,6 +116,7 @@ func (se *ShardedEngine) StartQuery(p Plan, emit EmitFunc) error {
 		plan: p, comp: comp, emit: emit,
 		streams: liveness.NewTable(se.opt.LeaseTTL),
 		pending: make(map[int64]*winState),
+		tuplesC: se.met.queryTuples(p.QueryID),
 	}
 	se.mu.Unlock()
 
@@ -143,8 +152,16 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 		st.Matched = max(st.Matched, b.MatchedTotal)
 		st.Sampled = max(st.Sampled, b.SampledTotal)
 		st.Drops = max(st.Drops, b.QueueDrops)
+		st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
 		for _, t := range b.Tuples {
 			st.ObserveTs(t.TsNanos)
+		}
+		if se.met != nil {
+			se.met.batches.Inc()
+			se.met.tuples.Add(uint64(len(b.Tuples)))
+		}
+		if sq.tuplesC != nil {
+			sq.tuplesC.Add(uint64(len(b.Tuples)))
 		}
 	}
 	se.mu.Unlock()
@@ -221,7 +238,12 @@ func (se *ShardedEngine) flushLocked(sq *shardedQuery, bound int64) {
 }
 
 func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState) {
-	rw := renderWindow(&sq.plan, sq.comp, start, start+int64(sq.plan.Window), ws)
+	var t0 time.Time
+	if se.met != nil {
+		t0 = time.Now()
+	}
+	rw := renderWindow(&sq.plan, sq.comp, start, start+int64(sq.plan.Window), ws,
+		sq.streams.RatesByHost(sq.plan.SampleEvents))
 	hostDrops := sq.streams.HostDrops()
 	var lateDrops uint64
 	for _, sh := range se.shards {
@@ -232,9 +254,13 @@ func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState)
 	rw.Stats.HostDrops = hostDrops
 	rw.Stats.LateDrops = lateDrops
 	rw.Degraded = sq.streams.AnyEvicted()
+	rw.BudgetShed = sq.streams.AnyShed()
 	rw.Streams = sq.streams.Snapshot()
 	if rw.Degraded {
 		sq.stats.DegradedWindows++
+	}
+	if rw.BudgetShed {
+		sq.stats.ShedWindows++
 	}
 	sq.stats.Windows++
 	sq.stats.Rows += uint64(len(rw.Rows))
@@ -242,6 +268,16 @@ func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState)
 	sq.stats.HostDrops = hostDrops
 	sq.stats.LateDrops = lateDrops
 	sq.emit(rw)
+	if se.met != nil {
+		se.met.windows.Inc()
+		if rw.Degraded {
+			se.met.degraded.Inc()
+		}
+		if rw.BudgetShed {
+			se.met.shed.Inc()
+		}
+		se.met.closeNs.Observe(float64(time.Since(t0)))
+	}
 }
 
 // StopQuery implements Executor: drains every shard, merges, emits the
@@ -268,6 +304,7 @@ func (se *ShardedEngine) StopQuery(id uint64) (transport.QueryStats, bool) {
 	sq.stats.LateDrops = lateDrops
 	sq.stats.HostDrops = sq.streams.HostDrops()
 	delete(se.queries, id)
+	se.met.dropQuery(id)
 	return sq.stats, true
 }
 

@@ -33,6 +33,8 @@ import (
 
 	"scrub/internal/event"
 	"scrub/internal/expr"
+	"scrub/internal/governor"
+	"scrub/internal/obs"
 	"scrub/internal/sampling"
 	"scrub/internal/transport"
 )
@@ -84,6 +86,14 @@ type Config struct {
 	HeartbeatInterval time.Duration
 	// Clock substitutes time.Now for tests and simulations.
 	Clock func() time.Time
+	// Metrics, when non-nil, registers the agent's scrub_host_* series
+	// (labeled host=HostID) and enables the sampled Log-latency
+	// histogram. Nil skips exposition; the counters run either way.
+	Metrics *obs.Registry
+	// Governor tunes budget enforcement (zero value = package defaults).
+	// Per-query budgets arrive with each HostQuery; Governor.HostBudget
+	// additionally caps the aggregate impact of all queries on this host.
+	Governor governor.Config
 }
 
 func (c *Config) fillDefaults() error {
@@ -138,11 +148,30 @@ type activeQuery struct {
 
 	// Event sampling, amortized: skip counts down to the next kept event;
 	// an unsampled event is one atomic decrement. sampleAll short-circuits
-	// the common rate-1 case. sampler re-draws are guarded by mu (the
-	// kept event takes that lock anyway to append its tuple).
-	sampleAll bool
+	// the common rate-1 case; it is atomic because the governor lowers the
+	// rate from the shipper goroutine while Log reads it lock-free.
+	// sampler re-draws are guarded by mu (the kept event takes that lock
+	// anyway to append its tuple).
+	sampleAll atomic.Bool
 	skip      atomic.Int64
 	sampler   *sampling.GeometricSampler
+
+	// Governor state. baseRate/seed/budget are immutable after Start;
+	// tracker, shed, effRate, bytesShipped, and the last* interval marks
+	// are owned by the shipper goroutine (shed is additionally written
+	// under the agent mutex so rebuildLocked can read it from any
+	// goroutine). cpuNs is the sampled hot-path cost: 1 in 64 matched
+	// events is timed and charged ×64.
+	baseRate     float64
+	seed         uint64
+	budget       governor.Budget
+	tracker      *governor.Tracker
+	shed         bool
+	effRate      float64
+	cpuNs        atomic.Uint64
+	bytesShipped uint64
+	lastCPUNs    uint64
+	lastBytes    uint64
 
 	mu  sync.Mutex // guards cur and sampler
 	cur *chunk     // partially filled chunk, nil when none
@@ -201,6 +230,10 @@ type Stats struct {
 	Shipped    uint64 // tuples handed to the sink
 	QueueDrops uint64 // tuples dropped because the queue was full
 	SinkErrors uint64 // batches the sink rejected
+	// Governor ladder actions across all queries this agent ran.
+	GovernorDownsamples uint64
+	GovernorRecovers    uint64
+	GovernorSheds       uint64
 }
 
 // Agent is the per-host Scrub runtime. Create with New, feed with Log,
@@ -222,14 +255,32 @@ type Agent struct {
 	closed    sync.Once
 	wg        sync.WaitGroup
 
-	// shipperScratch is reused across flush cycles; shipper-only.
+	// shipperScratch, govScratch, and encScratch are reused across flush
+	// cycles; shipper-only.
 	shipperScratch []*activeQuery
+	govScratch     []governor.Usage
+	encScratch     []byte
+	// lastGovNanos is the previous governor evaluation time; shipper-only.
+	// Cycles where the configured clock has not advanced (real ticker
+	// firings under a virtual test clock) skip evaluation entirely.
+	lastGovNanos int64
 
-	logged     atomic.Uint64
-	matched    atomic.Uint64
-	shipped    atomic.Uint64
-	queueDrops atomic.Uint64
-	sinkErrors atomic.Uint64
+	// Agent accounting, obs-native so a configured registry exposes the
+	// same counters Stats() reports — no parallel bookkeeping.
+	logged         obs.Counter
+	matched        obs.Counter
+	shipped        obs.Counter
+	queueDrops     obs.Counter
+	sinkErrors     obs.Counter
+	chunkFills     obs.Counter
+	shipBytes      obs.Counter
+	govDownsamples obs.Counter
+	govRecovers    obs.Counter
+	govSheds       obs.Counter
+	// logNs is the sampled Log-call latency (1 in 64 calls timed); nil
+	// unless a Metrics registry was configured, so unobserved agents pay
+	// nothing for it.
+	logNs *obs.Histogram
 }
 
 // New creates and starts an agent (its shipper goroutine runs until
@@ -251,6 +302,22 @@ func New(cfg Config) (*Agent, error) {
 	}
 	empty := make(map[string]*typeQueries)
 	a.byType.Store(&empty)
+	a.lastGovNanos = cfg.Clock().UnixNano()
+	if reg := cfg.Metrics; reg != nil {
+		hl := obs.L("host", cfg.HostID)
+		reg.RegisterCounter("scrub_host_logged_total", "events offered to Log", &a.logged, hl)
+		reg.RegisterCounter("scrub_host_matched_total", "events matching at least one active query", &a.matched, hl)
+		reg.RegisterCounter("scrub_host_shipped_total", "tuples handed to the sink", &a.shipped, hl)
+		reg.RegisterCounter("scrub_host_queue_drops_total", "tuples dropped because the shipping queue was full", &a.queueDrops, hl)
+		reg.RegisterCounter("scrub_host_sink_errors_total", "batches the sink rejected", &a.sinkErrors, hl)
+		reg.RegisterCounter("scrub_host_chunk_fills_total", "chunks filled to BatchSize and submitted", &a.chunkFills, hl)
+		reg.RegisterCounter("scrub_host_ship_bytes_total", "encoded bytes of batches handed to the sink", &a.shipBytes, hl)
+		reg.RegisterCounter("scrub_host_governor_downsamples_total", "budget governor rate halvings", &a.govDownsamples, hl)
+		reg.RegisterCounter("scrub_host_governor_recovers_total", "budget governor rate recoveries", &a.govRecovers, hl)
+		reg.RegisterCounter("scrub_host_governor_sheds_total", "queries shed by the budget governor", &a.govSheds, hl)
+		a.logNs = obs.NewHistogram(obs.ExpBuckets(64, 4, 10))
+		reg.RegisterHistogram("scrub_host_log_ns", "sampled Log call latency in nanoseconds (1 in 64 calls)", a.logNs, hl)
+	}
 	a.wg.Add(1)
 	go a.shipper()
 	return a, nil
@@ -311,11 +378,16 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 	h := fnv.New64a()
 	h.Write([]byte(a.cfg.HostID))
 	seed := hq.QueryID*1000003 ^ h.Sum64()
-	aq.sampleAll = rate >= 1
+	aq.baseRate = rate
+	aq.seed = seed
+	aq.effRate = rate
+	aq.sampleAll.Store(rate >= 1)
 	aq.sampler = sampling.NewGeometricSampler(rate, seed)
-	if !aq.sampleAll {
+	if !aq.sampleAll.Load() {
 		aq.skip.Store(aq.sampler.NextSkip())
 	}
+	aq.budget = governor.Budget{CPUPct: hq.BudgetCPUPct, BytesPerSec: hq.BudgetBytesPerSec}
+	aq.tracker = governor.NewTracker()
 
 	key := queryKey{id: hq.QueryID, typeIdx: hq.TypeIdx}
 	a.mu.Lock()
@@ -390,10 +462,15 @@ func (a *Agent) PruneExpired(now time.Time) int {
 }
 
 // rebuildLocked swaps in a new immutable type→queries snapshot,
-// pre-split into span-free and span-gated lists (see typeQueries).
+// pre-split into span-free and span-gated lists (see typeQueries). Shed
+// queries are excluded — they stop paying per-event cost entirely — but
+// stay in a.queries so heartbeats keep announcing the BudgetShed state.
 func (a *Agent) rebuildLocked() {
 	m := make(map[string]*typeQueries, len(a.queries))
 	for _, aq := range a.queries {
+		if aq.shed {
+			continue
+		}
 		tq := m[aq.hq.EventType]
 		if tq == nil {
 			tq = &typeQueries{}
@@ -416,7 +493,22 @@ func (a *Agent) rebuildLocked() {
 // never blocks, never returns an error to the caller, and makes no
 // steady-state heap allocations; all losses are counted.
 func (a *Agent) Log(ev *event.Event) {
-	a.logged.Add(1)
+	seq := a.logged.IncValue()
+	// Self-observation must cost less than the thing observed: 1 in 64
+	// calls is timed into the latency histogram, and only when a registry
+	// was configured.
+	timed := a.logNs != nil && seq&costSampleMask == 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
+	a.logEvent(ev)
+	if timed {
+		a.logNs.Observe(float64(time.Since(t0)))
+	}
+}
+
+func (a *Agent) logEvent(ev *event.Event) {
 	tq := (*a.byType.Load())[ev.Schema.Name()]
 	if tq == nil {
 		return
@@ -447,6 +539,15 @@ func (a *Agent) Log(ev *event.Event) {
 	}
 }
 
+// Cost sampling: 1 in every 2^costSampleShift matched events (and Log
+// calls) is wall-clock timed, and the measurement is charged at
+// 2^costSampleShift× — cheap enough for the hot path, accurate enough
+// for budget enforcement over 100ms+ intervals.
+const (
+	costSampleShift = 6
+	costSampleMask  = 1<<costSampleShift - 1
+)
+
 // offer runs one in-span query over the event: selection, accounting,
 // sampling, and (for kept events) projection into the query's chunk. It
 // reports whether the event matched the query's selection.
@@ -454,20 +555,36 @@ func (a *Agent) offer(aq *activeQuery, row expr.EventRow, ev *event.Event, ts in
 	if aq.pred != nil && !aq.pred(row) {
 		return false
 	}
-	aq.matched.Add(1)
+	m := aq.matched.Add(1)
+	// The matched count doubles as the cost-sampling sequence, so the
+	// per-query CPU measurement adds no atomics of its own. Selection
+	// cost for non-matching events is not charged — shedding removes it
+	// anyway, and downsampling never could.
+	timed := m&costSampleMask == 0
+	var t0 time.Time
+	if timed {
+		t0 = time.Now()
+	}
 	if !aq.countersDirty.Load() {
 		aq.countersDirty.Store(true)
 	}
-	if !aq.sampleAll {
+	kept := true
+	if !aq.sampleAll.Load() {
 		if aq.skip.Add(-1) != 0 {
 			// >0: inside the current gap. <0: a racing decrement during a
 			// concurrent re-arm; the re-arm's Add folds it into the next
 			// gap. Either way the event is unsampled and cost one decrement.
-			return true
+			kept = false
+		} else {
+			aq.sampled.Add(1)
 		}
-		aq.sampled.Add(1)
 	}
-	a.enqueue(aq, ev, ts)
+	if kept {
+		a.enqueue(aq, ev, ts)
+	}
+	if timed {
+		aq.cpuNs.Add(uint64(time.Since(t0)) << costSampleShift)
+	}
 	return true
 }
 
@@ -476,7 +593,7 @@ func (a *Agent) offer(aq *activeQuery, row expr.EventRow, ev *event.Event, ts in
 // state: the tuple and its values land in pooled chunk memory.
 func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
 	aq.mu.Lock()
-	if !aq.sampleAll {
+	if !aq.sampleAll.Load() {
 		// Re-arm the countdown for the next kept event. Adding (rather
 		// than storing) credits decrements that raced past zero, keeping
 		// the long-run keep rate unbiased.
@@ -504,6 +621,7 @@ func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
 	}
 	aq.mu.Unlock()
 	if full {
+		a.chunkFills.Inc()
 		a.submit(c)
 	}
 }
@@ -636,6 +754,7 @@ func (a *Agent) flushCycle() {
 			a.sendBatch(aq, nil)
 		}
 	}
+	a.governTick(actives)
 }
 
 // ship sends one chunk's tuples and recycles the chunk.
@@ -651,7 +770,7 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 	aq.countersDirty.Store(false)
 	matched := aq.matched.Load()
 	sampled := aq.sampled.Load()
-	if aq.sampleAll {
+	if aq.sampleAll.Load() {
 		sampled = matched // rate 1: every matched event is sampled
 	}
 	batch := transport.TupleBatch{
@@ -662,6 +781,19 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 		MatchedTotal: matched,
 		SampledTotal: sampled,
 		QueueDrops:   aq.drops.Load(),
+		EffRate:      aq.effRate,
+		BudgetShed:   aq.shed,
+		CPUNs:        aq.cpuNs.Load(),
+		ShipBytes:    aq.bytesShipped, // through the previous batch
+	}
+	// Measure the batch's wire size for budget accounting by encoding it
+	// into a shipper-owned scratch buffer — exact (it is the same codec
+	// the wire uses, plus the 4-byte frame header), allocation-free in
+	// steady state, and amortized once per batch, not per tuple.
+	size := 0
+	if enc, err := transport.AppendEncode(a.encScratch[:0], batch); err == nil {
+		size = len(enc) + 4
+		a.encScratch = enc[:0]
 	}
 	if err := a.cfg.Sink.SendBatch(batch); err != nil {
 		a.sinkErrors.Add(1)
@@ -669,7 +801,88 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 		return
 	}
 	aq.lastSentNanos = a.cfg.Clock().UnixNano()
+	aq.bytesShipped += uint64(size)
+	a.shipBytes.Add(uint64(size))
 	a.shipped.Add(uint64(len(tuples)))
+}
+
+// governTick runs one budget-enforcement interval over the active
+// queries: per-query cost deltas since the last tick, the host-aggregate
+// check, and whatever ladder actions the trackers decide. Shipper-only.
+// Cycles where the configured clock has not advanced are skipped, which
+// keeps enforcement deterministic when tests drive a virtual clock (the
+// real flush ticker still fires, but sees zero elapsed time).
+func (a *Agent) governTick(actives []*activeQuery) {
+	now := a.cfg.Clock().UnixNano()
+	elapsed := now - a.lastGovNanos
+	if elapsed <= 0 {
+		return
+	}
+	a.lastGovNanos = now
+	hostU := governor.Usage{ElapsedNs: elapsed}
+	usages := a.govScratch[:0]
+	for _, aq := range actives {
+		cpu := aq.cpuNs.Load()
+		bytes := aq.bytesShipped
+		u := governor.Usage{CPUNs: cpu - aq.lastCPUNs, Bytes: bytes - aq.lastBytes, ElapsedNs: elapsed}
+		aq.lastCPUNs = cpu
+		aq.lastBytes = bytes
+		usages = append(usages, u)
+		hostU.CPUNs += u.CPUNs
+		hostU.Bytes += u.Bytes
+	}
+	a.govScratch = usages
+	hostOver := governor.Load(hostU, a.cfg.Governor.HostBudget) > 1
+	for i, aq := range actives {
+		if aq.shed {
+			continue
+		}
+		eb := governor.EffectiveBudget(aq.budget, a.cfg.Governor.HostBudget, hostOver, len(actives))
+		switch aq.tracker.Evaluate(usages[i], eb, a.cfg.Governor) {
+		case governor.ActionDownsample:
+			a.govDownsamples.Inc()
+			a.applyRate(aq)
+		case governor.ActionRecover:
+			a.govRecovers.Inc()
+			a.applyRate(aq)
+		case governor.ActionShed:
+			a.govSheds.Inc()
+			a.mu.Lock()
+			aq.shed = true
+			a.rebuildLocked()
+			a.mu.Unlock()
+			aq.countersDirty.Store(true)
+			a.salvage(aq)
+		}
+	}
+}
+
+// applyRate re-arms a query's sampler at base rate × the tracker's
+// multiplier and records the new effective rate for batch reporting.
+// Shipper-only.
+func (a *Agent) applyRate(aq *activeQuery) {
+	rate := aq.baseRate * aq.tracker.Mult()
+	if rate > 1 {
+		rate = 1
+	}
+	aq.mu.Lock()
+	if aq.sampleAll.Load() {
+		// Leaving the counter-free rate-1 fast path: seed the sampled
+		// counter with the matched total (at rate 1, mᵢ = Mᵢ) so the
+		// cumulative accounting stays exact across the transition. A Log
+		// racing past the flag flip may ship one tuple uncounted in mᵢ —
+		// a one-time, one-event skew the estimator cannot notice. Once
+		// off the fast path a query never returns to it (a full recovery
+		// runs a rate-1 sampler instead), because re-deriving mᵢ = Mᵢ
+		// after a degraded period would overstate the sample.
+		aq.sampled.Store(aq.matched.Load())
+		aq.sampleAll.Store(false)
+	}
+	aq.sampler = sampling.NewGeometricSampler(rate, aq.seed)
+	aq.skip.Store(aq.sampler.NextSkip())
+	aq.effRate = rate
+	aq.mu.Unlock()
+	aq.countersDirty.Store(true)
 }
 
 // AccountDrops charges n dropped tuples against a query's cumulative
@@ -710,11 +923,14 @@ func (a *Agent) Flush() {
 // Stats snapshots the agent counters.
 func (a *Agent) Stats() Stats {
 	return Stats{
-		Logged:     a.logged.Load(),
-		Matched:    a.matched.Load(),
-		Shipped:    a.shipped.Load(),
-		QueueDrops: a.queueDrops.Load(),
-		SinkErrors: a.sinkErrors.Load(),
+		Logged:              a.logged.Value(),
+		Matched:             a.matched.Value(),
+		Shipped:             a.shipped.Value(),
+		QueueDrops:          a.queueDrops.Value(),
+		SinkErrors:          a.sinkErrors.Value(),
+		GovernorDownsamples: a.govDownsamples.Value(),
+		GovernorRecovers:    a.govRecovers.Value(),
+		GovernorSheds:       a.govSheds.Value(),
 	}
 }
 

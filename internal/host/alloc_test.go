@@ -7,6 +7,7 @@ import (
 
 	"scrub/internal/event"
 	"scrub/internal/expr"
+	"scrub/internal/obs"
 	"scrub/internal/transport"
 )
 
@@ -63,6 +64,38 @@ func TestLogMatchAndEnqueueZeroAllocs(t *testing.T) {
 	a.Flush()
 	if st := a.Stats(); st.Shipped == 0 {
 		t.Error("measured tuples never shipped")
+	}
+}
+
+func TestLogInstrumentedZeroAllocs(t *testing.T) {
+	// With a metrics registry attached, Log additionally bumps the obs
+	// counters, times 1-in-64 calls into the latency histogram, and charges
+	// 1-in-64 matches to the query's cost meter. None of that may allocate:
+	// the instruments are fixed-shape atomics registered once at startup.
+	a, err := New(Config{
+		HostID: "h", Service: "s", Catalog: testCatalog(),
+		Sink:          SinkFunc(func(transport.TupleBatch) error { return nil }),
+		QueueSize:     1 << 16, BatchSize: 4096,
+		FlushInterval: time.Hour,
+		Metrics:       obs.NewRegistry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Start(transport.HostQuery{
+		QueryID: 1, EventType: "bid",
+		Pred: expr.Binary{Op: expr.OpGt,
+			L: expr.FieldRef{Type: "bid", Name: "bid_price"},
+			R: expr.Lit{Val: event.Float(0.5)}},
+		Columns: []string{"user_id", "city"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ev := bidEvent(1, 42, "sf", 1.0, time.Now().UnixNano())
+	a.Log(ev) // allocate and size the first chunk
+	if allocs := testing.AllocsPerRun(1000, func() { a.Log(ev) }); allocs != 0 {
+		t.Errorf("instrumented Log allocates %.1f/op, want 0", allocs)
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"scrub/internal/event"
+	"scrub/internal/obs"
 	"scrub/internal/transport"
 )
 
@@ -31,6 +32,10 @@ type NetSinkOptions struct {
 	// Agent.AccountDrops so outage losses surface in the cumulative
 	// QueueDrops counters central reports.
 	AccountDrops func(queryID uint64, typeIdx uint8, n uint64)
+	// Metrics, when non-nil, registers the sink's series (spill depth and
+	// drops, reconnects, per-connection transport accounting) labeled
+	// host=<hostID>, conn="data".
+	Metrics *obs.Registry
 }
 
 func (o *NetSinkOptions) fillDefaults() {
@@ -59,6 +64,13 @@ type NetSink struct {
 	spill      []transport.TupleBatch // deep copies, oldest first
 	spillSize  int                    // tuples across spill
 	spillDrops uint64                 // tuples evicted; monotone, for tests
+
+	// Registered series; all nil when no registry was configured.
+	spillDepth  *obs.Gauge
+	spillDropsC *obs.Counter
+	reconnects  *obs.Counter
+	connMet     *transport.ConnMetrics
+	dialed      bool // a first dial happened; later dials are reconnects
 }
 
 // NewNetSink creates a sink for the given ScrubCentral data address with
@@ -70,7 +82,15 @@ func NewNetSink(addr, hostID string) *NetSink {
 // NewNetSinkWith creates a sink with explicit options.
 func NewNetSinkWith(addr, hostID string, opt NetSinkOptions) *NetSink {
 	opt.fillDefaults()
-	return &NetSink{addr: addr, hostID: hostID, opt: opt}
+	s := &NetSink{addr: addr, hostID: hostID, opt: opt}
+	if reg := opt.Metrics; reg != nil {
+		hl := obs.L("host", hostID)
+		s.spillDepth = reg.Gauge("scrub_host_spill_depth", "tuples buffered across a central disconnect", hl)
+		s.spillDropsC = reg.Counter("scrub_host_spill_drops_total", "tuples the spill buffer evicted", hl)
+		s.reconnects = reg.Counter("scrub_host_data_reconnects_total", "data-connection dials after the first", hl)
+		s.connMet = transport.NewConnMetrics(reg, hl, obs.L("conn", "data"))
+	}
+	return s
 }
 
 // SendBatch implements Sink. On failure the batch (if it carries tuples)
@@ -101,9 +121,16 @@ func (s *NetSink) ensureConnLocked() error {
 	if s.conn != nil {
 		return nil
 	}
+	if s.dialed && s.reconnects != nil {
+		s.reconnects.Inc()
+	}
+	s.dialed = true
 	conn, err := transport.DialWith(s.addr, s.opt.DialTimeout, s.opt.Wrap)
 	if err != nil {
 		return err
+	}
+	if s.connMet != nil {
+		conn.SetMetrics(s.connMet)
 	}
 	if err := conn.Send(transport.DataHello{HostID: s.hostID}); err != nil {
 		conn.Close()
@@ -129,7 +156,14 @@ func (s *NetSink) drainSpillLocked() error {
 	if len(s.spill) == 0 {
 		s.spill = nil // release the drained backing array
 	}
+	s.noteDepthLocked()
 	return nil
+}
+
+func (s *NetSink) noteDepthLocked() {
+	if s.spillDepth != nil {
+		s.spillDepth.Set(int64(s.spillSize))
+	}
 }
 
 // spillLocked deep-copies b into the spill buffer, evicting oldest
@@ -152,11 +186,15 @@ func (s *NetSink) spillLocked(b transport.TupleBatch) {
 	}
 	s.spill = append(s.spill, cloneBatch(b))
 	s.spillSize += len(b.Tuples)
+	s.noteDepthLocked()
 }
 
 func (s *NetSink) dropLocked(b transport.TupleBatch) {
 	n := uint64(len(b.Tuples))
 	s.spillDrops += n
+	if s.spillDropsC != nil {
+		s.spillDropsC.Add(n)
+	}
 	if s.opt.AccountDrops != nil {
 		s.opt.AccountDrops(b.QueryID, b.TypeIdx, n)
 	}
@@ -228,6 +266,9 @@ type ControlOptions struct {
 	Seed int64
 	// Dial substitutes the control-connection dialer (tests, chaos).
 	Dial func(addr string, timeout time.Duration) (*transport.Conn, error)
+	// Metrics, when non-nil, counts control reconnect attempts
+	// (scrub_host_control_reconnects_total, labeled host=<id>).
+	Metrics *obs.Registry
 }
 
 func (o *ControlOptions) fillDefaults(hostID string) {
@@ -263,12 +304,22 @@ func (a *Agent) RunControl(ctx context.Context, serverAddr string) error {
 // synchronized reconnect stampede from the whole fleet.
 func (a *Agent) RunControlWith(ctx context.Context, serverAddr string, opt ControlOptions) error {
 	opt.fillDefaults(a.cfg.HostID)
+	var reconnects *obs.Counter
+	if opt.Metrics != nil {
+		reconnects = opt.Metrics.Counter("scrub_host_control_reconnects_total",
+			"control-connection dials after the first", obs.L("host", a.cfg.HostID))
+	}
 	rng := rand.New(rand.NewSource(opt.Seed))
 	ceil := opt.BaseBackoff
+	first := true
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if !first && reconnects != nil {
+			reconnects.Inc()
+		}
+		first = false
 		err := a.controlSession(ctx, serverAddr, &opt)
 		if ctx.Err() != nil {
 			return ctx.Err()

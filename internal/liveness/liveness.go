@@ -54,6 +54,33 @@ type Stream struct {
 	// here).
 	Evicted   bool
 	Evictions uint64
+	// Governor accounting (TupleBatch fields): the host's last-reported
+	// effective event-sampling rate (0 = never reported), whether the
+	// budget governor shed the query there (sticky, like the host-side
+	// flag), and cumulative measured cost.
+	EffRate    float64
+	BudgetShed bool
+	CPUNs      uint64
+	Bytes      uint64
+}
+
+// FoldGovernor folds one batch's governor accounting into the stream.
+// Rates replace (they recover as well as degrade); shed is sticky; the
+// cost counters are cumulative so max() tolerates duplicated or
+// reordered batches, like the matched/sampled folding in the engines.
+func (s *Stream) FoldGovernor(effRate float64, shed bool, cpuNs, bytes uint64) {
+	if effRate > 0 {
+		s.EffRate = effRate
+	}
+	if shed {
+		s.BudgetShed = true
+	}
+	if cpuNs > s.CPUNs {
+		s.CPUNs = cpuNs
+	}
+	if bytes > s.Bytes {
+		s.Bytes = bytes
+	}
 }
 
 // Table holds the lease state for one query's streams.
@@ -152,6 +179,45 @@ func (t *Table) AnyEvicted() bool {
 	return false
 }
 
+// AnyShed reports whether at least one stream has been shed by the host
+// budget governor.
+func (t *Table) AnyShed() bool {
+	for _, s := range t.streams {
+		if s.BudgetShed {
+			return true
+		}
+	}
+	return false
+}
+
+// RatesByHost returns each host's effective event-sampling rate — the
+// minimum reported across the host's streams — for hosts that have
+// reported one. It returns nil when every reported rate equals planRate
+// (within rounding), so the common unbudgeted case allocates nothing and
+// downstream code can treat nil as "plan rate everywhere".
+func (t *Table) RatesByHost(planRate float64) map[string]float64 {
+	var out map[string]float64
+	deviates := false
+	for k, s := range t.streams {
+		if s.EffRate <= 0 {
+			continue
+		}
+		if out == nil {
+			out = make(map[string]float64, 4)
+		}
+		if prev, ok := out[k.Host]; !ok || s.EffRate < prev {
+			out[k.Host] = s.EffRate
+		}
+		if diff := s.EffRate - planRate; diff > 1e-12 || diff < -1e-12 {
+			deviates = true
+		}
+	}
+	if !deviates {
+		return nil
+	}
+	return out
+}
+
 // HostDrops sums the last-known host queue-drop counters across streams
 // (evicted ones included — their losses still happened).
 func (t *Table) HostDrops() uint64 {
@@ -177,13 +243,17 @@ func (t *Table) Snapshot() []transport.StreamStat {
 	out := make([]transport.StreamStat, 0, len(t.streams))
 	for k, s := range t.streams {
 		out = append(out, transport.StreamStat{
-			HostID:    k.Host,
-			TypeIdx:   k.TypeIdx,
-			Matched:   s.Matched,
-			Sampled:   s.Sampled,
-			Drops:     s.Drops,
-			LateDrops: s.LateDrops,
-			Evicted:   s.Evicted,
+			HostID:     k.Host,
+			TypeIdx:    k.TypeIdx,
+			Matched:    s.Matched,
+			Sampled:    s.Sampled,
+			Drops:      s.Drops,
+			LateDrops:  s.LateDrops,
+			Evicted:    s.Evicted,
+			EffRate:    s.EffRate,
+			BudgetShed: s.BudgetShed,
+			CPUNs:      s.CPUNs,
+			Bytes:      s.Bytes,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool {

@@ -23,6 +23,7 @@ import (
 	"scrub/internal/central"
 	"scrub/internal/event"
 	"scrub/internal/expr"
+	"scrub/internal/obs"
 	"scrub/internal/ql"
 	"scrub/internal/transport"
 )
@@ -34,9 +35,10 @@ type Logger struct {
 	hostID string
 	store  *LogStore
 
+	events obs.Counter
+	bytes  obs.Counter
+
 	mu      sync.Mutex
-	events  uint64
-	bytes   uint64
 	scratch []byte
 }
 
@@ -50,17 +52,15 @@ func (l *Logger) Log(ev *event.Event) {
 	l.mu.Lock()
 	l.scratch = event.AppendEvent(l.scratch[:0], ev)
 	n := len(l.scratch)
-	l.events++
-	l.bytes += uint64(n)
 	l.mu.Unlock()
+	l.events.Inc()
+	l.bytes.Add(uint64(n))
 	l.store.append(l.hostID, ev, n)
 }
 
 // Stats returns events logged and bytes shipped by this host.
 func (l *Logger) Stats() (events, bytes uint64) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.events, l.bytes
+	return l.events.Value(), l.bytes.Value()
 }
 
 // LogStore is the central log warehouse: everything every host shipped,

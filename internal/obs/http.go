@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the registry as Prometheus text.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// ServeMux builds the daemon observability mux: /metrics for the registry
+// plus the standard net/http/pprof endpoints under /debug/pprof/.
+func ServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve listens on addr (use host:0 for an ephemeral port) and serves
+// ServeMux(r) in a background goroutine for the life of the process,
+// returning the bound address. Daemons print that address so tooling
+// (scripts/metricssmoke) can find an ephemerally bound endpoint.
+func Serve(addr string, r *Registry) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	go func() { _ = http.Serve(ln, ServeMux(r)) }()
+	return ln.Addr().String(), nil
+}

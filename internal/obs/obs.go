@@ -1,0 +1,448 @@
+// Package obs is Scrub's self-observability layer: counters, gauges, and
+// fixed-bucket histograms whose update paths are single atomic operations
+// (zero allocations, no locks), plus a registry that exposes them in the
+// Prometheus text format.
+//
+// The design constraint is the same one that shaped the host agent: Scrub
+// lives inside mission-critical request paths, so *measuring* Scrub must
+// not cost more than Scrub itself. Metrics are therefore plain structs
+// whose zero value is ready to use — hot paths update a field the owner
+// allocated once at setup, and registration (which takes a lock and builds
+// strings) happens only at construction time, never per update.
+//
+// Naming scheme (see DESIGN.md): every series is `scrub_<component>_<what>`
+// with Prometheus unit suffixes (`_total` for counters, `_ns` for
+// nanosecond histograms). Per-host and per-query dimensions are labels,
+// attached at registration: `scrub_host_logged_total{host="web-42"}`.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing counter. The zero value is ready
+// to use; updates are a single atomic add.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// IncValue adds 1 and returns the new count — still one atomic op, for
+// hot paths that derive a sampling decision from the count (time every
+// Nth event) without paying for a second counter.
+func (c *Counter) IncValue() uint64 { return c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down. The zero value is ready to
+// use; updates are a single atomic store or add.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adjusts the value by d (negative to decrease).
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed ascending buckets. Observe is
+// a linear scan over the bounds (bucket counts are small and cache-hot)
+// plus two atomic adds and a CAS loop for the float sum — no allocation,
+// no lock. Construct with NewHistogram; the bound slice is immutable
+// after construction so concurrent Observe needs no synchronization
+// beyond the per-bucket atomics.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; implicit +Inf bucket after
+	counts []atomic.Uint64
+	total  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+// NewHistogram creates a histogram with the given strictly ascending
+// bucket upper bounds. A final +Inf bucket is implicit.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not ascending: %v", bounds))
+		}
+	}
+	b := make([]float64, len(bounds))
+	copy(b, bounds)
+	return &Histogram{bounds: b, counts: make([]atomic.Uint64, len(b)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.total.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns n strictly ascending bounds start, start·factor, …
+// — the usual shape for latency histograms.
+func ExpBuckets(start, factor float64, n int) []float64 {
+	if start <= 0 || factor <= 1 || n < 1 {
+		panic("obs: ExpBuckets needs start > 0, factor > 1, n >= 1")
+	}
+	out := make([]float64, n)
+	v := start
+	for i := range out {
+		out[i] = v
+		v *= factor
+	}
+	return out
+}
+
+// Label is one metric dimension, rendered as key="value".
+type Label struct{ Key, Value string }
+
+// L builds a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+type kind uint8
+
+const (
+	counterKind kind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k kind) String() string {
+	switch k {
+	case counterKind:
+		return "counter"
+	case gaugeKind:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+type series struct {
+	labels string // pre-rendered `k1="v1",k2="v2"` (empty for none)
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+type family struct {
+	name   string
+	help   string
+	kind   kind
+	series map[string]*series
+}
+
+// Registry holds metric families for exposition. All methods are safe for
+// concurrent use, but they take a lock and build strings — call them at
+// setup time, keep the returned metric, and update that on hot paths.
+//
+// Registration is get-or-create on (name, labels): asking twice for the
+// same series returns the same instance, so components that are
+// constructed repeatedly in one process (tests, local clusters) do not
+// collide. Registering an *existing* instance under a live key replaces
+// the old one (a restarted component takes over its series). Registering
+// a name under a different kind panics — that is a programming error, not
+// a runtime condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry { return &Registry{families: make(map[string]*family)} }
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if !validName(l.Key) {
+			panic(fmt.Sprintf("obs: invalid label key %q", l.Key))
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+func (r *Registry) familyLocked(name, help string, k kind) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, series: make(map[string]*series)}
+		r.families[name] = f
+	} else if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, k))
+	}
+	return f
+}
+
+// Counter returns the counter registered under (name, labels), creating
+// it if needed.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, counterKind)
+	if s, ok := f.series[ls]; ok {
+		return s.c
+	}
+	c := &Counter{}
+	f.series[ls] = &series{labels: ls, c: c}
+	return c
+}
+
+// Gauge returns the gauge registered under (name, labels), creating it
+// if needed.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, gaugeKind)
+	if s, ok := f.series[ls]; ok {
+		return s.g
+	}
+	g := &Gauge{}
+	f.series[ls] = &series{labels: ls, g: g}
+	return g
+}
+
+// Histogram returns the histogram registered under (name, labels),
+// creating it with the given bounds if needed (bounds are ignored when
+// the series already exists).
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, histogramKind)
+	if s, ok := f.series[ls]; ok {
+		return s.h
+	}
+	h := NewHistogram(bounds)
+	f.series[ls] = &series{labels: ls, h: h}
+	return h
+}
+
+// RegisterCounter attaches an existing counter (e.g. a field of a
+// component's metric struct) under (name, labels), replacing any previous
+// instance at that key.
+func (r *Registry) RegisterCounter(name, help string, c *Counter, labels ...Label) {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, counterKind)
+	f.series[ls] = &series{labels: ls, c: c}
+}
+
+// RegisterGauge attaches an existing gauge under (name, labels).
+func (r *Registry) RegisterGauge(name, help string, g *Gauge, labels ...Label) {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, gaugeKind)
+	f.series[ls] = &series{labels: ls, g: g}
+}
+
+// RegisterHistogram attaches an existing histogram under (name, labels).
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram, labels ...Label) {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.familyLocked(name, help, histogramKind)
+	f.series[ls] = &series{labels: ls, h: h}
+}
+
+// Unregister removes the series at (name, labels); the family disappears
+// with its last series. Used when a dynamic dimension (a per-query label)
+// ends.
+func (r *Registry) Unregister(name string, labels ...Label) {
+	ls := renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		return
+	}
+	delete(f.series, ls)
+	if len(f.series) == 0 {
+		delete(r.families, name)
+	}
+}
+
+// Sample is one flattened series value (histograms contribute their sum
+// and count). Used by tests and experiments to read a registry without
+// parsing exposition text.
+type Sample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// Snapshot returns every series as flattened samples, sorted by name then
+// labels.
+func (r *Registry) Snapshot() []Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for _, f := range r.families {
+		for _, s := range f.series {
+			switch f.kind {
+			case counterKind:
+				out = append(out, Sample{Name: f.name, Labels: s.labels, Value: float64(s.c.Value())})
+			case gaugeKind:
+				out = append(out, Sample{Name: f.name, Labels: s.labels, Value: float64(s.g.Value())})
+			case histogramKind:
+				out = append(out, Sample{Name: f.name + "_sum", Labels: s.labels, Value: s.h.Sum()})
+				out = append(out, Sample{Name: f.name + "_count", Labels: s.labels, Value: float64(s.h.Count())})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Labels < out[j].Labels
+	})
+	return out
+}
+
+// WriteText writes the registry in the Prometheus text exposition format
+// (version 0.0.4): families sorted by name, series sorted by label string,
+// one # HELP and # TYPE line per family.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	// Snapshot under the lock, render outside it.
+	fams := make([]*family, len(names))
+	for i, name := range names {
+		fams[i] = r.families[name]
+	}
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		keys := make([]string, 0, len(f.series))
+		for k := range f.series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if f.help != "" {
+			b.WriteString("# HELP ")
+			b.WriteString(f.name)
+			b.WriteByte(' ')
+			b.WriteString(f.help)
+			b.WriteByte('\n')
+		}
+		b.WriteString("# TYPE ")
+		b.WriteString(f.name)
+		b.WriteByte(' ')
+		b.WriteString(f.kind.String())
+		b.WriteByte('\n')
+		for _, k := range keys {
+			s := f.series[k]
+			switch f.kind {
+			case counterKind:
+				writeSeries(&b, f.name, "", s.labels, "", strconv.FormatUint(s.c.Value(), 10))
+			case gaugeKind:
+				writeSeries(&b, f.name, "", s.labels, "", strconv.FormatInt(s.g.Value(), 10))
+			case histogramKind:
+				var cum uint64
+				for i, bound := range s.h.bounds {
+					cum += s.h.counts[i].Load()
+					le := `le="` + strconv.FormatFloat(bound, 'g', -1, 64) + `"`
+					writeSeries(&b, f.name, "_bucket", s.labels, le, strconv.FormatUint(cum, 10))
+				}
+				cum += s.h.counts[len(s.h.bounds)].Load()
+				writeSeries(&b, f.name, "_bucket", s.labels, `le="+Inf"`, strconv.FormatUint(cum, 10))
+				writeSeries(&b, f.name, "_sum", s.labels, "", strconv.FormatFloat(s.h.Sum(), 'g', -1, 64))
+				writeSeries(&b, f.name, "_count", s.labels, "", strconv.FormatUint(s.h.Count(), 10))
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func writeSeries(b *strings.Builder, name, suffix, labels, extra, value string) {
+	b.WriteString(name)
+	b.WriteString(suffix)
+	if labels != "" || extra != "" {
+		b.WriteByte('{')
+		b.WriteString(labels)
+		if labels != "" && extra != "" {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}

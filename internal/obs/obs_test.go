@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGauge(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if g.Value() != -3 {
+		t.Fatalf("gauge = %d, want -3", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Fatalf("sum = %g, want 556.5", got)
+	}
+	want := []uint64{2, 1, 1, 1} // (..1], (1..10], (10..100], (100..+Inf)
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(ExpBuckets(1, 2, 10))
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				h.Observe(float64(i % 700))
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 80000 {
+		t.Fatalf("count = %d, want 80000", h.Count())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("scrub_test_total", "help", L("host", "h1"))
+	b := r.Counter("scrub_test_total", "help", L("host", "h1"))
+	if a != b {
+		t.Fatal("get-or-create returned distinct instances for the same series")
+	}
+	c := r.Counter("scrub_test_total", "help", L("host", "h2"))
+	if a == c {
+		t.Fatal("distinct labels returned the same instance")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("scrub_test_total", "help")
+}
+
+func TestRegisterReplaces(t *testing.T) {
+	r := NewRegistry()
+	var c1, c2 Counter
+	c1.Add(5)
+	c2.Add(9)
+	r.RegisterCounter("scrub_replace_total", "h", &c1)
+	r.RegisterCounter("scrub_replace_total", "h", &c2)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "scrub_replace_total 9\n") {
+		t.Fatalf("replacement not visible:\n%s", b.String())
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scrub_b_total", "second", L("host", "h1")).Add(3)
+	r.Gauge("scrub_a_depth", "first").Set(-2)
+	h := r.Histogram("scrub_c_ns", "third", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := `# HELP scrub_a_depth first
+# TYPE scrub_a_depth gauge
+scrub_a_depth -2
+# HELP scrub_b_total second
+# TYPE scrub_b_total counter
+scrub_b_total{host="h1"} 3
+# HELP scrub_c_ns third
+# TYPE scrub_c_ns histogram
+scrub_c_ns_bucket{le="1"} 1
+scrub_c_ns_bucket{le="2"} 2
+scrub_c_ns_bucket{le="+Inf"} 3
+scrub_c_ns_sum 11
+scrub_c_ns_count 3
+`
+	if got != want {
+		t.Fatalf("exposition mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// No duplicate series names within the page.
+	seen := map[string]bool{}
+	for _, line := range strings.Split(got, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		key := line[:strings.LastIndexByte(line, ' ')]
+		if seen[key] {
+			t.Fatalf("duplicate series %q", key)
+		}
+		seen[key] = true
+	}
+}
+
+func TestUnregister(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scrub_q_total", "h", L("query", "1")).Add(1)
+	r.Counter("scrub_q_total", "h", L("query", "2")).Add(2)
+	r.Unregister("scrub_q_total", L("query", "1"))
+	var b strings.Builder
+	_ = r.WriteText(&b)
+	if strings.Contains(b.String(), `query="1"`) {
+		t.Fatal("unregistered series still exposed")
+	}
+	if !strings.Contains(b.String(), `query="2"`) {
+		t.Fatal("sibling series lost")
+	}
+	r.Unregister("scrub_q_total", L("query", "2"))
+	b.Reset()
+	_ = r.WriteText(&b)
+	if strings.Contains(b.String(), "scrub_q_total") {
+		t.Fatal("empty family still exposed")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scrub_s_total", "h", L("host", "a")).Add(4)
+	h := r.Histogram("scrub_s_ns", "h", []float64{10})
+	h.Observe(3)
+	samples := r.Snapshot()
+	byName := map[string]float64{}
+	for _, s := range samples {
+		byName[s.Name] = s.Value
+	}
+	if byName["scrub_s_total"] != 4 || byName["scrub_s_ns_count"] != 1 || byName["scrub_s_ns_sum"] != 3 {
+		t.Fatalf("snapshot wrong: %+v", samples)
+	}
+}
+
+func TestHTTPHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("scrub_http_total", "h").Inc()
+	srv := httptest.NewServer(ServeMux(r))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "scrub_http_total 1") {
+		t.Fatalf("metrics page missing series: %s", buf[:n])
+	}
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Fatalf("pprof cmdline status %d", pp.StatusCode)
+	}
+}
+
+// The whole point of obs: updates must not allocate.
+func TestUpdateAllocs(t *testing.T) {
+	var c Counter
+	if n := testing.AllocsPerRun(1000, func() { c.Add(3) }); n != 0 {
+		t.Fatalf("Counter.Add allocates %v/op", n)
+	}
+	var g Gauge
+	if n := testing.AllocsPerRun(1000, func() { g.Set(5) }); n != 0 {
+		t.Fatalf("Gauge.Set allocates %v/op", n)
+	}
+	h := NewHistogram(ExpBuckets(100, 4, 12))
+	v := 0.0
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 97 }); n != 0 {
+		t.Fatalf("Histogram.Observe allocates %v/op", n)
+	}
+}

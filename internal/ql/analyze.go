@@ -76,7 +76,16 @@ type Plan struct {
 	Target       TargetSpec
 	SampleHosts  float64 // 1.0 when unset
 	SampleEvents float64 // 1.0 when unset
+
+	// Host-impact budget (BUDGET clause); 0 means unlimited. Enforced by
+	// the per-host governor: downsample first, then shed with an explicit
+	// BudgetShed marker.
+	BudgetCPUPct      float64
+	BudgetBytesPerSec float64
 }
+
+// Budgeted reports whether the plan carries a host-impact budget.
+func (p *Plan) Budgeted() bool { return p.BudgetCPUPct > 0 || p.BudgetBytesPerSec > 0 }
 
 // IsJoin reports whether the plan reads two event types.
 func (p *Plan) IsJoin() bool { return len(p.Schemas) == 2 }
@@ -110,17 +119,22 @@ func Analyze(q *Query, cat *event.Catalog) (*Plan, error) {
 	}
 
 	p := &Plan{
-		Query:        q,
-		Window:       q.Window,
-		Slide:        q.Slide,
-		Span:         q.Span,
-		StartAt:      q.StartAt,
-		StartIn:      q.StartIn,
-		Target:       q.Target,
-		SampleHosts:  q.SampleHosts,
-		SampleEvents: q.SampleEvents,
-		HostPred:     make(map[string]expr.Node),
-		Columns:      make(map[string][]string),
+		Query:             q,
+		Window:            q.Window,
+		Slide:             q.Slide,
+		Span:              q.Span,
+		StartAt:           q.StartAt,
+		StartIn:           q.StartIn,
+		Target:            q.Target,
+		SampleHosts:       q.SampleHosts,
+		SampleEvents:      q.SampleEvents,
+		BudgetCPUPct:      q.BudgetCPUPct,
+		BudgetBytesPerSec: q.BudgetBytesPerSec,
+		HostPred:          make(map[string]expr.Node),
+		Columns:           make(map[string][]string),
+	}
+	if q.BudgetCPUPct < 0 || q.BudgetBytesPerSec < 0 {
+		return nil, semf("budget values must be positive")
 	}
 	for _, name := range q.From {
 		s, ok := cat.Lookup(name)

@@ -101,8 +101,17 @@ type Query struct {
 	SampleHosts  float64
 	SampleEvents float64
 
+	// Host-impact budget (the BUDGET clause); 0 means unlimited. When a
+	// host exceeds the budget the governor first tightens the effective
+	// event-sampling rate, then sheds the query on that host.
+	BudgetCPUPct      float64 // share of one core, as a fraction in (0,1]
+	BudgetBytesPerSec float64 // shipped tuple-batch bytes per second
+
 	Raw string // original query text
 }
+
+// Budgeted reports whether the query carries a host-impact budget.
+func (q *Query) Budgeted() bool { return q.BudgetCPUPct > 0 || q.BudgetBytesPerSec > 0 }
 
 // RawOrderKey is an ORDER BY key as parsed: either a 1-based select
 // ordinal or a column label, plus the direction.
@@ -193,6 +202,15 @@ func (q *Query) String() string {
 		}
 		if q.SampleEvents != 0 {
 			fmt.Fprintf(&sb, " events %g%%", q.SampleEvents*100)
+		}
+	}
+	if q.Budgeted() {
+		sb.WriteString(" budget")
+		if q.BudgetCPUPct != 0 {
+			fmt.Fprintf(&sb, " cpu %g%%", q.BudgetCPUPct*100)
+		}
+		if q.BudgetBytesPerSec != 0 {
+			fmt.Fprintf(&sb, " bytes %g", q.BudgetBytesPerSec)
 		}
 	}
 	return sb.String()

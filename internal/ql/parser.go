@@ -17,7 +17,8 @@ import (
 //	          [HAVING pred] [ORDER BY (label|ordinal) [DESC|ASC], ...]
 //	          [LIMIT n] [WINDOW dur [SLIDE dur]]
 //	          [START (+dur | string | NOW)] [DURATION dur]
-//	          [@[ target ]] [SAMPLE [HOSTS n%] [EVENTS n%]] [;]
+//	          [@[ target ]] [SAMPLE [HOSTS n%] [EVENTS n%]]
+//	          [BUDGET [CPU n%] [BYTES n]] [;]
 //	target := ALL | clause (AND clause)*
 //	clause := SERVICE (= name | IN (names)) | SERVER[S] (= name | IN (names))
 //	        | DC = name
@@ -282,6 +283,15 @@ func (p *parser) parseQuery() (*Query, error) {
 				return nil, err
 			}
 
+		case t.isKeyword("budget"):
+			if q.Budgeted() {
+				return nil, p.errf(t, "duplicate BUDGET")
+			}
+			p.pos++
+			if err := p.parseBudget(q); err != nil {
+				return nil, err
+			}
+
 		case t.isSymbol(";"):
 			p.pos++
 			if p.cur().Kind != tokEOF {
@@ -502,6 +512,48 @@ func (p *parser) parseSample(q *Query) error {
 	}
 }
 
+// parseBudget parses `BUDGET [CPU n%] [BYTES n]`; at least one clause is
+// required. CPU is a share of one core; BYTES is shipped bytes per second.
+func (p *parser) parseBudget(q *Query) error {
+	parsed := false
+	for {
+		t := p.cur()
+		switch {
+		case t.isKeyword("cpu"):
+			if q.BudgetCPUPct != 0 {
+				return p.errf(t, "duplicate BUDGET CPU")
+			}
+			p.pos++
+			pct, err := p.parsePercent()
+			if err != nil {
+				return err
+			}
+			q.BudgetCPUPct = pct
+		case t.isKeyword("bytes"):
+			if q.BudgetBytesPerSec != 0 {
+				return p.errf(t, "duplicate BUDGET BYTES")
+			}
+			p.pos++
+			n := p.cur()
+			if n.Kind != tokInt && n.Kind != tokFloat {
+				return p.errf(n, "BUDGET BYTES expects a positive number (bytes per second), got %s", n)
+			}
+			v, err := strconv.ParseFloat(n.Text, 64)
+			if err != nil || v <= 0 {
+				return p.errf(n, "BUDGET BYTES expects a positive number, got %q", n.Text)
+			}
+			p.pos++
+			q.BudgetBytesPerSec = v
+		default:
+			if !parsed {
+				return p.errf(t, "BUDGET expects CPU or BYTES")
+			}
+			return nil
+		}
+		parsed = true
+	}
+}
+
 func (p *parser) parsePercent() (float64, error) {
 	t := p.cur()
 	if t.Kind != tokInt && t.Kind != tokFloat {
@@ -516,7 +568,7 @@ func (p *parser) parsePercent() (float64, error) {
 		return 0, err
 	}
 	if v <= 0 || v > 100 {
-		return 0, p.errf(t, "sampling percentage must be in (0, 100], got %g", v)
+		return 0, p.errf(t, "percentage must be in (0, 100], got %g", v)
 	}
 	return v / 100, nil
 }

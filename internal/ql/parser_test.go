@@ -431,3 +431,70 @@ func TestParseHavingOrderLimit(t *testing.T) {
 		}
 	}
 }
+
+func TestParseBudget(t *testing.T) {
+	q, err := Parse(`select count(*) from bid budget cpu 2% bytes 65536`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BudgetCPUPct != 0.02 || q.BudgetBytesPerSec != 65536 {
+		t.Errorf("budget = %g/%g", q.BudgetCPUPct, q.BudgetBytesPerSec)
+	}
+	if !q.Budgeted() {
+		t.Error("Budgeted() false")
+	}
+	// Single-dimension forms.
+	q, err = Parse(`select count(*) from bid budget bytes 1024.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BudgetCPUPct != 0 || q.BudgetBytesPerSec != 1024.5 {
+		t.Errorf("bytes-only budget = %g/%g", q.BudgetCPUPct, q.BudgetBytesPerSec)
+	}
+	q, err = Parse(`select count(*) from bid budget cpu 0.5%`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BudgetCPUPct != 0.005 {
+		t.Errorf("cpu-only budget = %g", q.BudgetCPUPct)
+	}
+	// Composes with the other optional clauses in any order.
+	q, err = Parse(`select count(*) from bid budget bytes 100 sample events 10% window 5s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.BudgetBytesPerSec != 100 || q.SampleEvents != 0.1 {
+		t.Errorf("budget+sample = %g/%g", q.BudgetBytesPerSec, q.SampleEvents)
+	}
+	// Canonical text round-trips.
+	q, err = Parse(`select count(*) from bid sample events 50% budget cpu 2% bytes 4096`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q2, err := Parse(q.String())
+	if err != nil {
+		t.Fatalf("re-parse %q: %v", q.String(), err)
+	}
+	if q2.BudgetCPUPct != q.BudgetCPUPct || q2.BudgetBytesPerSec != q.BudgetBytesPerSec {
+		t.Errorf("round trip lost budget: %q", q.String())
+	}
+	bad := []string{
+		`select count(*) from bid budget`,
+		`select count(*) from bid budget cpu`,
+		`select count(*) from bid budget cpu 2`,
+		`select count(*) from bid budget cpu 0%`,
+		`select count(*) from bid budget cpu 101%`,
+		`select count(*) from bid budget bytes`,
+		`select count(*) from bid budget bytes 0`,
+		`select count(*) from bid budget bytes -5`,
+		`select count(*) from bid budget bytes x`,
+		`select count(*) from bid budget cpu 1% cpu 2%`,
+		`select count(*) from bid budget bytes 1 bytes 2`,
+		`select count(*) from bid budget cpu 1% budget bytes 2`,
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"scrub/internal/cluster"
+	"scrub/internal/obs"
 	"scrub/internal/transport"
 )
 
@@ -25,6 +26,10 @@ type Hub struct {
 	mu    sync.Mutex
 	srv   *Server
 	hosts map[string]*transport.Conn
+
+	// dataMet aggregates wire accounting across every accepted data
+	// connection; nil without SetMetrics.
+	dataMet *transport.ConnMetrics
 
 	clientL  *transport.Listener
 	controlL *transport.Listener
@@ -63,6 +68,15 @@ func (h *Hub) SetServer(s *Server) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.srv = s
+}
+
+// SetMetrics registers the hub's transport series with reg; call before
+// Serve. All accepted data connections share one aggregate series set.
+func (h *Hub) SetMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	h.dataMet = transport.NewConnMetrics(reg, obs.L("conn", "data"))
 }
 
 // SetLogf replaces the hub's logger (tests silence it).
@@ -176,6 +190,9 @@ func (h *Hub) handleData(conn *transport.Conn) {
 	if _, ok := first.(transport.DataHello); !ok {
 		h.logf("scrub: data connection opened with %s, want DataHello", transport.Name(first))
 		return
+	}
+	if h.dataMet != nil {
+		conn.SetMetrics(h.dataMet)
 	}
 	h.mu.Lock()
 	srv := h.srv

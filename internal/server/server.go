@@ -194,14 +194,16 @@ func (s *Server) Submit(text string, cb Callbacks) (QueryInfo, error) {
 	// query.
 	for typeIdx, typ := range plan.TypeNames() {
 		hq := transport.HostQuery{
-			QueryID:      qid,
-			EventType:    typ,
-			TypeIdx:      uint8(typeIdx),
-			Pred:         plan.HostPred[typ],
-			Columns:      plan.Columns[typ],
-			SampleEvents: plan.SampleEvents,
-			StartNanos:   start.UnixNano(),
-			EndNanos:     end.UnixNano(),
+			QueryID:           qid,
+			EventType:         typ,
+			TypeIdx:           uint8(typeIdx),
+			Pred:              plan.HostPred[typ],
+			Columns:           plan.Columns[typ],
+			SampleEvents:      plan.SampleEvents,
+			StartNanos:        start.UnixNano(),
+			EndNanos:          end.UnixNano(),
+			BudgetCPUPct:      plan.BudgetCPUPct,
+			BudgetBytesPerSec: plan.BudgetBytesPerSec,
 		}
 		for _, h := range chosen {
 			_ = s.cfg.Dispatcher.SendToHost(h, hq)
@@ -298,14 +300,16 @@ func (s *Server) ResyncHost(hostName string) int {
 	for _, sq := range targeted {
 		for typeIdx, typ := range sq.plan.TypeNames() {
 			hq := transport.HostQuery{
-				QueryID:      sq.info.ID,
-				EventType:    typ,
-				TypeIdx:      uint8(typeIdx),
-				Pred:         sq.plan.HostPred[typ],
-				Columns:      sq.plan.Columns[typ],
-				SampleEvents: sq.plan.SampleEvents,
-				StartNanos:   sq.info.Start.UnixNano(),
-				EndNanos:     sq.info.End.UnixNano(),
+				QueryID:           sq.info.ID,
+				EventType:         typ,
+				TypeIdx:           uint8(typeIdx),
+				Pred:              sq.plan.HostPred[typ],
+				Columns:           sq.plan.Columns[typ],
+				SampleEvents:      sq.plan.SampleEvents,
+				StartNanos:        sq.info.Start.UnixNano(),
+				EndNanos:          sq.info.End.UnixNano(),
+				BudgetCPUPct:      sq.plan.BudgetCPUPct,
+				BudgetBytesPerSec: sq.plan.BudgetBytesPerSec,
 			}
 			if s.cfg.Dispatcher.SendToHost(hostName, hq) == nil {
 				n++

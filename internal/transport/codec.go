@@ -66,6 +66,10 @@ func (w *writer) streamStat(s StreamStat) {
 	w.u64(s.Drops)
 	w.u64(s.LateDrops)
 	w.bool(s.Evicted)
+	w.f64(s.EffRate)
+	w.bool(s.BudgetShed)
+	w.u64(s.CPUNs)
+	w.u64(s.Bytes)
 }
 
 func (w *writer) queryStats(s QueryStats) {
@@ -75,6 +79,7 @@ func (w *writer) queryStats(s QueryStats) {
 	w.u64(s.HostDrops)
 	w.u64(s.LateDrops)
 	w.u64(s.DegradedWindows)
+	w.u64(s.ShedWindows)
 }
 
 // reader consumes a payload, accumulating the first error.
@@ -211,6 +216,8 @@ func (r *reader) streamStat() StreamStat {
 		HostID: r.str(), TypeIdx: r.u8(),
 		Matched: r.u64(), Sampled: r.u64(), Drops: r.u64(),
 		LateDrops: r.u64(), Evicted: r.boolv(),
+		EffRate: r.f64(), BudgetShed: r.boolv(),
+		CPUNs: r.u64(), Bytes: r.u64(),
 	}
 }
 
@@ -218,6 +225,7 @@ func (r *reader) queryStats() QueryStats {
 	return QueryStats{
 		Windows: r.u64(), Rows: r.u64(), TuplesIn: r.u64(),
 		HostDrops: r.u64(), LateDrops: r.u64(), DegradedWindows: r.u64(),
+		ShedWindows: r.u64(),
 	}
 }
 
@@ -278,6 +286,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.u64(t.Stats.LateDrops)
 		w.u32(t.Stats.HostsReporting)
 		w.bool(t.Degraded)
+		w.bool(t.BudgetShed)
 		w.uvarint(uint64(len(t.Streams)))
 		for _, s := range t.Streams {
 			w.streamStat(s)
@@ -300,6 +309,8 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.f64(t.SampleEvents)
 		w.i64(t.StartNanos)
 		w.i64(t.EndNanos)
+		w.f64(t.BudgetCPUPct)
+		w.f64(t.BudgetBytesPerSec)
 	case StopQuery:
 		w.u64(t.QueryID)
 	case DataHello:
@@ -320,6 +331,10 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.u64(t.MatchedTotal)
 		w.u64(t.SampledTotal)
 		w.u64(t.QueueDrops)
+		w.f64(t.EffRate)
+		w.bool(t.BudgetShed)
+		w.u64(t.CPUNs)
+		w.u64(t.ShipBytes)
 	case ListQueries:
 		// no payload
 	case QueryList:
@@ -402,6 +417,7 @@ func Decode(b []byte) (Message, error) {
 			HostsReporting: r.u32(),
 		}
 		rw.Degraded = r.boolv()
+		rw.BudgetShed = r.boolv()
 		ns := r.uvarint()
 		if ns > uint64(len(b)) {
 			r.fail("implausible stream count")
@@ -424,6 +440,7 @@ func Decode(b []byte) (Message, error) {
 			QueryID: r.u64(), EventType: r.str(), TypeIdx: r.u8(),
 			Pred: r.node(), Columns: r.strs(), SampleEvents: r.f64(),
 			StartNanos: r.i64(), EndNanos: r.i64(),
+			BudgetCPUPct: r.f64(), BudgetBytesPerSec: r.f64(),
 		}
 	case tagStopQuery:
 		m = StopQuery{QueryID: r.u64()}
@@ -454,6 +471,10 @@ func Decode(b []byte) (Message, error) {
 		tb.MatchedTotal = r.u64()
 		tb.SampledTotal = r.u64()
 		tb.QueueDrops = r.u64()
+		tb.EffRate = r.f64()
+		tb.BudgetShed = r.boolv()
+		tb.CPUNs = r.u64()
+		tb.ShipBytes = r.u64()
 		m = tb
 	case tagListQueries:
 		m = ListQueries{}

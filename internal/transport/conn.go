@@ -7,12 +7,43 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"scrub/internal/obs"
 )
 
 // MaxFrame bounds a single protocol frame. Batches larger than this are an
 // agent bug (the shipper bounds batch sizes well below it).
 const MaxFrame = 16 << 20
+
+// ConnMetrics aggregates a connection's (or a set of connections')
+// transport-level accounting: frames and wire bytes in each direction and
+// the time spent in the codec. Fields may be nil to skip a dimension; the
+// whole struct is typically built once per daemon with
+// NewConnMetrics and attached to every Conn of one role.
+type ConnMetrics struct {
+	FramesSent *obs.Counter
+	BytesSent  *obs.Counter // payload + 4-byte frame header
+	EncodeNs   *obs.Counter
+	FramesRecv *obs.Counter
+	BytesRecv  *obs.Counter
+	DecodeNs   *obs.Counter
+}
+
+// NewConnMetrics registers the six transport series in reg under
+// scrub_transport_* with the given labels (typically conn="data") and
+// returns the bundle to attach with Conn.SetMetrics.
+func NewConnMetrics(reg *obs.Registry, labels ...obs.Label) *ConnMetrics {
+	return &ConnMetrics{
+		FramesSent: reg.Counter("scrub_transport_frames_sent_total", "frames written", labels...),
+		BytesSent:  reg.Counter("scrub_transport_bytes_sent_total", "wire bytes written (payload + frame header)", labels...),
+		EncodeNs:   reg.Counter("scrub_transport_encode_ns_total", "nanoseconds spent encoding outbound frames", labels...),
+		FramesRecv: reg.Counter("scrub_transport_frames_recv_total", "frames read", labels...),
+		BytesRecv:  reg.Counter("scrub_transport_bytes_recv_total", "wire bytes read (payload + frame header)", labels...),
+		DecodeNs:   reg.Counter("scrub_transport_decode_ns_total", "nanoseconds spent decoding inbound frames", labels...),
+	}
+}
 
 // Conn is a framed, message-oriented connection. Send is safe for
 // concurrent use; Recv must be driven from one goroutine.
@@ -22,8 +53,13 @@ type Conn struct {
 	wmu  sync.Mutex
 	bw   *bufio.Writer
 	enc  []byte // reusable encode buffer, guarded by wmu
+	met  atomic.Pointer[ConnMetrics]
 	once sync.Once
 }
+
+// SetMetrics attaches transport accounting; safe to call at any time,
+// including while the connection is in use (the pointer swap is atomic).
+func (c *Conn) SetMetrics(m *ConnMetrics) { c.met.Store(m) }
 
 // NewConn wraps a net.Conn (TCP in production, net.Pipe in tests).
 func NewConn(nc net.Conn) *Conn {
@@ -60,11 +96,27 @@ func DialWith(addr string, timeout time.Duration, wrap func(net.Conn) net.Conn) 
 func (c *Conn) Send(m Message) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	met := c.met.Load()
+	var t0 time.Time
+	if met != nil {
+		t0 = time.Now()
+	}
 	payload, err := AppendEncode(c.enc[:0], m)
 	if err != nil {
 		return err
 	}
 	c.enc = payload[:0]
+	if met != nil {
+		if met.EncodeNs != nil {
+			met.EncodeNs.Add(uint64(time.Since(t0)))
+		}
+		if met.FramesSent != nil {
+			met.FramesSent.Inc()
+		}
+		if met.BytesSent != nil {
+			met.BytesSent.Add(uint64(len(payload) + 4))
+		}
+	}
 	if len(payload) > MaxFrame {
 		return fmt.Errorf("transport: frame too large: %d bytes (%s)", len(payload), Name(m))
 	}
@@ -103,7 +155,24 @@ func (c *Conn) Recv() (Message, error) {
 			return nil, err
 		}
 	}
-	return Decode(payload)
+	met := c.met.Load()
+	if met == nil {
+		return Decode(payload)
+	}
+	t0 := time.Now()
+	m, err := Decode(payload)
+	if met.DecodeNs != nil {
+		met.DecodeNs.Add(uint64(time.Since(t0)))
+	}
+	if err == nil {
+		if met.FramesRecv != nil {
+			met.FramesRecv.Inc()
+		}
+		if met.BytesRecv != nil {
+			met.BytesRecv.Add(uint64(len(payload) + 4))
+		}
+	}
+	return m, err
 }
 
 // SetReadDeadline forwards to the underlying connection.

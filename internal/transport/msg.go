@@ -85,6 +85,14 @@ type StreamStat struct {
 	Drops     uint64 // host-side queue + spill drops
 	LateDrops uint64 // this stream's tuples that missed their windows
 	Evicted   bool   // liveness lease expired; excluded from the watermark
+	// Governor accounting (PR 3): the host's last-reported effective
+	// event-sampling rate (0 = never reported; the plan rate applies),
+	// whether the budget governor shed the query on this host, and the
+	// cumulative measured cost there.
+	EffRate    float64
+	BudgetShed bool
+	CPUNs      uint64 // cumulative hot-path CPU nanoseconds (sampled ×64)
+	Bytes      uint64 // cumulative encoded batch bytes shipped
 }
 
 // ResultWindow streams one closed window's result rows to the client.
@@ -105,7 +113,11 @@ type ResultWindow struct {
 	// Streams lists every reporting stream (sorted by host, then type)
 	// with its last-known counters; the evicted ones are flagged.
 	Degraded bool
-	Streams  []StreamStat
+	// BudgetShed marks a window emitted while at least one reporting
+	// stream had been shed by the host-impact governor: the shed hosts
+	// stopped contributing events when their budget floor was breached.
+	BudgetShed bool
+	Streams    []StreamStat
 }
 
 // QueryStats summarizes a finished query.
@@ -117,6 +129,8 @@ type QueryStats struct {
 	LateDrops uint64
 	// DegradedWindows counts windows emitted with >= 1 evicted stream.
 	DegradedWindows uint64
+	// ShedWindows counts windows emitted with >= 1 budget-shed stream.
+	ShedWindows uint64
 }
 
 // QueryDone tells the client the query span ended.
@@ -148,6 +162,10 @@ type HostQuery struct {
 	SampleEvents float64   // (0,1]
 	StartNanos   int64     // activate at
 	EndNanos     int64     // deactivate at (span expiry)
+	// Host-impact budget (BUDGET clause); 0 means unlimited. The agent's
+	// governor downsamples then sheds when the measured cost exceeds it.
+	BudgetCPUPct      float64
+	BudgetBytesPerSec float64
 }
 
 // StopQuery deactivates a query on a host (cancel or span end).
@@ -179,6 +197,15 @@ type TupleBatch struct {
 	MatchedTotal uint64 // events matching selection (pre event-sampling)
 	SampledTotal uint64 // events shipped (post sampling, pre queue drops)
 	QueueDrops   uint64 // events lost to the bounded host queue
+	// Governor accounting: the effective event-sampling rate in force
+	// when the batch was sent (base rate × governor multiplier; 0 only
+	// from pre-governor peers), whether the governor shed the query on
+	// this host, and cumulative measured cost (CPU-ns sampled ×64;
+	// encoded bytes shipped).
+	EffRate    float64
+	BudgetShed bool
+	CPUNs      uint64
+	ShipBytes  uint64
 }
 
 // ListQueries asks the server for its active queries (operational

@@ -14,6 +14,9 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== metrics smoke (boot daemons, scrape /metrics) =="
+go run ./scripts/metricssmoke
+
 echo "== chaos soak (fixed seed, quick, -race) =="
 go run -race ./cmd/benchrunner -only C1 -quick -p1json ''
 
