@@ -11,8 +11,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# go vet plus scrubvet, the project's own analyzers (hot-path allocation
+# freedom, pooled-memory retention, atomic/guarded field discipline,
+# metric naming). See DESIGN.md §12 for the annotation grammar.
 vet:
 	$(GO) vet ./...
+	$(GO) run ./cmd/scrubvet ./...
 
 ci:
 	./scripts/ci.sh
@@ -35,11 +39,13 @@ bench-g1:
 metrics-smoke:
 	$(GO) run ./scripts/metricssmoke
 
-# Short coverage-guided fuzz pass over the transport frame decoder — the
-# surface a partitioned or chaotic network feeds arbitrary bytes into.
+# Short coverage-guided fuzz pass over the two surfaces that parse
+# untrusted input: the transport frame decoder (arbitrary network bytes)
+# and the query-language parser (arbitrary operator-typed text).
 fuzz-smoke:
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecode -fuzztime=5s
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzRecvFrame -fuzztime=5s
+	$(GO) test ./internal/ql -run='^$$' -fuzz=FuzzParse -fuzztime=5s
 
 # Fixed-seed chaos soak (quick mode) under the race detector.
 chaos-soak:

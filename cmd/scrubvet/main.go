@@ -1,0 +1,81 @@
+// Command scrubvet runs Scrub's custom static-analysis suite (package
+// internal/analysis) over the module. It is wired into `make vet` and
+// scripts/ci.sh ahead of the test steps, so contract violations fail
+// the build before they can fail in production.
+//
+// Usage:
+//
+//	scrubvet [-C dir] [-analyzers hotpath,poolsafe,...] [-notests] [packages...]
+//
+// Exit status is 1 when any diagnostic is reported, 2 on load errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scrub/internal/analysis"
+)
+
+func main() {
+	dir := flag.String("C", ".", "change to this directory (module root) before loading")
+	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	noTests := flag.Bool("notests", false, "skip _test.go files (default: tests are analyzed too)")
+	list := flag.Bool("list", false, "print the available analyzers and exit")
+	flag.Parse()
+
+	all := analysis.All()
+	if *list {
+		for _, a := range all {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	selected := all
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(name)] = true
+		}
+		selected = nil
+		for _, a := range all {
+			if want[a.Name] {
+				selected = append(selected, a)
+				delete(want, a.Name)
+			}
+		}
+		if len(want) > 0 {
+			for name := range want {
+				fmt.Fprintf(os.Stderr, "scrubvet: unknown analyzer %q\n", name)
+			}
+			os.Exit(2)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	prog, err := analysis.Load(analysis.LoadConfig{
+		Dir:      *dir,
+		Patterns: patterns,
+		Tests:    !*noTests,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scrubvet: %v\n", err)
+		os.Exit(2)
+	}
+
+	diags := analysis.Run(prog, selected)
+	for _, d := range diags {
+		fmt.Println(d.String())
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scrubvet: %d issue(s) across %d analyzer(s)\n", len(diags), len(selected))
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,256 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicFieldAnalyzer defends the two concurrency disciplines the
+// codebase relies on:
+//
+//  1. A struct field whose address is ever passed to a sync/atomic
+//     function is an atomic field — every other access must also go
+//     through sync/atomic (or better, the field should migrate to the
+//     atomic.Uint64-style wrapper types, which make mixed access
+//     unrepresentable). A single plain read racing an atomic.AddUint64
+//     is a data race the race detector only catches when the schedule
+//     cooperates; this check catches it always.
+//
+//  2. A field annotated //scrub:guardedby(mu) may only be touched while
+//     mu (a sibling field on the same struct) is held: inside a
+//     lexical mu.Lock()/mu.RLock() window, inside a method whose name
+//     ends in "Locked" or whose doc carries //scrub:locked(mu), or on a
+//     freshly constructed object no other goroutine can see yet.
+var AtomicFieldAnalyzer = &Analyzer{
+	Name: "atomicfield",
+	Doc:  "sync/atomic fields never accessed plainly; //scrub:guardedby fields only under their mutex",
+	Run:  runAtomicField,
+}
+
+func runAtomicField(pass *Pass) {
+	// Phase 1: collect every field used atomically, program-wide.
+	atomicFields := make(map[string]token.Pos) // field key -> first atomic use
+	for _, u := range pass.Prog.Packages {
+		for _, f := range u.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := funcFor(u, call.Fun)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+					return true
+				}
+				for _, arg := range call.Args {
+					un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+					if !ok || un.Op != token.AND {
+						continue
+					}
+					sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if key := selFieldKey(u, sel); key != "" {
+						if _, seen := atomicFields[key]; !seen {
+							atomicFields[key] = sel.Pos()
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	// Phase 2: flag plain accesses of atomic fields, and guardedby
+	// accesses outside their mutex.
+	for _, u := range pass.Prog.Packages {
+		for _, f := range u.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncAtomic(pass, u, fd, atomicFields)
+			}
+		}
+	}
+}
+
+// selFieldKey resolves a selector to its struct-field annotation key, or
+// "" when the selection is not a field.
+func selFieldKey(u *Package, sel *ast.SelectorExpr) string {
+	s, ok := u.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return ""
+	}
+	// Key on the field's owning (possibly embedded) struct type.
+	base := s.Recv()
+	idx := s.Index()
+	for i := 0; i < len(idx)-1; i++ {
+		st, ok := base.Underlying().(*types.Struct)
+		if !ok {
+			if p, ok := base.Underlying().(*types.Pointer); ok {
+				st, ok = p.Elem().Underlying().(*types.Struct)
+				if !ok {
+					return ""
+				}
+			} else {
+				return ""
+			}
+		}
+		base = st.Field(idx[i]).Type()
+	}
+	return fieldKeyOf(base, s.Obj().Name())
+}
+
+func checkFuncAtomic(pass *Pass, u *Package, fd *ast.FuncDecl, atomicFields map[string]token.Pos) {
+	ann := pass.Prog.Ann
+	fn, _ := u.Info.Defs[fd.Name].(*types.Func)
+	fullName := ""
+	if fn != nil {
+		fullName = fn.FullName()
+	}
+	lockedFunc := strings.HasSuffix(fd.Name.Name, "Locked") || ann.LockedFuncs[fullName]
+
+	// fresh: locals assigned from a composite literal in this function —
+	// unshared objects whose guarded fields may be initialized lock-free.
+	fresh := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i := range as.Lhs {
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			rhs := ast.Unparen(as.Rhs[i])
+			if un, ok := rhs.(*ast.UnaryExpr); ok && un.Op == token.AND {
+				rhs = ast.Unparen(un.X)
+			}
+			if _, isLit := rhs.(*ast.CompositeLit); isLit {
+				if obj := objOf(u, id); obj != nil {
+					fresh[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	// held: rendered receiver-expression strings of currently held
+	// mutexes ("a.mu", "aq.mu"), maintained by a linear statement scan.
+	held := make(map[string]bool)
+	// reported dedupes per line+field: `c.buf = append(c.buf, x)` touches
+	// the field twice but is one violation.
+	reported := make(map[string]bool)
+	reportOnce := func(pos token.Pos, key, format string, args ...any) {
+		line := pass.Prog.Fset.Position(pos).Line
+		k := fmt.Sprintf("%s:%d", key, line)
+		if reported[k] {
+			return
+		}
+		reported[k] = true
+		pass.Reportf("atomicfield", pos, format, args...)
+	}
+
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					held[types.ExprString(sel.X)] = true
+				case "Unlock", "RUnlock":
+					delete(held, types.ExprString(sel.X))
+				}
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held to function end.
+			if sel, ok := ast.Unparen(e.Call.Fun).(*ast.SelectorExpr); ok {
+				if sel.Sel.Name == "Unlock" || sel.Sel.Name == "RUnlock" {
+					return false // skip: do not treat as a release
+				}
+			}
+		case *ast.SelectorExpr:
+			key := selFieldKey(u, e)
+			if key == "" {
+				return true
+			}
+			if _, isAtomic := atomicFields[key]; isAtomic && !isAtomicUse(u, e) {
+				reportOnce(e.Sel.Pos(), key,
+					"field %s is accessed with sync/atomic elsewhere; this plain access races (migrate to atomic.Uint64-style types)", key)
+			}
+			if mu, guarded := ann.GuardedFields[key]; guarded {
+				if lockedFunc {
+					return true
+				}
+				if root := rootIdent(e); root != nil {
+					if obj := objOf(u, root); obj != nil && fresh[obj] {
+						return true
+					}
+				}
+				// The guard must be held on the same receiver expression:
+				// "aq.mu" held covers "aq.cur".
+				guardExpr := types.ExprString(e.X) + "." + mu
+				if !held[guardExpr] {
+					reportOnce(e.Sel.Pos(), key,
+						"field %s is //scrub:guardedby(%s) but %s is not held here", key, mu, guardExpr)
+				}
+			}
+		}
+		return true
+	}
+	ast.Inspect(fd.Body, visit)
+}
+
+// isAtomicUse reports whether sel is the &x.f argument of a sync/atomic
+// call (legal) rather than a plain read/write. Because the analyzer only
+// records fields from phase 1's &-to-atomic scan, a selector is an
+// atomic use exactly when its address is taken for such a call; we
+// approximate by checking the parent chain rendered in phase 2 — the
+// selector appears under &(...) passed to sync/atomic. Rather than
+// re-deriving parents, re-scan the file once per call (bodies are small).
+func isAtomicUse(u *Package, sel *ast.SelectorExpr) bool {
+	// Find the enclosing file.
+	var file *ast.File
+	for _, f := range u.Files {
+		if f.Pos() <= sel.Pos() && sel.End() <= f.End() {
+			file = f
+			break
+		}
+	}
+	if file == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := funcFor(u, call.Fun)
+		if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+			if !ok || un.Op != token.AND {
+				continue
+			}
+			if ast.Unparen(un.X) == sel {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,63 @@
+// Package atomicfield is golden-test input for the atomicfield analyzer.
+package atomicfield
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counter struct {
+	mu sync.Mutex
+	// n is accessed via sync/atomic (legacy style) in Inc.
+	n uint64
+	//scrub:guardedby(mu)
+	buf []int
+}
+
+func (c *counter) Inc() { atomic.AddUint64(&c.n, 1) } // ok: atomic use
+
+func (c *counter) Peek() uint64 {
+	return c.n // want `plain access races`
+}
+
+func (c *counter) Append(x int) {
+	c.mu.Lock()
+	c.buf = append(c.buf, x) // ok: mu held
+	c.mu.Unlock()
+}
+
+func (c *counter) AppendDeferred(x int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()      // deferred release keeps the lock held to the end
+	c.buf = append(c.buf, x) // ok
+}
+
+func (c *counter) AppendRacy(x int) {
+	c.buf = append(c.buf, x) // want `guardedby\(mu\) but c.mu is not held`
+}
+
+func (c *counter) AppendUnlocked(x int) {
+	c.mu.Lock()
+	c.mu.Unlock()
+	c.buf = append(c.buf, x) // want `not held`
+}
+
+// drainLocked follows the *Locked suffix convention: callers hold mu.
+func (c *counter) drainLocked() []int {
+	out := c.buf // ok: Locked-suffix method
+	c.buf = nil  // ok
+	return out
+}
+
+// reset documents the same contract with an annotation instead.
+//
+//scrub:locked(mu)
+func (c *counter) reset() {
+	c.buf = c.buf[:0] // ok: //scrub:locked(mu)
+}
+
+func fresh() *counter {
+	c := &counter{}
+	c.buf = make([]int, 0, 4) // ok: freshly constructed, unshared
+	return c
+}

@@ -1,0 +1,103 @@
+// Package poolsafe is golden-test input for the poolsafe analyzer.
+package poolsafe
+
+// Chunk stands in for the agent's pooled chunk type.
+//
+//scrub:pooled
+type Chunk struct{ buf []byte }
+
+// Tuple mirrors transport.Tuple: the type itself is plain, but Values
+// aliases pooled memory when the tuple arrives from a caller.
+type Tuple struct {
+	ID int
+	//scrub:pooled
+	Values []int
+}
+
+// Batch mirrors transport.TupleBatch.
+type Batch struct {
+	//scrub:pooled
+	Tuples []Tuple
+}
+
+type holder struct {
+	c  *Chunk
+	ts []Tuple
+	bs []Batch
+}
+
+var global *Chunk
+
+func StoreField(h *holder, c *Chunk) {
+	h.c = c // want `pooled memory stored into h.c`
+}
+
+func StoreGlobal(c *Chunk) {
+	global = c // want `pooled memory stored in package-level variable global`
+}
+
+func Send(ch chan *Chunk, c *Chunk) {
+	ch <- c // want `pooled memory sent on a channel`
+}
+
+func ShallowAppend(h *holder, b Batch) {
+	h.ts = append(h.ts, b.Tuples...) // want `pooled memory stored into h.ts`
+}
+
+func Gather(dst []Tuple, b Batch) {
+	copy(dst, b.Tuples) // want `shallow copy`
+}
+
+// CloneTuples is exempt by name: functions named *Copy*/*Clone*/*Dup*
+// are the mandated deep-copy implementations.
+func CloneTuples(ts []Tuple) []Tuple {
+	out := make([]Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t
+		out[i].Values = append([]int(nil), t.Values...)
+	}
+	return out
+}
+
+func StoreClone(h *holder, b Batch) {
+	h.ts = CloneTuples(b.Tuples) // ok: sanitizer call returns owned memory
+}
+
+func Park(h *holder, c *Chunk) {
+	//scrub:allowretain(ownership handoff documented in the golden test)
+	h.c = c // ok: explicit escape hatch
+}
+
+// Reframe shows the strong-update rule: a tainted local detaches from
+// the pool when its pooled field is overwritten with owned memory.
+func Reframe(h *holder, b Batch) {
+	t := b.Tuples[0]                           // t aliases pooled memory
+	t.Values = append([]int(nil), t.Values...) // strong update: t now owns its Values
+	h.ts = append(h.ts, t)                     // ok
+}
+
+// ReframeWrong is Reframe without the repair — the taint survives.
+func ReframeWrong(h *holder, b Batch) {
+	t := b.Tuples[0]
+	h.ts = append(h.ts, t) // want `pooled memory stored into h.ts`
+}
+
+// StoreWhole retains the entire foreign batch. No pooled field is
+// selected, but keeping the struct keeps its pooled Tuples array all
+// the same — the spill-buffer bug shape.
+func StoreWhole(h *holder, b Batch) {
+	h.bs = append(h.bs, b) // want `pooled memory stored into h.bs`
+}
+
+// SendWhole is the channel form of StoreWhole.
+func SendWhole(ch chan Batch, b Batch) {
+	ch <- b // want `pooled memory sent on a channel`
+}
+
+// KeepCopy is the mandated repair: copy the struct, overwrite its
+// pooled field with owned memory, and the result is self-owned.
+func KeepCopy(h *holder, t *Tuple) {
+	kept := *t
+	kept.Values = append([]int(nil), t.Values...)
+	h.ts = append(h.ts, kept) // ok: deep-copied before retention
+}

@@ -172,6 +172,10 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	sub := make([][]transport.Tuple, len(se.shards))
 	for _, t := range b.Tuples {
 		i := int(t.RequestID % n)
+		// The sub-batches alias the caller's pooled tuple memory, but only
+		// within this call: the fan-out below is synchronous and each shard
+		// engine deep-copies whatever it keeps (see Engine.processTuple).
+		//scrub:allowretain(synchronous fan-out; shards deep-copy kept tuples before HandleBatch returns)
 		sub[i] = append(sub[i], t)
 	}
 	for i, tuples := range sub {

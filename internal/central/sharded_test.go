@@ -53,10 +53,10 @@ func runBoth(t *testing.T, src string, shards int, batches []transport.TupleBatc
 			t.Fatal(err)
 		}
 		for _, b := range batches {
-			// Deep-copy tuples: engines share nothing.
-			cp := b
-			cp.Tuples = append([]transport.Tuple(nil), b.Tuples...)
-			ex.HandleBatch(cp)
+			// Deep-copy: engines share nothing. (The old hand-rolled copy
+			// here only duplicated the Tuples slice — every tuple's Values
+			// array stayed shared between the two engines under test.)
+			ex.HandleBatch(transport.CloneBatch(b))
 		}
 		if tickAt != 0 {
 			ex.Tick(tickAt)

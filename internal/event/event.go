@@ -147,8 +147,12 @@ func (b *Builder) MustBuild() *Event {
 // RequestIDGenerator hands out process-unique request identifiers. The high
 // bits carry a node id so identifiers are unique across a cluster without
 // coordination — the property the equi-join relies on.
+// next is the atomic.Uint64 wrapper rather than a bare uint64 +
+// sync/atomic calls: the wrapper makes a mixed plain/atomic access —
+// the race scrubvet's atomicfield analyzer exists to catch — a compile
+// error instead of a latent bug.
 type RequestIDGenerator struct {
-	next uint64
+	next atomic.Uint64
 	node uint64
 }
 
@@ -160,5 +164,5 @@ func NewRequestIDGenerator(node uint16) *RequestIDGenerator {
 
 // Next returns the next identifier. Safe for concurrent use.
 func (g *RequestIDGenerator) Next() uint64 {
-	return g.node | (atomic.AddUint64(&g.next, 1) & ((1 << 48) - 1))
+	return g.node | (g.next.Add(1) & ((1 << 48) - 1))
 }

@@ -27,6 +27,8 @@ const maxNodeDepth = 200
 
 // AppendNode appends the binary encoding of an expression tree. Call nodes
 // are rejected — plans never contain unresolved calls.
+//
+//scrub:allowalloc(control-plane predicate serialization; never on the per-tuple path)
 func AppendNode(dst []byte, n Node) ([]byte, error) {
 	switch t := n.(type) {
 	case Lit:

@@ -154,7 +154,8 @@ type activeQuery struct {
 	// anyway to append its tuple).
 	sampleAll atomic.Bool
 	skip      atomic.Int64
-	sampler   *sampling.GeometricSampler
+	//scrub:guardedby(mu)
+	sampler *sampling.GeometricSampler
 
 	// Governor state. baseRate/seed/budget are immutable after Start;
 	// tracker, shed, effRate, bytesShipped, and the last* interval marks
@@ -173,8 +174,10 @@ type activeQuery struct {
 	lastCPUNs    uint64
 	lastBytes    uint64
 
-	mu  sync.Mutex // guards cur and sampler
-	cur *chunk     // partially filled chunk, nil when none
+	mu sync.Mutex // guards cur and sampler
+	// cur is the partially filled chunk, nil when none.
+	//scrub:guardedby(mu)
+	cur *chunk
 
 	matched atomic.Uint64 // Mᵢ: events passing selection
 	// sampled is mᵢ: events surviving event sampling. Maintained only
@@ -196,7 +199,11 @@ type activeQuery struct {
 
 // chunk is a block of pending tuples for one query. tuples has BatchSize
 // capacity; vals is the flat backing array the tuples' Values slices are
-// carved from, so filling a chunk allocates nothing.
+// carved from, so filling a chunk allocates nothing. Chunks recycle
+// through chunkPool; scrubvet's poolsafe analyzer flags any retention
+// outside the agent's own pool plumbing.
+//
+//scrub:pooled
 type chunk struct {
 	q      *activeQuery
 	n      int
@@ -491,7 +498,10 @@ func (a *Agent) rebuildLocked() {
 // Log offers one event to every active query. This is the application hot
 // path: selection → Mᵢ count → sampling → projection → chunk append. It
 // never blocks, never returns an error to the caller, and makes no
-// steady-state heap allocations; all losses are counted.
+// steady-state heap allocations; all losses are counted. scrubvet's
+// hotpath analyzer enforces the no-allocation claim transitively.
+//
+//scrub:hotpath
 func (a *Agent) Log(ev *event.Event) {
 	seq := a.logged.IncValue()
 	// Self-observation must cost less than the thing observed: 1 in 64
@@ -602,6 +612,7 @@ func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
 	c := aq.cur
 	if c == nil {
 		c = a.getChunk(aq)
+		//scrub:allowretain(chunk parked on its owning query under aq.mu; reclaimed by submit/salvage/flush)
 		aq.cur = c
 	}
 	i := c.n
@@ -631,6 +642,7 @@ func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
 // dropped and every tuple counted.
 func (a *Agent) submit(c *chunk) {
 	select {
+	//scrub:allowretain(ownership handoff: the shipper goroutine ships and recycles the chunk)
 	case a.chunks <- c:
 	default:
 		n := uint64(c.n)
@@ -648,9 +660,11 @@ func (a *Agent) submit(c *chunk) {
 func (a *Agent) getChunk(aq *activeQuery) *chunk {
 	c, _ := a.chunkPool.Get().(*chunk)
 	if c == nil {
+		//scrub:allowalloc(pool-miss refill; amortized to zero in steady state)
 		c = &chunk{tuples: make([]transport.Tuple, a.cfg.BatchSize)}
 	}
 	if need := len(c.tuples) * aq.width; cap(c.vals) < need {
+		//scrub:allowalloc(first use by a wider query re-sizes the recycled arena)
 		c.vals = make([]event.Value, need)
 	}
 	c.q = aq

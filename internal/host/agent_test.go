@@ -37,16 +37,7 @@ func (s *collectSink) SendBatch(b transport.TupleBatch) error {
 	}
 	// The agent recycles batch memory once SendBatch returns (see Sink),
 	// so a retaining sink must deep-copy.
-	cp := b
-	if len(b.Tuples) > 0 {
-		cp.Tuples = make([]transport.Tuple, len(b.Tuples))
-		copy(cp.Tuples, b.Tuples)
-		for i := range cp.Tuples {
-			if vs := cp.Tuples[i].Values; len(vs) > 0 {
-				cp.Tuples[i].Values = append([]event.Value(nil), vs...)
-			}
-		}
-	}
+	cp := transport.CloneBatch(b)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.batches = append(s.batches, cp)

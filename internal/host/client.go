@@ -9,7 +9,6 @@ import (
 	"sync"
 	"time"
 
-	"scrub/internal/event"
 	"scrub/internal/obs"
 	"scrub/internal/transport"
 )
@@ -184,7 +183,7 @@ func (s *NetSink) spillLocked(b transport.TupleBatch) {
 		s.spill[0] = transport.TupleBatch{}
 		s.spill = s.spill[1:]
 	}
-	s.spill = append(s.spill, cloneBatch(b))
+	s.spill = append(s.spill, transport.CloneBatch(b))
 	s.spillSize += len(b.Tuples)
 	s.noteDepthLocked()
 }
@@ -214,30 +213,6 @@ func (s *NetSink) SpillDrops() uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.spillDrops
-}
-
-// cloneBatch deep-copies a batch: the Sink contract says the tuples and
-// their Values arrays live in agent chunk memory that is recycled the
-// moment SendBatch returns, so anything retained must own its bytes.
-func cloneBatch(b transport.TupleBatch) transport.TupleBatch {
-	out := b
-	out.Tuples = make([]transport.Tuple, len(b.Tuples))
-	var vals []event.Value
-	need := 0
-	for i := range b.Tuples {
-		need += len(b.Tuples[i].Values)
-	}
-	if need > 0 {
-		vals = make([]event.Value, 0, need)
-	}
-	for i := range b.Tuples {
-		out.Tuples[i] = b.Tuples[i]
-		if n := len(b.Tuples[i].Values); n > 0 {
-			vals = append(vals, b.Tuples[i].Values...)
-			out.Tuples[i].Values = vals[len(vals)-n:]
-		}
-	}
-	return out
 }
 
 // Close drops the data connection.

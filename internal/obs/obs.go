@@ -32,14 +32,20 @@ import (
 type Counter struct{ v atomic.Uint64 }
 
 // Inc adds 1.
+//
+//scrub:hotpath
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // IncValue adds 1 and returns the new count — still one atomic op, for
 // hot paths that derive a sampling decision from the count (time every
 // Nth event) without paying for a second counter.
+//
+//scrub:hotpath
 func (c *Counter) IncValue() uint64 { return c.v.Add(1) }
 
 // Add adds n.
+//
+//scrub:hotpath
 func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -50,9 +56,13 @@ func (c *Counter) Value() uint64 { return c.v.Load() }
 type Gauge struct{ v atomic.Int64 }
 
 // Set replaces the value.
+//
+//scrub:hotpath
 func (g *Gauge) Set(v int64) { g.v.Store(v) }
 
 // Add adjusts the value by d (negative to decrease).
+//
+//scrub:hotpath
 func (g *Gauge) Add(d int64) { g.v.Add(d) }
 
 // Value returns the current value.
@@ -85,6 +95,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one value.
+//
+//scrub:hotpath
 func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {

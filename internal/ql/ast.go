@@ -2,6 +2,7 @@ package ql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"time"
 
@@ -198,20 +199,27 @@ func (q *Query) String() string {
 	if q.SampleHosts != 0 || q.SampleEvents != 0 {
 		sb.WriteString(" sample")
 		if q.SampleHosts != 0 {
-			fmt.Fprintf(&sb, " hosts %g%%", q.SampleHosts*100)
+			fmt.Fprintf(&sb, " hosts %s%%", formatNum(q.SampleHosts*100))
 		}
 		if q.SampleEvents != 0 {
-			fmt.Fprintf(&sb, " events %g%%", q.SampleEvents*100)
+			fmt.Fprintf(&sb, " events %s%%", formatNum(q.SampleEvents*100))
 		}
 	}
 	if q.Budgeted() {
 		sb.WriteString(" budget")
 		if q.BudgetCPUPct != 0 {
-			fmt.Fprintf(&sb, " cpu %g%%", q.BudgetCPUPct*100)
+			fmt.Fprintf(&sb, " cpu %s%%", formatNum(q.BudgetCPUPct*100))
 		}
 		if q.BudgetBytesPerSec != 0 {
-			fmt.Fprintf(&sb, " bytes %g", q.BudgetBytesPerSec)
+			fmt.Fprintf(&sb, " bytes %s", formatNum(q.BudgetBytesPerSec))
 		}
 	}
 	return sb.String()
+}
+
+// formatNum renders a float without exponent notation: %g emits strings
+// like 1.048576e+06 for large budgets, which the lexer (by design)
+// refuses to read back, breaking the String→Parse round-trip.
+func formatNum(f float64) string {
+	return strconv.FormatFloat(f, 'f', -1, 64)
 }

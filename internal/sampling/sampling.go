@@ -123,6 +123,8 @@ func (s *GeometricSampler) Rate() float64 {
 // NextSkip returns k >= 1 meaning "the k-th event offered from now is the
 // next kept one" — i.e. skip k−1 events, keep the k-th. Gaps have mean
 // 1/rate, so over N events approximately N·rate are kept.
+//
+//scrub:hotpath
 func (s *GeometricSampler) NextSkip() int64 {
 	switch {
 	case s.rate >= 1:

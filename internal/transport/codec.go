@@ -249,7 +249,10 @@ func Encode(m Message) ([]byte, error) {
 // senders (connections, benchmark sinks) can reuse one buffer across
 // messages instead of allocating per encode. dst may be nil; the appended
 // buffer is returned.
+//
+//scrub:hotpath
 func AppendEncode(dst []byte, m Message) ([]byte, error) {
+	//scrub:allowalloc(non-escaping scratch; the compiler keeps w on the stack)
 	w := &writer{buf: dst}
 	w.u8(m.msgTag())
 	switch t := m.(type) {
@@ -352,6 +355,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 	case Pong:
 		w.u64(t.Nonce)
 	default:
+		//scrub:allowalloc(cold error path for unknown message types)
 		return nil, fmt.Errorf("transport: encode: unknown message %T", m)
 	}
 	if w.err != nil {

@@ -183,16 +183,23 @@ type DataHello struct {
 type Tuple struct {
 	RequestID uint64
 	TsNanos   int64
-	Values    []event.Value
+	// Values is carved from the sending agent's pooled chunk arena and is
+	// recycled after SendBatch returns; retain only via a deep copy.
+	//scrub:pooled
+	Values []event.Value
 }
 
 // TupleBatch carries sampled, selected, projected tuples from a host to
 // ScrubCentral. The counters are cumulative per (query, host, type): they
 // let the estimator recover Mᵢ and mᵢ, and let results report drops.
 type TupleBatch struct {
-	QueryID      uint64
-	HostID       string
-	TypeIdx      uint8
+	QueryID uint64
+	HostID  string
+	TypeIdx uint8
+	// Tuples (and each tuple's Values) alias the sender's pooled chunk
+	// memory, reused after SendBatch returns. Sinks that buffer batches
+	// must deep-copy (CloneBatch); see the Sink contract.
+	//scrub:pooled
 	Tuples       []Tuple
 	MatchedTotal uint64 // events matching selection (pre event-sampling)
 	SampledTotal uint64 // events shipped (post sampling, pre queue drops)

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== scrubvet (internal/analysis: hotpath, poolsafe, atomicfield, metricname) =="
+go run ./cmd/scrubvet ./...
+
 echo "== go build =="
 go build ./...
 
@@ -20,8 +23,9 @@ go run ./scripts/metricssmoke
 echo "== chaos soak (fixed seed, quick, -race) =="
 go run -race ./cmd/benchrunner -only C1 -quick -p1json ''
 
-echo "== fuzz smoke (transport frame decoding) =="
+echo "== fuzz smoke (transport frame decoding, ql parser) =="
 go test ./internal/transport -run='^$' -fuzz=FuzzDecode -fuzztime=3s
 go test ./internal/transport -run='^$' -fuzz=FuzzRecvFrame -fuzztime=3s
+go test ./internal/ql -run='^$' -fuzz=FuzzParse -fuzztime=3s
 
 echo "ci: OK"
