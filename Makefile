@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1 bench-g1 fuzz-smoke chaos-soak metrics-smoke
+.PHONY: build test race vet ci bench bench-p1 bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak
 
 build:
 	$(GO) build ./...
@@ -50,3 +50,15 @@ fuzz-smoke:
 # Fixed-seed chaos soak (quick mode) under the race detector.
 chaos-soak:
 	$(GO) run -race ./cmd/benchrunner -only C1 -quick -p1json ''
+
+# Differential-oracle sweep: 200 seeded cluster simulations (two full
+# family × shards × mode coverage cycles) cross-checking Engine,
+# ShardedEngine at 1–8 shards, and the exact oracle, under the race
+# detector. Every failure prints its exact replay command
+# (DESIGN.md §13).
+difftest:
+	$(GO) test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
+
+# Long soak: ~21 coverage cycles of the same harness.
+difftest-soak:
+	$(GO) test -race ./internal/difftest -run TestDifferentialSweep -difftest.seeds=2000 -timeout 30m

@@ -544,13 +544,21 @@ func computeBounds(p *Plan, comp *compiled, ws *winState, rates map[string]float
 		bounds[i] = math.NaN()
 	}
 	var sums map[int]float64
+	// Host order must be fixed before the float sums inside the estimator:
+	// map iteration order would otherwise make ε differ between runs (and
+	// between Engine and ShardedEngine) by float-addition rounding.
+	hostIDs := make([]string, 0, len(ws.perHost))
+	for host := range ws.perHost {
+		hostIDs = append(hostIDs, host)
+	}
+	sort.Strings(hostIDs)
 	for col, aggIdx := range comp.directAgg {
 		if aggIdx < 0 || !p.Aggs[aggIdx].Spec.Scalable() {
 			continue
 		}
-		hosts := make([]sampling.HostMoments, 0, len(ws.perHost))
-		for host, moments := range ws.perHost {
-			r := moments[aggIdx]
+		hosts := make([]sampling.HostMoments, 0, len(hostIDs))
+		for _, host := range hostIDs {
+			r := ws.perHost[host][aggIdx]
 			if r.N() == 0 {
 				continue
 			}
@@ -564,6 +572,10 @@ func computeBounds(p *Plan, comp *compiled, ws *winState, rates map[string]float
 			}
 			hosts = append(hosts, sampling.HostMoments{
 				HostID: host, M: m, N: r.N(), Sum: r.Sum(), Var: r.Var(),
+				// Mᵢ above is mᵢ/q, not an exact per-window count: the
+				// hosts' matched totals are cumulative across windows. The
+				// estimator must widen the within-host term accordingly.
+				EstimatedM: rate < 1,
 			})
 		}
 		if len(hosts) == 0 {
@@ -654,34 +666,44 @@ func (e *Engine) Stats(id uint64) (transport.QueryStats, bool) {
 }
 
 // orderAndLimit applies the plan's ORDER BY keys and LIMIT to an emitted
-// window's rows. Sorting is stable; incomparable values fall back to
-// their string forms so the order stays total and deterministic.
+// window's rows. The order is total and deterministic: incomparable
+// values fall back to their string forms, equal ORDER BY keys tie-break
+// on the full row, and raw rows without ORDER BY sort canonically —
+// arrival order differs between the single-node engine and a sharded
+// merge, so a LIMIT cut must never depend on it.
 func orderAndLimit(p *Plan, rw *transport.ResultWindow) {
 	if len(p.OrderBy) > 0 {
-		sort.SliceStable(rw.Rows, func(i, j int) bool {
-			for _, key := range p.OrderBy {
-				if key.Col >= len(rw.Rows[i]) || key.Col >= len(rw.Rows[j]) {
-					continue
-				}
-				a, b := rw.Rows[i][key.Col], rw.Rows[j][key.Col]
-				c, ok := a.Compare(b)
-				if !ok {
-					c = compareStrings(a.String(), b.String())
-				}
-				if c == 0 {
-					continue
-				}
-				if key.Desc {
-					return c > 0
-				}
-				return c < 0
-			}
-			return false
+		sort.Slice(rw.Rows, func(i, j int) bool {
+			return compareOrdered(p, rw.Rows[i], rw.Rows[j]) < 0
+		})
+	} else if !p.HasAgg() && !p.Grouped() {
+		sort.Slice(rw.Rows, func(i, j int) bool {
+			return compareRows(rw.Rows[i], rw.Rows[j]) < 0
 		})
 	}
 	if p.Limit > 0 && len(rw.Rows) > p.Limit {
 		rw.Rows = rw.Rows[:p.Limit]
 	}
+}
+
+// compareOrdered orders two result rows by the plan's ORDER BY keys,
+// falling back to the full row on ties so equal sort keys cannot order
+// differently between runs (or between Engine and ShardedEngine).
+func compareOrdered(p *Plan, a, b []event.Value) int {
+	for _, key := range p.OrderBy {
+		if key.Col >= len(a) || key.Col >= len(b) {
+			continue
+		}
+		c := compareValues(a[key.Col], b[key.Col])
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return -c
+		}
+		return c
+	}
+	return compareRows(a, b)
 }
 
 func compareStrings(a, b string) int {
@@ -736,23 +758,28 @@ func (e *Engine) stopQueryDriven(id uint64) (partials []window.Closed[*winState]
 	return partials, lateDrops, true
 }
 
-// dropsOf reports a query's current late/overflow drop count.
-func (e *Engine) dropsOf(id uint64) (uint64, bool) {
+// dropsOf reports a query's current window-late and overflow drop
+// counts separately: the sharded merger attributes window-late deltas to
+// the stream that shipped the late tuples (mirroring Engine.HandleBatch)
+// but folds overflow only into the query-level totals.
+func (e *Engine) dropsOf(id uint64) (late, overflow uint64, ok bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	qs, ok := e.queries[id]
-	if !ok {
-		return 0, false
+	qs, exists := e.queries[id]
+	if !exists {
+		return 0, 0, false
 	}
-	return qs.win.LateDrops() + qs.overflow, true
+	return qs.win.LateDrops(), qs.overflow, true
 }
 
 // mergeWinStates folds src into dst: groups merge through the mergeable
 // aggregators, raw rows concatenate (bounded), per-host moments combine,
 // and counters add. Join pending state is irrelevant post-close — shards
 // route by request id, so both sides of a request land on one shard and
-// were joined there.
-func mergeWinStates(p *Plan, dst, src *winState) {
+// were joined there. The return value counts raw rows dropped because
+// the merged window hit MaxRawRows; callers fold it into their overflow
+// accounting so bounded-memory truncation is never silent.
+func mergeWinStates(p *Plan, dst, src *winState) (dropped uint64) {
 	dst.tuples += src.tuples
 	for h := range src.hosts {
 		dst.hosts[h] = struct{}{}
@@ -770,12 +797,14 @@ func mergeWinStates(p *Plan, dst, src *winState) {
 		}
 	}
 	room := p.MaxRawRows - len(dst.rawRows)
-	if room > 0 {
-		if len(src.rawRows) > room {
-			src.rawRows = src.rawRows[:room]
-		}
-		dst.rawRows = append(dst.rawRows, src.rawRows...)
+	if room < 0 {
+		room = 0
 	}
+	if len(src.rawRows) > room {
+		dropped = uint64(len(src.rawRows) - room)
+		src.rawRows = src.rawRows[:room]
+	}
+	dst.rawRows = append(dst.rawRows, src.rawRows...)
 	for host, sm := range src.perHost {
 		dm, ok := dst.perHost[host]
 		if !ok {
@@ -787,4 +816,5 @@ func mergeWinStates(p *Plan, dst, src *winState) {
 		}
 		dst.perHost[host] = dm
 	}
+	return dropped
 }

@@ -61,7 +61,15 @@ type shardedQuery struct {
 	// pending holds merged-but-unflushed window partials by start time.
 	pending map[int64]*winState
 	stats   transport.QueryStats
-	tuplesC *obs.Counter // per-query ingest counter; nil without a registry
+	// mergeDrops counts raw rows truncated when shard partials merged past
+	// MaxRawRows; folded into the query's late/overflow totals.
+	mergeDrops uint64
+	// stoppedShardDrops carries the shards' cumulative late/overflow drop
+	// totals once StopQuery has torn the shard queries down: windows
+	// flushed during shutdown can no longer poll dropsOf, and without this
+	// their stats would silently forget every drop counted so far.
+	stoppedShardDrops uint64
+	tuplesC    *obs.Counter // per-query ingest counter; nil without a registry
 }
 
 // NewShardedEngine creates an engine with n shards (n >= 1) and default
@@ -138,39 +146,58 @@ func (se *ShardedEngine) StartQuery(p Plan, emit EmitFunc) error {
 }
 
 // HandleBatch implements Executor: counters stay at the merger; tuples
-// split across shards by request id.
+// split across shards by request id. The merger mirrors the single-node
+// engine's event-time semantics exactly — span filtering, watermark
+// advancement on the max in-span event time, per-stream late-drop
+// attribution, and window closing as the watermark passes — so the two
+// executors agree batch for batch, not just at wall-clock ticks.
 func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	se.mu.Lock()
+	defer se.mu.Unlock()
 	sq, ok := se.queries[b.QueryID]
-	if ok {
-		st, _ := sq.streams.Touch(
-			liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx},
-			se.opt.Clock().UnixNano(),
-		)
-		// Counters are cumulative; max() keeps chaos-induced reorder or
-		// duplication from regressing them.
-		st.Matched = max(st.Matched, b.MatchedTotal)
-		st.Sampled = max(st.Sampled, b.SampledTotal)
-		st.Drops = max(st.Drops, b.QueueDrops)
-		st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
-		for _, t := range b.Tuples {
-			st.ObserveTs(t.TsNanos)
-		}
-		if se.met != nil {
-			se.met.batches.Inc()
-			se.met.tuples.Add(uint64(len(b.Tuples)))
-		}
-		if sq.tuplesC != nil {
-			sq.tuplesC.Add(uint64(len(b.Tuples)))
-		}
+	if !ok {
+		return
 	}
-	se.mu.Unlock()
-	if !ok || len(b.Tuples) == 0 {
+	if int(b.TypeIdx) >= len(sq.plan.Types) {
+		return
+	}
+	st, _ := sq.streams.Touch(
+		liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx},
+		se.opt.Clock().UnixNano(),
+	)
+	// Counters are cumulative; max() keeps chaos-induced reorder or
+	// duplication from regressing them.
+	st.Matched = max(st.Matched, b.MatchedTotal)
+	st.Sampled = max(st.Sampled, b.SampledTotal)
+	st.Drops = max(st.Drops, b.QueueDrops)
+	st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
+	if se.met != nil {
+		se.met.batches.Inc()
+		se.met.tuples.Add(uint64(len(b.Tuples)))
+	}
+	if sq.tuplesC != nil {
+		sq.tuplesC.Add(uint64(len(b.Tuples)))
+	}
+	if len(b.Tuples) == 0 {
 		return
 	}
 	n := uint64(len(se.shards))
 	sub := make([][]transport.Tuple, len(se.shards))
+	var maxTs int64
+	hasTs := false
 	for _, t := range b.Tuples {
+		// Out-of-span tuples neither reach a shard nor advance the
+		// stream's event clock (same filter as Engine.HandleBatch).
+		if sq.plan.StartNanos != 0 && t.TsNanos < sq.plan.StartNanos {
+			continue
+		}
+		if sq.plan.EndNanos != 0 && t.TsNanos >= sq.plan.EndNanos {
+			continue
+		}
+		if !hasTs || t.TsNanos > maxTs {
+			maxTs = t.TsNanos
+			hasTs = true
+		}
 		i := int(t.RequestID % n)
 		// The sub-batches alias the caller's pooled tuple memory, but only
 		// within this call: the fan-out below is synchronous and each shard
@@ -178,6 +205,7 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 		//scrub:allowretain(synchronous fan-out; shards deep-copy kept tuples before HandleBatch returns)
 		sub[i] = append(sub[i], t)
 	}
+	lateBefore := se.winLateLocked(b.QueryID)
 	for i, tuples := range sub {
 		if len(tuples) == 0 {
 			continue
@@ -187,6 +215,26 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 			Tuples: tuples,
 		})
 	}
+	st.LateDrops += se.winLateLocked(b.QueryID) - lateBefore
+	if hasTs {
+		st.ObserveTs(maxTs)
+		if wm, wok := sq.streams.Watermark(); wok {
+			bound := wm - int64(sq.plan.Lateness)
+			se.collectLocked(b.QueryID, sq, bound)
+			se.flushLocked(sq, bound)
+		}
+	}
+}
+
+// winLateLocked sums the shards' window-late drop counters for a query.
+func (se *ShardedEngine) winLateLocked(id uint64) uint64 {
+	var late uint64
+	for _, sh := range se.shards {
+		if l, _, ok := sh.dropsOf(id); ok {
+			late += l
+		}
+	}
+	return late
 }
 
 // Tick implements Executor: a barrier across every shard. All windows
@@ -199,7 +247,16 @@ func (se *ShardedEngine) Tick(nowNanos int64) {
 	defer se.mu.Unlock()
 	leaseNow := se.opt.Clock().UnixNano()
 	for id, sq := range se.queries {
-		sq.streams.Expire(leaseNow)
+		// Mirror Engine.Tick: when lease expiry evicts a stream, the
+		// watermark recomputed over the survivors closes the windows the
+		// dead host was holding open right away.
+		if evicted := sq.streams.Expire(leaseNow); len(evicted) > 0 {
+			if wm, ok := sq.streams.Watermark(); ok {
+				b := wm - int64(sq.plan.Lateness)
+				se.collectLocked(id, sq, b)
+				se.flushLocked(sq, b)
+			}
+		}
 		bound := nowNanos - int64(sq.plan.Lateness)
 		se.collectLocked(id, sq, bound)
 		se.flushLocked(sq, bound)
@@ -218,7 +275,7 @@ func (se *ShardedEngine) collectLocked(id uint64, sq *shardedQuery, bound int64)
 
 func (se *ShardedEngine) mergePendingLocked(sq *shardedQuery, closed window.Closed[*winState]) {
 	if dst, ok := sq.pending[closed.Start]; ok {
-		mergeWinStates(&sq.plan, dst, closed.State)
+		sq.mergeDrops += mergeWinStates(&sq.plan, dst, closed.State)
 	} else {
 		sq.pending[closed.Start] = closed.State
 	}
@@ -249,10 +306,10 @@ func (se *ShardedEngine) emitLocked(sq *shardedQuery, start int64, ws *winState)
 	rw := renderWindow(&sq.plan, sq.comp, start, start+int64(sq.plan.Window), ws,
 		sq.streams.RatesByHost(sq.plan.SampleEvents))
 	hostDrops := sq.streams.HostDrops()
-	var lateDrops uint64
+	lateDrops := sq.mergeDrops + sq.stoppedShardDrops
 	for _, sh := range se.shards {
-		if d, ok := sh.dropsOf(sq.plan.QueryID); ok {
-			lateDrops += d
+		if late, overflow, ok := sh.dropsOf(sq.plan.QueryID); ok {
+			lateDrops += late + overflow
 		}
 	}
 	rw.Stats.HostDrops = hostDrops
@@ -304,8 +361,11 @@ func (se *ShardedEngine) StopQuery(id uint64) (transport.QueryStats, bool) {
 			se.mergePendingLocked(sq, closed)
 		}
 	}
+	// The shard queries are gone now; windows flushed below must inherit
+	// their cumulative drop totals rather than polling dropsOf.
+	sq.stoppedShardDrops = lateDrops
 	se.flushLocked(sq, int64(1)<<62-1)
-	sq.stats.LateDrops = lateDrops
+	sq.stats.LateDrops = lateDrops + sq.mergeDrops
 	sq.stats.HostDrops = sq.streams.HostDrops()
 	delete(se.queries, id)
 	se.met.dropQuery(id)

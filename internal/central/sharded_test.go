@@ -271,6 +271,10 @@ func TestShardedConcurrentStress(t *testing.T) {
 	se, _ := NewShardedEngine(4)
 	c := &collector{}
 	p := buildPlan(t, `select count(*) from bid window 1s`, 1, 1, 1)
+	// The goroutines below replay a small set of event times out of order
+	// indefinitely; generous lateness keeps the stress test about
+	// concurrency, not late-drop accounting.
+	p.Lateness = time.Hour
 	if err := se.StartQuery(p, c.emit); err != nil {
 		t.Fatal(err)
 	}

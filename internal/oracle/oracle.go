@@ -1,0 +1,591 @@
+// Package oracle is the exact, deliberately naive reference evaluator
+// for Scrub's central query semantics. It materializes every event,
+// evaluates selection, projection, the request-id equi-join, group-by,
+// HAVING, ORDER BY and LIMIT with exact counts — no sketches, no
+// incremental windowing, no sampling shortcuts, no bounded-state drops —
+// and renders each window the way ScrubCentral would if it had infinite
+// memory and the full event stream.
+//
+// The differential harness (internal/difftest) drives the production
+// Engine and ShardedEngine over the same inputs and checks them against
+// this package's output per contract class: exact paths row-for-row,
+// sampled paths via confidence-interval coverage, sketch aggregates via
+// their published guarantees. Clarity beats speed everywhere here: any
+// cleverness shared with the engine under test would hide its bugs.
+package oracle
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"scrub/internal/agg"
+	"scrub/internal/central"
+	"scrub/internal/event"
+	"scrub/internal/expr"
+)
+
+// Event is one matched event as shipped to ScrubCentral, before any
+// sampling: Values carries the projected user columns in the plan's
+// Columns[TypeIdx] order (the transport.Tuple layout).
+type Event struct {
+	Host      string
+	TypeIdx   int
+	RequestID uint64
+	TsNanos   int64
+	Values    []event.Value
+}
+
+// AggTruth is the exact state of one ungrouped aggregate in a window,
+// exposed for the bounded-approximate and sketch-guarantee contracts.
+type AggTruth struct {
+	Kind  agg.Kind
+	Value event.Value // exact unscaled result as the oracle renders it
+	// Float is the exact numeric value (NaN when the result is not
+	// numeric or the aggregate saw no input).
+	Float float64
+	// Items holds exact per-item counts for TOP_K.
+	Items map[string]uint64
+	// Distinct holds the exact distinct-value count for COUNT_DISTINCT.
+	Distinct uint64
+}
+
+// Result is one window's exact answer.
+type Result struct {
+	Start, End int64
+	Rows       [][]event.Value
+	// AggExact holds per-aggregate exact truth for ungrouped aggregate
+	// queries (nil otherwise): index matches plan.Aggs.
+	AggExact []AggTruth
+}
+
+// evaluator is the compiled form of a plan, mirroring central's compile
+// but rebuilt here so the oracle shares no evaluation shortcuts with the
+// engine under test beyond the expression compiler itself.
+type evaluator struct {
+	plan        *central.Plan
+	colIdx      []map[string]int
+	groupEvals  []expr.Evaluator
+	aggArgEvals []expr.Evaluator
+	selectEvals []expr.Evaluator
+	centralPred func(expr.Row) bool
+	havingPred  func(expr.Row) bool
+}
+
+func compile(p *central.Plan) (*evaluator, error) {
+	ev := &evaluator{plan: p}
+	ev.colIdx = make([]map[string]int, len(p.Types))
+	for i, cols := range p.Columns {
+		m := make(map[string]int, len(cols))
+		for j, name := range cols {
+			m[name] = j
+		}
+		ev.colIdx[i] = m
+	}
+	for _, g := range p.GroupBy {
+		e, err := expr.Compile(g)
+		if err != nil {
+			return nil, err
+		}
+		ev.groupEvals = append(ev.groupEvals, e)
+	}
+	for _, a := range p.Aggs {
+		if a.Arg == nil {
+			ev.aggArgEvals = append(ev.aggArgEvals, nil)
+			continue
+		}
+		e, err := expr.Compile(a.Arg)
+		if err != nil {
+			return nil, err
+		}
+		ev.aggArgEvals = append(ev.aggArgEvals, e)
+	}
+	for _, s := range p.Select {
+		e, err := expr.Compile(s.Expr)
+		if err != nil {
+			return nil, err
+		}
+		ev.selectEvals = append(ev.selectEvals, e)
+	}
+	if p.CentralPred != nil {
+		e, err := expr.Compile(p.CentralPred)
+		if err != nil {
+			return nil, err
+		}
+		ev.centralPred = expr.Predicate(e)
+	}
+	if p.Having != nil {
+		e, err := expr.Compile(p.Having)
+		if err != nil {
+			return nil, err
+		}
+		ev.havingPred = expr.Predicate(e)
+	}
+	return ev, nil
+}
+
+// --- row adapters (mirroring central's sideRow/joinRow/resultRow) ---
+
+type eventRow struct {
+	ev *evaluator
+	e  *Event
+}
+
+func (r eventRow) Field(typ, name string) event.Value {
+	if typ != "" && typ != r.ev.plan.Types[r.e.TypeIdx] {
+		return event.Invalid
+	}
+	switch name {
+	case event.FieldRequestID:
+		return event.Int(int64(r.e.RequestID))
+	case event.FieldTimestamp:
+		return event.TimeNanos(r.e.TsNanos)
+	}
+	idx, ok := r.ev.colIdx[r.e.TypeIdx][name]
+	if !ok || idx >= len(r.e.Values) {
+		return event.Invalid
+	}
+	return r.e.Values[idx]
+}
+
+func (eventRow) Agg(int) event.Value { return event.Invalid }
+
+type joinedRow struct {
+	ev          *evaluator
+	left, right *Event // sides 0 and 1
+}
+
+func (r joinedRow) Field(typ, name string) event.Value {
+	switch typ {
+	case r.ev.plan.Types[0]:
+		return eventRow{ev: r.ev, e: r.left}.Field(typ, name)
+	case r.ev.plan.Types[1]:
+		return eventRow{ev: r.ev, e: r.right}.Field(typ, name)
+	case "":
+		if v := (eventRow{ev: r.ev, e: r.left}).Field("", name); v.IsValid() {
+			return v
+		}
+		return eventRow{ev: r.ev, e: r.right}.Field("", name)
+	default:
+		return event.Invalid
+	}
+}
+
+func (joinedRow) Agg(int) event.Value { return event.Invalid }
+
+type groupRow struct {
+	groupBy []expr.FieldRef
+	keyVals []event.Value
+	aggVals []event.Value
+}
+
+func (r groupRow) Field(typ, name string) event.Value {
+	for i, g := range r.groupBy {
+		if g.Name == name && (typ == "" || typ == g.Type) {
+			return r.keyVals[i]
+		}
+	}
+	return event.Invalid
+}
+
+func (r groupRow) Agg(i int) event.Value {
+	if i < 0 || i >= len(r.aggVals) {
+		return event.Invalid
+	}
+	return r.aggVals[i]
+}
+
+// --- exact aggregate state ---
+
+// exactAgg accumulates one aggregate with exact counts. Standard SQL
+// aggregates reuse the agg package (whose arithmetic is already exact up
+// to float rounding); TOP_K and COUNT_DISTINCT replace their sketches
+// with full maps.
+type exactAgg struct {
+	kind  agg.Kind
+	k     int
+	std   agg.Aggregator       // nil for sketch kinds
+	items map[string]uint64    // TOP_K
+	set   map[string]struct{}  // COUNT_DISTINCT, keyed by encoded value
+}
+
+func newExactAgg(spec agg.Spec) (*exactAgg, error) {
+	switch spec.Kind {
+	case agg.KindTopK:
+		if spec.K <= 0 {
+			return nil, fmt.Errorf("oracle: TOP_K requires k > 0")
+		}
+		return &exactAgg{kind: spec.Kind, k: spec.K, items: make(map[string]uint64)}, nil
+	case agg.KindCountDistinct:
+		return &exactAgg{kind: spec.Kind, set: make(map[string]struct{})}, nil
+	default:
+		a, err := agg.New(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &exactAgg{kind: spec.Kind, std: a}, nil
+	}
+}
+
+func (a *exactAgg) add(v event.Value) {
+	switch a.kind {
+	case agg.KindTopK:
+		if v.IsValid() {
+			a.items[v.String()]++
+		}
+	case agg.KindCountDistinct:
+		if v.IsValid() {
+			a.set[string(event.AppendValue(nil, v))] = struct{}{}
+		}
+	default:
+		a.std.Add(v)
+	}
+}
+
+// result renders the exact value the way the engine renders the same
+// aggregate, so exact-path rows compare directly.
+func (a *exactAgg) result() event.Value {
+	switch a.kind {
+	case agg.KindTopK:
+		entries := a.topEntries()
+		vs := make([]event.Value, len(entries))
+		for i, e := range entries {
+			vs[i] = event.Str(fmt.Sprintf("%s=%d", e.item, e.count))
+		}
+		return event.List(event.KindString, vs...)
+	case agg.KindCountDistinct:
+		return event.Int(int64(len(a.set)))
+	default:
+		return a.std.Result()
+	}
+}
+
+type itemCount struct {
+	item  string
+	count uint64
+}
+
+func (a *exactAgg) topEntries() []itemCount {
+	all := make([]itemCount, 0, len(a.items))
+	for it, c := range a.items {
+		all = append(all, itemCount{it, c})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].count != all[j].count {
+			return all[i].count > all[j].count
+		}
+		return all[i].item < all[j].item
+	})
+	if a.k < len(all) {
+		all = all[:a.k]
+	}
+	return all
+}
+
+func (a *exactAgg) truth() AggTruth {
+	t := AggTruth{Kind: a.kind, Value: a.result(), Float: math.NaN()}
+	switch a.kind {
+	case agg.KindTopK:
+		t.Items = make(map[string]uint64, len(a.items))
+		for k, v := range a.items {
+			t.Items[k] = v
+		}
+	case agg.KindCountDistinct:
+		t.Distinct = uint64(len(a.set))
+		t.Float = float64(t.Distinct)
+	default:
+		if f, ok := t.Value.AsFloat(); ok {
+			t.Float = f
+		}
+	}
+	return t
+}
+
+// --- window accumulation ---
+
+type exactGroup struct {
+	keyVals []event.Value
+	aggs    []*exactAgg
+}
+
+type windowAcc struct {
+	start, end int64
+	groups     map[string]*exactGroup
+	rawRows    [][]event.Value
+	// join sides by request id, in arrival order.
+	sides map[uint64]*[2][]*Event
+}
+
+func encodeKey(vals []event.Value) string {
+	buf := make([]byte, 0, 32)
+	for _, v := range vals {
+		buf = event.AppendValue(buf, v)
+	}
+	return string(buf)
+}
+
+// Eval evaluates the plan exactly over the full matched event stream and
+// returns one Result per window that received at least one in-span
+// event, in start order. Events must be the *matched* stream — host-side
+// selection already applied, no sampling — with projected values in plan
+// column order.
+func Eval(p central.Plan, events []Event) ([]Result, error) {
+	if len(p.Types) == 0 || len(p.Types) > 2 {
+		return nil, fmt.Errorf("oracle: plan must cover 1 or 2 types, got %d", len(p.Types))
+	}
+	if p.Window <= 0 {
+		return nil, fmt.Errorf("oracle: window must be positive")
+	}
+	slide := p.Slide
+	if slide == 0 {
+		slide = p.Window
+	}
+	ev, err := compile(&p)
+	if err != nil {
+		return nil, err
+	}
+
+	size, sl := int64(p.Window), int64(slide)
+	wins := make(map[int64]*windowAcc)
+	getWin := func(start int64) *windowAcc {
+		w := wins[start]
+		if w == nil {
+			w = &windowAcc{
+				start: start, end: start + size,
+				groups: make(map[string]*exactGroup),
+				sides:  make(map[uint64]*[2][]*Event),
+			}
+			wins[start] = w
+		}
+		return w
+	}
+
+	accumulate := func(w *windowAcc, row expr.Row) error {
+		if !p.HasAgg() && !p.Grouped() {
+			out := make([]event.Value, len(ev.selectEvals))
+			for i, se := range ev.selectEvals {
+				out[i] = se(row)
+			}
+			w.rawRows = append(w.rawRows, out)
+			return nil
+		}
+		keyVals := make([]event.Value, len(ev.groupEvals))
+		for i, ge := range ev.groupEvals {
+			keyVals[i] = ge(row)
+		}
+		key := encodeKey(keyVals)
+		g := w.groups[key]
+		if g == nil {
+			g = &exactGroup{keyVals: keyVals}
+			for _, a := range p.Aggs {
+				ea, err := newExactAgg(a.Spec)
+				if err != nil {
+					return err
+				}
+				g.aggs = append(g.aggs, ea)
+			}
+			w.groups[key] = g
+		}
+		for i, a := range g.aggs {
+			if ev.aggArgEvals[i] == nil {
+				a.add(event.Bool(true)) // COUNT(*)
+			} else {
+				a.add(ev.aggArgEvals[i](row))
+			}
+		}
+		return nil
+	}
+
+	for i := range events {
+		e := &events[i]
+		if p.StartNanos != 0 && e.TsNanos < p.StartNanos {
+			continue
+		}
+		if p.EndNanos != 0 && e.TsNanos >= p.EndNanos {
+			continue
+		}
+		// Covering window starts, ascending (mirrors window.SlidingAssigner).
+		latest := e.TsNanos - (e.TsNanos % sl)
+		if e.TsNanos%sl < 0 {
+			latest -= sl
+		}
+		for start := latest - size + sl; start <= latest; start += sl {
+			w := getWin(start)
+			if !p.IsJoin() {
+				if row := (eventRow{ev: ev, e: e}); ev.centralPred == nil || ev.centralPred(row) {
+					if err := accumulate(w, row); err != nil {
+						return nil, err
+					}
+				}
+				continue
+			}
+			cell := w.sides[e.RequestID]
+			if cell == nil {
+				cell = &[2][]*Event{}
+				w.sides[e.RequestID] = cell
+			}
+			cell[e.TypeIdx] = append(cell[e.TypeIdx], e)
+		}
+	}
+
+	// Join windows: exact cross product per request id. Requests iterate
+	// in sorted order and sides in arrival order — a deterministic
+	// sequence (only float rounding could notice, and contracts compare
+	// floats with tolerance).
+	if p.IsJoin() {
+		for _, w := range wins {
+			reqs := make([]uint64, 0, len(w.sides))
+			for req := range w.sides {
+				reqs = append(reqs, req)
+			}
+			sort.Slice(reqs, func(i, j int) bool { return reqs[i] < reqs[j] })
+			for _, req := range reqs {
+				cell := w.sides[req]
+				for _, l := range cell[0] {
+					for _, r := range cell[1] {
+						row := joinedRow{ev: ev, left: l, right: r}
+						if ev.centralPred != nil && !ev.centralPred(row) {
+							continue
+						}
+						if err := accumulate(w, row); err != nil {
+							return nil, err
+						}
+					}
+				}
+			}
+		}
+	}
+
+	starts := make([]int64, 0, len(wins))
+	for s := range wins {
+		starts = append(starts, s)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	out := make([]Result, 0, len(starts))
+	for _, s := range starts {
+		r, err := render(&p, ev, wins[s])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// render turns a window accumulator into the exact Result, mirroring the
+// engine's render pipeline (group order, empty-window semantics, HAVING,
+// ORDER BY with full-row tie-break, LIMIT) without any scale-up.
+func render(p *central.Plan, ev *evaluator, w *windowAcc) (Result, error) {
+	res := Result{Start: w.start, End: w.end}
+
+	if !p.HasAgg() && !p.Grouped() {
+		res.Rows = w.rawRows
+	} else {
+		keys := make([]string, 0, len(w.groups))
+		for k := range w.groups {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		if len(keys) == 0 && p.HasAgg() && !p.Grouped() {
+			g := &exactGroup{}
+			for _, a := range p.Aggs {
+				ea, err := newExactAgg(a.Spec)
+				if err != nil {
+					return Result{}, err
+				}
+				g.aggs = append(g.aggs, ea)
+			}
+			w.groups[""] = g
+			keys = append(keys, "")
+		}
+		for _, k := range keys {
+			g := w.groups[k]
+			aggVals := make([]event.Value, len(g.aggs))
+			for i, a := range g.aggs {
+				aggVals[i] = a.result()
+			}
+			if !p.Grouped() {
+				res.AggExact = make([]AggTruth, len(g.aggs))
+				for i, a := range g.aggs {
+					res.AggExact[i] = a.truth()
+				}
+			}
+			row := groupRow{groupBy: p.GroupBy, keyVals: g.keyVals, aggVals: aggVals}
+			if ev.havingPred != nil && !ev.havingPred(row) {
+				continue
+			}
+			out := make([]event.Value, len(ev.selectEvals))
+			for i, se := range ev.selectEvals {
+				out[i] = se(row)
+			}
+			res.Rows = append(res.Rows, out)
+		}
+	}
+
+	// Deterministic ordering, identical to the engine's orderAndLimit.
+	if len(p.OrderBy) > 0 {
+		sort.Slice(res.Rows, func(i, j int) bool {
+			return compareOrdered(p, res.Rows[i], res.Rows[j]) < 0
+		})
+	} else if !p.HasAgg() && !p.Grouped() {
+		sort.Slice(res.Rows, func(i, j int) bool {
+			return compareRows(res.Rows[i], res.Rows[j]) < 0
+		})
+	}
+	if p.Limit > 0 && len(res.Rows) > p.Limit {
+		res.Rows = res.Rows[:p.Limit]
+	}
+	return res, nil
+}
+
+// --- deterministic row comparison (the engine's contract, restated) ---
+
+func compareValues(a, b event.Value) int {
+	if c, ok := a.Compare(b); ok {
+		return c
+	}
+	as, bs := a.String(), b.String()
+	switch {
+	case as < bs:
+		return -1
+	case as > bs:
+		return 1
+	}
+	return 0
+}
+
+func compareRows(a, b []event.Value) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if c := compareValues(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}
+
+func compareOrdered(p *central.Plan, a, b []event.Value) int {
+	for _, key := range p.OrderBy {
+		if key.Col >= len(a) || key.Col >= len(b) {
+			continue
+		}
+		c := compareValues(a[key.Col], b[key.Col])
+		if c == 0 {
+			continue
+		}
+		if key.Desc {
+			return -c
+		}
+		return c
+	}
+	return compareRows(a, b)
+}

@@ -7,6 +7,7 @@ package ql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 )
@@ -173,15 +174,47 @@ func lex(src string) ([]token, error) {
 			closed := false
 			for i < len(src) {
 				if src[i] == '\\' && i+1 < len(src) {
-					switch src[i+1] {
+					// Full Go escape set: the AST printer renders string
+					// literals with %q, which can emit any of these, and
+					// every parsed query must re-parse from its rendering.
+					switch e := src[i+1]; e {
+					case 'a':
+						sb.WriteByte('\a')
+					case 'b':
+						sb.WriteByte('\b')
+					case 'f':
+						sb.WriteByte('\f')
 					case 'n':
 						sb.WriteByte('\n')
+					case 'r':
+						sb.WriteByte('\r')
 					case 't':
 						sb.WriteByte('\t')
+					case 'v':
+						sb.WriteByte('\v')
 					case '\\', '\'', '"':
-						sb.WriteByte(src[i+1])
+						sb.WriteByte(e)
+					case 'x', 'u', 'U':
+						digits := map[byte]int{'x': 2, 'u': 4, 'U': 8}[e]
+						if i+2+digits > len(src) {
+							return nil, errf(i, "truncated escape \\%c", e)
+						}
+						v, err := strconv.ParseUint(src[i+2:i+2+digits], 16, 32)
+						if err != nil {
+							return nil, errf(i, "malformed escape \\%c", e)
+						}
+						if e == 'x' {
+							sb.WriteByte(byte(v))
+						} else {
+							if v > unicode.MaxRune || (v >= 0xD800 && v <= 0xDFFF) {
+								return nil, errf(i, "escape \\%c is not a valid rune", e)
+							}
+							sb.WriteRune(rune(v))
+						}
+						i += 2 + digits
+						continue
 					default:
-						return nil, errf(i, "unknown escape \\%c", src[i+1])
+						return nil, errf(i, "unknown escape \\%c", e)
 					}
 					i += 2
 					continue

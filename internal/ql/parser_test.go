@@ -75,6 +75,38 @@ func TestLexStringEscapes(t *testing.T) {
 	if toks[1].Text != "a\n\t\"b\\c" {
 		t.Errorf("escaped string = %q", toks[1].Text)
 	}
+	// The AST printer renders string literals with %q, so the lexer must
+	// accept the full Go escape set or rendered queries fail to re-parse.
+	toks, err = lex(`select "\a\b\f\r\v\xdeé\U0001F600"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "\a\b\f\r\v\xdeé\U0001F600"; toks[1].Text != want {
+		t.Errorf("escaped string = %q, want %q", toks[1].Text, want)
+	}
+	for _, bad := range []string{
+		`select "\x1"`,        // truncated hex
+		`select "\xzz"`,       // malformed hex
+		`select "\ud800"`,     // surrogate half
+		`select "\U00110000"`, // beyond MaxRune
+	} {
+		if _, err := lex(bad); err == nil {
+			t.Errorf("lex(%q) should fail", bad)
+		}
+	}
+}
+
+// TestStringLiteralRoundTrip pins the fuzzer-found divergence where the
+// lexer accepted a raw non-UTF-8 byte in a string literal but rejected
+// the \xNN escape the printer emits for it.
+func TestStringLiteralRoundTrip(t *testing.T) {
+	q, err := Parse("seleCt 0 from A where'\xde'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Parse(q.String()); err != nil {
+		t.Fatalf("rendering %q did not re-parse: %v", q.String(), err)
+	}
 }
 
 func TestSyntaxErrorPosition(t *testing.T) {

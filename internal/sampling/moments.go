@@ -16,6 +16,15 @@ type HostMoments struct {
 	N      int     // mᵢ: sampled readings
 	Sum    float64 // Σⱼ vᵢⱼ
 	Var    float64 // unbiased sample variance s²ᵢ (0 when N < 2)
+	// EstimatedM marks Mᵢ as recovered from a Bernoulli event-sampling
+	// rate (Mᵢ ≈ mᵢ/q) rather than reported exactly. Eq. 1's within-host
+	// term assumes Mᵢ is known — drawing mᵢ of Mᵢ without replacement —
+	// and collapses to zero for constant values (COUNT: every sampled
+	// value is 1, s²ᵢ = 0) even though mᵢ/q itself carries full binomial
+	// error. When Mᵢ is estimated, the within-host uncertainty must be
+	// that of the Horvitz–Thompson estimator Σxⱼ/q, whose variance keeps
+	// the mean term: (1−q)/q² · Σxⱼ².
+	EstimatedM bool
 }
 
 // MomentsOf converts a raw sample to moments (test/interop helper).
@@ -56,7 +65,15 @@ func EstimateSumMoments(totalHosts int, hosts []HostMoments, confidence float64)
 		mi := float64(h.N)
 		ui := Mi / mi * h.Sum
 		hostTotals.Add(ui)
-		within += Mi * (Mi - mi) * h.Var / mi
+		if h.EstimatedM && Mi > mi {
+			// Horvitz–Thompson variance under Bernoulli sampling at rate
+			// q = mᵢ/Mᵢ, with Σxⱼ² recovered from the sample moments.
+			q := mi / Mi
+			sumSq := (mi-1)*h.Var + h.Sum*h.Sum/mi
+			within += (1 - q) / (q * q) * sumSq
+		} else {
+			within += Mi * (Mi - mi) * h.Var / mi
+		}
 	}
 
 	tau := N / float64(n) * hostTotals.Sum()

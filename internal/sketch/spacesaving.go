@@ -144,11 +144,19 @@ func (s *SpaceSaving) unlink(b *ssBucket) {
 	}
 }
 
+// anyMinCounter picks the eviction victim from the minimum bucket: the
+// lexicographically smallest item, so identical streams always build
+// identical summaries. Map-order victim choice would make replays (and
+// Engine vs ShardedEngine comparisons) nondeterministic. The scan is
+// bounded by the summary capacity and only runs on eviction.
 func (s *SpaceSaving) anyMinCounter() *ssCounter {
+	var victim *ssCounter
 	for c := range s.minBucket.members {
-		return c
+		if victim == nil || c.item < victim.item {
+			victim = c
+		}
 	}
-	return nil // unreachable when Len > 0
+	return victim // nil is unreachable when Len > 0
 }
 
 // Entry is one reported heavy hitter. Count overestimates the true count by
@@ -187,35 +195,90 @@ func (s *SpaceSaving) Count(item string) (uint64, bool) {
 	return c.count, true
 }
 
-// Merge folds another summary into s using the standard pairwise-sum
-// algorithm: counts for common items add; items unique to o enter as new
-// arrivals carrying their counts. The result keeps s's capacity.
+// Merge folds another summary into s using the mergeable-summaries
+// algorithm for SpaceSaving: counts and errors for common items add; an
+// item tracked by only one full summary may still have occurred up to
+// the other summary's minimum count times there, so it inherits that
+// minimum as both count and overestimation error (absence from a
+// below-capacity summary means a true zero and inherits nothing). The
+// merged items are ranked by count and the top `capacity` survive. This
+// keeps both sides of the SpaceSaving guarantee sound after any merge
+// tree: trueCount(x) <= Count(x) and Count(x) − Err(x) <= trueCount(x).
 func (s *SpaceSaving) Merge(o *SpaceSaving) {
-	if o == nil {
+	if o == nil || o.Len() == 0 {
 		return
 	}
-	// Deterministic order: sorted by descending count so the strongest
-	// items survive capacity pressure.
-	for _, e := range o.Top(o.Len()) {
-		if c, ok := s.counters[e.Item]; ok {
-			c.errVal += e.Err
-			s.bump(c, e.Count)
-		} else if len(s.counters) < s.capacity {
-			c := &ssCounter{item: e.Item, errVal: e.Err}
-			s.counters[e.Item] = c
-			s.attach(c)
-			s.bump(c, e.Count)
+	minS := s.minInheritance()
+	minO := o.minInheritance()
+	merged := make(map[string]Entry, len(s.counters)+len(o.counters))
+	for _, c := range s.counters {
+		merged[c.item] = Entry{Item: c.item, Count: c.count, Err: c.errVal}
+	}
+	for _, c := range o.counters {
+		if e, ok := merged[c.item]; ok {
+			e.Count += c.count
+			e.Err += c.errVal
+			merged[c.item] = e
 		} else {
-			// At capacity: treat the incoming entry as AddN of its count —
-			// evict the minimum counter, which the incoming item takes
-			// over, inheriting the evicted count as additional error.
-			victim := s.anyMinCounter()
-			delete(s.counters, victim.item)
-			victim.errVal = victim.count + e.Err
-			victim.item = e.Item
-			s.counters[e.Item] = victim
-			s.bump(victim, e.Count)
+			merged[c.item] = Entry{Item: c.item, Count: c.count + minS, Err: c.errVal + minS}
 		}
+	}
+	if minO > 0 {
+		for item, e := range merged {
+			if _, inO := o.counters[item]; !inO {
+				e.Count += minO
+				e.Err += minO
+				merged[item] = e
+			}
+		}
+	}
+	all := make([]Entry, 0, len(merged))
+	for _, e := range merged {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Item < all[j].Item
+	})
+	if len(all) > s.capacity {
+		all = all[:s.capacity]
+	}
+	s.rebuild(all)
+}
+
+// minInheritance returns the count an untracked item could have reached
+// in this summary: the minimum tracked count when at capacity, else 0
+// (a below-capacity summary tracks everything it has ever seen).
+func (s *SpaceSaving) minInheritance() uint64 {
+	if len(s.counters) < s.capacity || s.minBucket == nil {
+		return 0
+	}
+	return s.minBucket.count
+}
+
+// rebuild replaces the summary's contents with entries sorted by
+// descending count, reconstructing the ascending bucket list.
+func (s *SpaceSaving) rebuild(entries []Entry) {
+	s.counters = make(map[string]*ssCounter, s.capacity)
+	s.minBucket = nil
+	var prev *ssBucket
+	for i := len(entries) - 1; i >= 0; i-- {
+		e := entries[i]
+		c := &ssCounter{item: e.Item, count: e.Count, errVal: e.Err}
+		s.counters[e.Item] = c
+		if prev == nil || prev.count != e.Count {
+			b := &ssBucket{count: e.Count, members: make(map[*ssCounter]struct{}), prev: prev}
+			if prev != nil {
+				prev.next = b
+			} else {
+				s.minBucket = b
+			}
+			prev = b
+		}
+		prev.members[c] = struct{}{}
+		c.bucket = prev
 	}
 }
 

@@ -1,0 +1,179 @@
+package window
+
+import (
+	"testing"
+	"time"
+)
+
+// These tests pin the satellite audit of ForceBefore's watermark rewrite
+// (`bound > watermark − lateness` ⇒ watermark = bound + lateness): once a
+// window is force-closed, no later Observe or Get/GetAll interleaving may
+// re-open it or cause a second emission of the same window start.
+
+// TestForceBeforeTumblingInterleaving walks a deterministic interleaving
+// of Get/Observe/ForceBefore on the tumbling manager and asserts every
+// window start closes at most once and force-closed windows reject
+// re-opening.
+func TestForceBeforeTumblingInterleaving(t *testing.T) {
+	m, err := NewManager(time.Second, 2*time.Second, func(start, end int64) *int { v := 0; return &v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := func(s int64) int64 { return s * int64(time.Second) }
+	closed := make(map[int64]int)
+	record := func(cs []Closed[*int]) {
+		for _, c := range cs {
+			closed[c.Start]++
+		}
+	}
+
+	// Open windows [0s,1s) and [1s,2s); watermark via Observe at 1.5s
+	// closes nothing (lateness 2s).
+	if _, ok := m.Get(sec(0) + 1); !ok {
+		t.Fatal("window 0 should open")
+	}
+	if _, ok := m.Get(sec(1) + 1); !ok {
+		t.Fatal("window 1 should open")
+	}
+	record(m.Observe(sec(1) + 500_000_000))
+
+	// Force-close everything ending at or before 2s: both windows emit.
+	record(m.ForceBefore(sec(2)))
+	if closed[sec(0)] != 1 || closed[sec(1)] != 1 {
+		t.Fatalf("expected both windows force-closed once, got %v", closed)
+	}
+
+	// A later event inside a force-closed window must be late, not
+	// re-open it — the rewritten watermark (bound+lateness) guards this.
+	if _, ok := m.Get(sec(0) + 2); ok {
+		t.Error("force-closed window re-opened by a late Get")
+	}
+	if got := m.LateDrops(); got != 1 {
+		t.Errorf("late drops = %d, want 1", got)
+	}
+
+	// An Observe with an *older* event time than the rewritten watermark
+	// must not regress it (or re-close anything).
+	record(m.Observe(sec(1)))
+	for start, n := range closed {
+		if n != 1 {
+			t.Errorf("window %d closed %d times", start, n)
+		}
+	}
+
+	// New data beyond the forced bound still works normally.
+	if _, ok := m.Get(sec(5) + 1); !ok {
+		t.Error("fresh window beyond the forced bound should open")
+	}
+	record(m.Observe(sec(8)))
+	if closed[sec(5)] != 1 {
+		t.Errorf("fresh window should close once via watermark, got %v", closed)
+	}
+
+	// A second ForceBefore at an older bound is a no-op: nothing closes
+	// twice, the watermark does not move backwards.
+	record(m.ForceBefore(sec(2)))
+	for start, n := range closed {
+		if n != 1 {
+			t.Errorf("after stale ForceBefore: window %d closed %d times", start, n)
+		}
+	}
+}
+
+// TestForceBeforeSlidingInterleaving runs the same audit on the sliding
+// manager, where each event belongs to several windows and re-opening
+// would double-count the overlap.
+func TestForceBeforeSlidingInterleaving(t *testing.T) {
+	// size 2s, slide 1s: each event covered by two windows.
+	m, err := NewSlidingManager(2*time.Second, time.Second, time.Second, func(start, end int64) *int { v := 0; return &v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := func(s int64) int64 { return s * int64(time.Second) }
+	closed := make(map[int64]int)
+	record := func(cs []Closed[*int]) {
+		for _, c := range cs {
+			closed[c.Start]++
+		}
+	}
+
+	if got := len(m.GetAll(sec(1) + 1)); got != 2 {
+		t.Fatalf("event should open 2 covering windows, got %d", got)
+	}
+	record(m.Observe(sec(1) + 1))
+
+	// Force-close windows ending at or before 3s: starts 0s and 1s.
+	record(m.ForceBefore(sec(3)))
+	if closed[sec(0)] != 1 || closed[sec(1)] != 1 {
+		t.Fatalf("expected starts 0s,1s force-closed once, got %v", closed)
+	}
+
+	// A late event at 1.5s is covered by exactly the two closed windows:
+	// GetAll must return none and count one late drop, not resurrect them.
+	if got := len(m.GetAll(sec(1) + 500_000_000)); got != 0 {
+		t.Errorf("late event re-opened %d force-closed windows", got)
+	}
+	if got := m.LateDrops(); got != 1 {
+		t.Errorf("late drops = %d, want 1", got)
+	}
+
+	// An event at 2.5s is covered by starts 1s (closed) and 2s (open):
+	// only the open window may accept it, and no late drop is counted.
+	if got := len(m.GetAll(sec(2) + 500_000_000)); got != 1 {
+		t.Errorf("partially-late event should reach exactly 1 window, got %d", got)
+	}
+	if got := m.LateDrops(); got != 1 {
+		t.Errorf("late drops after partial = %d, want still 1", got)
+	}
+
+	// Older Observe must not re-close; advancing far must close each
+	// remaining start exactly once.
+	record(m.Observe(sec(2)))
+	record(m.Observe(sec(10)))
+	for start, n := range closed {
+		if n != 1 {
+			t.Errorf("window %d closed %d times", start, n)
+		}
+	}
+	if m.Open() != 0 {
+		t.Errorf("%d windows left open after watermark passed all", m.Open())
+	}
+}
+
+// TestForceBeforeWatermarkNeverRegresses checks the rewrite rule
+// directly: alternating Observe and ForceBefore in any magnitude order
+// keeps the effective close bound (watermark − lateness) monotone.
+func TestForceBeforeWatermarkNeverRegresses(t *testing.T) {
+	m, err := NewManager(time.Second, 3*time.Second, func(start, end int64) *int { v := 0; return &v })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec := func(s int64) int64 { return s * int64(time.Second) }
+	bound := func() int64 {
+		wm, ok := m.Watermark()
+		if !ok {
+			return -1 << 62
+		}
+		return wm - 3*int64(time.Second)
+	}
+	steps := []struct {
+		force bool
+		ts    int64
+	}{
+		{false, sec(5)}, {true, sec(1)}, {true, sec(8)}, {false, sec(6)},
+		{true, sec(4)}, {false, sec(20)}, {true, sec(2)},
+	}
+	prev := bound()
+	for i, s := range steps {
+		if s.force {
+			m.ForceBefore(s.ts)
+		} else {
+			m.Observe(s.ts)
+		}
+		if b := bound(); b < prev {
+			t.Fatalf("step %d (%+v): close bound regressed %d -> %d", i, s, prev, b)
+		} else {
+			prev = b
+		}
+	}
+}

@@ -23,6 +23,9 @@ go run ./scripts/metricssmoke
 echo "== chaos soak (fixed seed, quick, -race) =="
 go run -race ./cmd/benchrunner -only C1 -quick -p1json ''
 
+echo "== differential oracle sweep (200 seeded sims, -race) =="
+go test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
+
 echo "== fuzz smoke (transport frame decoding, ql parser) =="
 go test ./internal/transport -run='^$' -fuzz=FuzzDecode -fuzztime=3s
 go test ./internal/transport -run='^$' -fuzz=FuzzRecvFrame -fuzztime=3s
