@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1 bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak
+.PHONY: build test race vet ci bench bench-p1 bench-ps bench-smoke bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak
 
 build:
 	$(GO) build ./...
@@ -28,6 +28,19 @@ bench:
 # Host-overhead sweep only: the hot-path perf gate tracked across PRs.
 bench-p1:
 	$(GO) run ./cmd/benchrunner -only P1
+
+# Query-scale sweep only: shared-index dispatch at up to 256 concurrent
+# queries, overlap vs distinct predicate mixes (writes BENCH_P2.json).
+bench-ps:
+	$(GO) run ./cmd/benchrunner -only PS -p1json ''
+
+# Tiny PS sweep asserting the BENCH_P2.json pipeline works end to end;
+# writes to a scratch file so the committed full-scale sweep is never
+# clobbered by a smoke pass.
+bench-smoke:
+	@tmp=$$(mktemp) && \
+	$(GO) run ./cmd/benchrunner -only PS -quick -p1json '' -p2json "$$tmp" >/dev/null && \
+	test -s "$$tmp" && rm -f "$$tmp" && echo "bench-smoke: BENCH_P2 pipeline OK"
 
 # Governor comparison: the same expensive query unbounded vs budgeted
 # (writes BENCH_G1.json).

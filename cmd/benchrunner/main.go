@@ -12,7 +12,8 @@
 //
 // When P1 runs, its sweep is also written as machine-readable JSON
 // (default BENCH_P1.json) so the host-overhead trajectory is trackable
-// across PRs.
+// across PRs; PS likewise writes its query-scale sweep (overlap vs
+// distinct predicate mixes, default BENCH_P2.json).
 package main
 
 import (
@@ -34,6 +35,9 @@ type runner struct {
 // p1JSONPath receives the P1 sweep as JSON; empty disables.
 var p1JSONPath string
 
+// p2JSONPath receives the PS query-scale sweep as JSON; empty disables.
+var p2JSONPath string
+
 // g1JSONPath receives the G1 governor comparison as JSON; empty disables.
 var g1JSONPath string
 
@@ -42,13 +46,14 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller configurations for a fast pass")
 	seed := flag.Int64("seed", 0, "override experiment seeds (0 keeps per-experiment defaults)")
 	flag.StringVar(&p1JSONPath, "p1json", "BENCH_P1.json", "file for the machine-readable P1 sweep (ns/request per query count); empty disables")
+	flag.StringVar(&p2JSONPath, "p2json", "BENCH_P2.json", "file for the machine-readable PS query-scale sweep (overlap vs distinct predicate mixes); empty disables")
 	flag.StringVar(&g1JSONPath, "g1json", "BENCH_G1.json", "file for the machine-readable G1 governor comparison (added ns and bytes shipped, unbounded vs budgeted); empty disables")
 	flag.Parse()
 
 	runners := []runner{
 		{"E1", runE1}, {"E2", runE2}, {"E3", runE3},
 		{"E4", runE4}, {"E5", runE5}, {"E6", runE6},
-		{"P1", runP1}, {"P2", runP2}, {"P3", runP3},
+		{"P1", runP1}, {"PS", runPS}, {"P2", runP2}, {"P3", runP3},
 		{"P4", runP4}, {"P5", runP5}, {"P6", runP6},
 		{"A1", runA1}, {"A2", runA2},
 		{"C1", runC1},
@@ -178,6 +183,29 @@ func runP1(quick bool, seed int64) (*experiments.Table, error) {
 	}
 	if p1JSONPath != "" {
 		if err := writeP1JSON(p1JSONPath, res); err != nil {
+			return nil, err
+		}
+	}
+	return res.Table(), nil
+}
+
+func runPS(quick bool, seed int64) (*experiments.Table, error) {
+	cfg := experiments.PSConfig{Seed: seed}
+	if quick {
+		cfg.Requests, cfg.QuerySweep, cfg.Reps = 6000, []int{0, 8, 32}, 3
+	} else {
+		cfg.Requests = 30000
+	}
+	res, err := experiments.PSQueryScale(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if p2JSONPath != "" {
+		b, err := json.MarshalIndent(res, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(p2JSONPath, append(b, '\n'), 0o644); err != nil {
 			return nil, err
 		}
 	}

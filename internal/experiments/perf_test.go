@@ -36,6 +36,37 @@ func TestP1HostOverhead(t *testing.T) {
 	}
 }
 
+func TestPSQueryScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing experiment")
+	}
+	res, err := PSQueryScale(PSConfig{Requests: 6000, QuerySweep: []int{0, 8, 32}, Reps: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Mixes) != 2 || res.Mixes[0].Name != "overlap" || res.Mixes[1].Name != "distinct" {
+		t.Fatalf("mixes = %+v", res.Mixes)
+	}
+	for _, m := range res.Mixes {
+		if len(m.Points) != 3 {
+			t.Fatalf("%s: points = %d", m.Name, len(m.Points))
+		}
+		for _, p := range m.Points {
+			if p.NsPerReq <= 0 {
+				t.Errorf("%s @%d queries: ns/req = %v", m.Name, p.Queries, p.NsPerReq)
+			}
+		}
+	}
+	// Distinct constants must actually be distinct (and parse): spot-check
+	// the generator.
+	if psDistinctQuery(3, 16) == psDistinctQuery(19, 16) {
+		t.Error("distinct mix repeats a predicate constant")
+	}
+	if tab := res.Table(); len(tab.Rows) != 6 {
+		t.Error("table rows")
+	}
+}
+
 func TestP2RequestLatency(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing experiment")

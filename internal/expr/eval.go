@@ -92,31 +92,14 @@ func Compile(n Node) (Evaluator, error) {
 		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
 			return compileArith(t.Op, l, r), nil
 		case OpEq, OpNe:
-			eq := t.Op == OpEq
+			op := t.Op
 			return func(row Row) event.Value {
-				a, b := l(row), r(row)
-				if !a.IsValid() || !b.IsValid() {
-					return event.Invalid
-				}
-				return event.Bool(a.Equal(b) == eq)
+				return eqValue(op, l(row), r(row))
 			}, nil
 		case OpLt, OpLe, OpGt, OpGe:
 			op := t.Op
 			return func(row Row) event.Value {
-				c, ok := l(row).Compare(r(row))
-				if !ok {
-					return event.Invalid
-				}
-				switch op {
-				case OpLt:
-					return event.Bool(c < 0)
-				case OpLe:
-					return event.Bool(c <= 0)
-				case OpGt:
-					return event.Bool(c > 0)
-				default:
-					return event.Bool(c >= 0)
-				}
+				return cmpValue(op, l(row), r(row))
 			}, nil
 		case OpAnd:
 			return func(row Row) event.Value {
@@ -150,41 +133,19 @@ func Compile(n Node) (Evaluator, error) {
 			}, nil
 		case OpContains:
 			return func(row Row) event.Value {
-				lv, rv := l(row), r(row)
-				if list, ok := lv.AsList(); ok {
-					if !rv.IsValid() {
-						return event.Invalid
-					}
-					for _, e := range list {
-						if e.Equal(rv) {
-							return event.Bool(true)
-						}
-					}
-					return event.Bool(false)
-				}
-				a, aok := lv.AsStr()
-				b, bok := rv.AsStr()
-				if !aok || !bok {
-					return event.Invalid
-				}
-				return event.Bool(strings.Contains(a, b))
+				return containsValue(l(row), r(row))
 			}, nil
 		case OpLike:
-			pat, ok := t.R.(Lit)
-			if !ok {
-				return nil, fmt.Errorf("expr: compile: like pattern must be a literal")
+			m, err := likeFor(t.R)
+			if err != nil {
+				return nil, err
 			}
-			ps, ok := pat.Val.AsStr()
-			if !ok {
-				return nil, fmt.Errorf("expr: compile: like pattern must be a string")
-			}
-			m := compileLike(ps)
 			return func(row Row) event.Value {
 				s, ok := l(row).AsStr()
 				if !ok {
 					return event.Invalid
 				}
-				return event.Bool(m(s))
+				return event.Bool(m.match(s))
 			}, nil
 		default:
 			return nil, fmt.Errorf("expr: compile: bad binary op %s", t.Op)
@@ -205,16 +166,7 @@ func Compile(n Node) (Evaluator, error) {
 		}
 		negate := t.Negate
 		return func(row Row) event.Value {
-			v := x(row)
-			if !v.IsValid() {
-				return event.Invalid
-			}
-			for _, lv := range lits {
-				if v.Equal(lv) {
-					return event.Bool(!negate)
-				}
-			}
-			return event.Bool(negate)
+			return inValue(x(row), lits, negate)
 		}, nil
 
 	case AggRef:
@@ -231,89 +183,182 @@ func Compile(n Node) (Evaluator, error) {
 
 func compileArith(op Op, l, r Evaluator) Evaluator {
 	return func(row Row) event.Value {
-		a, b := l(row), r(row)
-		ai, aIsInt := a.AsInt()
-		bi, bIsInt := b.AsInt()
-		if aIsInt && bIsInt {
-			switch op {
-			case OpAdd:
-				return event.Int(ai + bi)
-			case OpSub:
-				return event.Int(ai - bi)
-			case OpMul:
-				return event.Int(ai * bi)
-			case OpMod:
-				if bi == 0 {
-					return event.Invalid
-				}
-				return event.Int(ai % bi)
-			case OpDiv:
-				if bi == 0 {
-					return event.Invalid
-				}
-				return event.Float(float64(ai) / float64(bi))
-			}
-		}
-		af, aok := a.AsFloat()
-		bf, bok := b.AsFloat()
-		if !aok || !bok {
-			return event.Invalid
-		}
-		switch op {
-		case OpAdd:
-			return event.Float(af + bf)
-		case OpSub:
-			return event.Float(af - bf)
-		case OpMul:
-			return event.Float(af * bf)
-		case OpDiv:
-			if bf == 0 {
-				return event.Invalid
-			}
-			return event.Float(af / bf)
-		default: // OpMod on floats is rejected by Check
-			return event.Invalid
-		}
+		return arithValue(op, l(row), r(row))
 	}
 }
 
-// compileLike builds a matcher for a SQL LIKE pattern: % matches any run
-// (including empty), _ matches exactly one byte. Matching is byte-wise and
-// case-sensitive.
-func compileLike(pattern string) func(string) bool {
-	// Split on '%' and match the literal chunks (with '_' wildcards) in
-	// order: first chunk anchors the start, last anchors the end.
-	chunks := strings.Split(pattern, "%")
-	return func(s string) bool {
-		// Fast path: no % at all → exact match with _ wildcards.
-		if len(chunks) == 1 {
-			return matchChunk(s, chunks[0]) && len(s) == len(chunks[0])
-		}
-		// Anchor the first chunk.
-		first := chunks[0]
-		if len(s) < len(first) || !matchChunk(s[:len(first)], first) {
-			return false
-		}
-		s = s[len(first):]
-		// Anchor the last chunk.
-		last := chunks[len(chunks)-1]
-		if len(s) < len(last) || !matchChunk(s[len(s)-len(last):], last) {
-			return false
-		}
-		tail := s[:len(s)-len(last)]
-		// Middle chunks must appear in order.
-		for _, c := range chunks[1 : len(chunks)-1] {
-			if c == "" {
-				continue
+// The scalar helpers below are the single definition of each operator's
+// runtime semantics. Both execution engines — the closure compiler above
+// and the shared-program interpreter in prog.go — call them, so the two
+// are bit-identical by construction, not by parallel maintenance.
+
+// arithValue applies an arithmetic operator: int op int stays exact
+// (except /, which is always float), anything else widens to float,
+// division/modulo by zero is Invalid.
+func arithValue(op Op, a, b event.Value) event.Value {
+	ai, aIsInt := a.AsInt()
+	bi, bIsInt := b.AsInt()
+	if aIsInt && bIsInt {
+		switch op {
+		case OpAdd:
+			return event.Int(ai + bi)
+		case OpSub:
+			return event.Int(ai - bi)
+		case OpMul:
+			return event.Int(ai * bi)
+		case OpMod:
+			if bi == 0 {
+				return event.Invalid
 			}
-			idx := indexChunk(tail, c)
-			if idx < 0 {
-				return false
+			return event.Int(ai % bi)
+		case OpDiv:
+			if bi == 0 {
+				return event.Invalid
 			}
-			tail = tail[idx+len(c):]
+			return event.Float(float64(ai) / float64(bi))
 		}
-		return true
 	}
+	af, aok := a.AsFloat()
+	bf, bok := b.AsFloat()
+	if !aok || !bok {
+		return event.Invalid
+	}
+	switch op {
+	case OpAdd:
+		return event.Float(af + bf)
+	case OpSub:
+		return event.Float(af - bf)
+	case OpMul:
+		return event.Float(af * bf)
+	case OpDiv:
+		if bf == 0 {
+			return event.Invalid
+		}
+		return event.Float(af / bf)
+	default: // OpMod on floats is rejected by Check
+		return event.Invalid
+	}
+}
+
+// eqValue applies = / != with SQL NULL semantics: an invalid operand
+// poisons the comparison.
+func eqValue(op Op, a, b event.Value) event.Value {
+	if !a.IsValid() || !b.IsValid() {
+		return event.Invalid
+	}
+	return event.Bool(a.Equal(b) == (op == OpEq))
+}
+
+// cmpValue applies an ordering operator via Value.Compare.
+func cmpValue(op Op, a, b event.Value) event.Value {
+	c, ok := a.Compare(b)
+	if !ok {
+		return event.Invalid
+	}
+	switch op {
+	case OpLt:
+		return event.Bool(c < 0)
+	case OpLe:
+		return event.Bool(c <= 0)
+	case OpGt:
+		return event.Bool(c > 0)
+	default:
+		return event.Bool(c >= 0)
+	}
+}
+
+// containsValue applies `contains`: list membership when the left side is
+// a list, substring match when both sides are strings.
+func containsValue(lv, rv event.Value) event.Value {
+	if list, ok := lv.AsList(); ok {
+		if !rv.IsValid() {
+			return event.Invalid
+		}
+		for _, e := range list {
+			if e.Equal(rv) {
+				return event.Bool(true)
+			}
+		}
+		return event.Bool(false)
+	}
+	a, aok := lv.AsStr()
+	b, bok := rv.AsStr()
+	if !aok || !bok {
+		return event.Invalid
+	}
+	return event.Bool(strings.Contains(a, b))
+}
+
+// inValue applies IN / NOT IN over a literal list (first match wins; an
+// invalid probe is Invalid).
+func inValue(v event.Value, lits []event.Value, negate bool) event.Value {
+	if !v.IsValid() {
+		return event.Invalid
+	}
+	for _, lv := range lits {
+		if v.Equal(lv) {
+			return event.Bool(!negate)
+		}
+	}
+	return event.Bool(negate)
+}
+
+// likeMatcher is a pre-compiled SQL LIKE pattern: % matches any run
+// (including empty), _ matches exactly one byte. Matching is byte-wise and
+// case-sensitive. A struct (rather than a closure) so the shared-program
+// interpreter can hold it in a node and scrubvet can chase match
+// statically.
+type likeMatcher struct {
+	// chunks are the literal runs between % separators: the first anchors
+	// the start, the last anchors the end, the middle ones float in order.
+	chunks []string
+}
+
+// likeFor compiles the right-hand side of a LIKE, which must be a string
+// literal.
+func likeFor(r Node) (likeMatcher, error) {
+	pat, ok := r.(Lit)
+	if !ok {
+		return likeMatcher{}, fmt.Errorf("expr: compile: like pattern must be a literal")
+	}
+	ps, ok := pat.Val.AsStr()
+	if !ok {
+		return likeMatcher{}, fmt.Errorf("expr: compile: like pattern must be a string")
+	}
+	return likeMatcher{chunks: strings.Split(ps, "%")}, nil
+}
+
+// match reports whether s matches the pattern.
+func (m likeMatcher) match(s string) bool {
+	chunks := m.chunks
+	// Fast path: no % at all → exact match with _ wildcards.
+	if len(chunks) == 1 {
+		return matchChunk(s, chunks[0]) && len(s) == len(chunks[0])
+	}
+	// Anchor the first chunk.
+	first := chunks[0]
+	if len(s) < len(first) || !matchChunk(s[:len(first)], first) {
+		return false
+	}
+	s = s[len(first):]
+	// Anchor the last chunk.
+	last := chunks[len(chunks)-1]
+	if len(s) < len(last) || !matchChunk(s[len(s)-len(last):], last) {
+		return false
+	}
+	tail := s[:len(s)-len(last)]
+	// Middle chunks must appear in order.
+	for _, c := range chunks[1 : len(chunks)-1] {
+		if c == "" {
+			continue
+		}
+		idx := indexChunk(tail, c)
+		if idx < 0 {
+			return false
+		}
+		tail = tail[idx+len(c):]
+	}
+	return true
 }
 
 // matchChunk reports whether s matches chunk exactly, where '_' in chunk

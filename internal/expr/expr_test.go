@@ -237,8 +237,8 @@ func TestLike(t *testing.T) {
 		{"ab", "a_c", false},
 	}
 	for _, c := range cases {
-		m := compileLike(c.pat)
-		if got := m(c.s); got != c.want {
+		m := likeMatcher{chunks: strings.Split(c.pat, "%")}
+		if got := m.match(c.s); got != c.want {
 			t.Errorf("like(%q, %q) = %v, want %v", c.s, c.pat, got, c.want)
 		}
 	}

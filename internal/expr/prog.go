@@ -1,0 +1,348 @@
+package expr
+
+import (
+	"fmt"
+
+	"scrub/internal/event"
+)
+
+// A Program is a set of expression trees compiled into one flat node
+// array with every distinct subexpression interned exactly once. Many
+// predicates over the same event type compile into one Program; per event
+// an evaluation context then computes each distinct node at most once and
+// fans the result out to every expression that contains it — the host
+// agent's shared query index (DESIGN.md §14) is built on this.
+//
+// The interpreter is a node-array walker rather than composed closures so
+// that (a) results are memoizable by node id and (b) the call graph is
+// static: scrubvet's hotpath analyzer chases Ctx.Bool/Value through eval
+// into the scalar helpers in eval.go, extending the zero-allocation proof
+// to the whole evaluation engine. Semantics are bit-identical to Compile
+// because both engines call those same helpers.
+
+// pTag discriminates program node kinds.
+type pTag uint8
+
+const (
+	pLit pTag = iota + 1
+	pField
+	pNot
+	pNeg
+	pArith
+	pEqNe
+	pCmp
+	pAnd
+	pOr
+	pContains
+	pLike
+	pIn
+	pAgg
+)
+
+// pnode is one interned subexpression. l and r are child node ids; the
+// remaining fields are populated per tag.
+type pnode struct {
+	tag    pTag
+	op     Op
+	l, r   int32
+	lit    event.Value
+	typ    string
+	name   string
+	list   []event.Value
+	negate bool
+	like   likeMatcher
+	agg    int
+}
+
+// Program is an immutable shared evaluation plan. Build one with
+// ProgramBuilder; evaluate with a Ctx.
+type Program struct {
+	nodes []pnode
+}
+
+// NumNodes reports the number of distinct interned subexpressions.
+func (p *Program) NumNodes() int { return len(p.nodes) }
+
+// ProgramBuilder interns expression trees into a Program. Trees should be
+// canonicalized first (Canon) so that equivalent-but-differently-spelled
+// subexpressions intern to the same node; interning keys on the exact
+// binary encoding, so it is correct (just less shared) without it.
+type ProgramBuilder struct {
+	nodes []pnode
+	ids   map[string]int32
+}
+
+// NewProgramBuilder returns an empty builder.
+func NewProgramBuilder() *ProgramBuilder {
+	return &ProgramBuilder{ids: make(map[string]int32)}
+}
+
+// Intern adds a checked tree and returns its node id, reusing every
+// already-interned subexpression. The same requirements as Compile apply:
+// field references resolved, no Call nodes, literal like patterns and
+// in-lists.
+func (b *ProgramBuilder) Intern(n Node) (int32, error) {
+	enc, err := AppendNode(nil, n)
+	if err != nil {
+		return -1, err
+	}
+	key := string(enc)
+	if id, ok := b.ids[key]; ok {
+		return id, nil
+	}
+	var nd pnode
+	switch t := n.(type) {
+	case Lit:
+		nd = pnode{tag: pLit, lit: t.Val}
+	case FieldRef:
+		nd = pnode{tag: pField, typ: t.Type, name: t.Name}
+	case Unary:
+		x, err := b.Intern(t.X)
+		if err != nil {
+			return -1, err
+		}
+		switch t.Op {
+		case OpNot:
+			nd = pnode{tag: pNot, l: x}
+		case OpNeg:
+			nd = pnode{tag: pNeg, l: x}
+		default:
+			return -1, fmt.Errorf("expr: intern: bad unary op %s", t.Op)
+		}
+	case Binary:
+		l, err := b.Intern(t.L)
+		if err != nil {
+			return -1, err
+		}
+		if t.Op == OpLike {
+			m, err := likeFor(t.R)
+			if err != nil {
+				return -1, err
+			}
+			nd = pnode{tag: pLike, l: l, like: m}
+			break
+		}
+		r, err := b.Intern(t.R)
+		if err != nil {
+			return -1, err
+		}
+		switch t.Op {
+		case OpAdd, OpSub, OpMul, OpDiv, OpMod:
+			nd = pnode{tag: pArith, op: t.Op, l: l, r: r}
+		case OpEq, OpNe:
+			nd = pnode{tag: pEqNe, op: t.Op, l: l, r: r}
+		case OpLt, OpLe, OpGt, OpGe:
+			nd = pnode{tag: pCmp, op: t.Op, l: l, r: r}
+		case OpAnd:
+			nd = pnode{tag: pAnd, l: l, r: r}
+		case OpOr:
+			nd = pnode{tag: pOr, l: l, r: r}
+		case OpContains:
+			nd = pnode{tag: pContains, l: l, r: r}
+		default:
+			return -1, fmt.Errorf("expr: intern: bad binary op %s", t.Op)
+		}
+	case In:
+		x, err := b.Intern(t.X)
+		if err != nil {
+			return -1, err
+		}
+		lits := make([]event.Value, len(t.List))
+		for i, e := range t.List {
+			le, ok := e.(Lit)
+			if !ok {
+				return -1, fmt.Errorf("expr: intern: in-list element %d is not a literal", i)
+			}
+			lits[i] = le.Val
+		}
+		nd = pnode{tag: pIn, l: x, list: lits, negate: t.Negate}
+	case AggRef:
+		nd = pnode{tag: pAgg, agg: t.Index}
+	default:
+		return -1, fmt.Errorf("expr: intern: unsupported node %T", n)
+	}
+	id := int32(len(b.nodes))
+	b.nodes = append(b.nodes, nd)
+	b.ids[key] = id
+	return id, nil
+}
+
+// Build freezes the interned nodes into a Program. The builder remains
+// usable; later Interns do not affect already-built Programs.
+func (b *ProgramBuilder) Build() *Program {
+	nodes := make([]pnode, len(b.nodes))
+	copy(nodes, b.nodes)
+	return &Program{nodes: nodes}
+}
+
+// Ctx evaluates one Program against one row at a time, memoizing every
+// node it computes so shared subexpressions cost one evaluation per row
+// regardless of how many expressions contain them. A Ctx is single-
+// goroutine; pool Ctxs to share across goroutines. The memo is epoch-
+// based: Begin bumps the epoch instead of clearing arrays, so starting a
+// row is O(1) and evaluation stays proportional to the nodes actually
+// forced (and/or short-circuits never force unreached operands).
+type Ctx struct {
+	prog    *Program
+	row     Row
+	epoch   uint64
+	vals    []event.Value
+	mark    []uint64
+	touched []int32
+}
+
+// NewCtx allocates an evaluation context for the program.
+//
+//scrub:allowalloc(context construction is control-plane; hot paths reuse pooled Ctxs)
+func (p *Program) NewCtx() *Ctx {
+	n := len(p.nodes)
+	return &Ctx{
+		prog:    p,
+		vals:    make([]event.Value, n),
+		mark:    make([]uint64, n),
+		touched: make([]int32, 0, n),
+	}
+}
+
+// Begin starts evaluation of a new row, invalidating all memoized
+// results.
+//
+//scrub:hotpath
+func (c *Ctx) Begin(row Row) {
+	c.row = row
+	c.epoch++
+	if c.epoch == 0 { // wrapped: marks from the old cycle could alias
+		for i := range c.mark {
+			c.mark[i] = 0
+		}
+		c.epoch = 1
+	}
+}
+
+// Finish releases the row and every memoized value so a pooled Ctx does
+// not pin event payloads between uses. Cost is proportional to the nodes
+// actually evaluated since Begin.
+//
+//scrub:hotpath
+func (c *Ctx) Finish() {
+	for _, id := range c.touched {
+		c.vals[id] = event.Value{}
+	}
+	c.touched = c.touched[:0]
+	c.row = nil
+}
+
+// Bool evaluates node id as a predicate: missing or non-boolean results
+// reject the row, the NULL-filtering semantics of SQL WHERE (the same
+// contract as Predicate).
+//
+//scrub:hotpath
+func (c *Ctx) Bool(id int32) bool {
+	b, ok := c.force(id).AsBool()
+	return ok && b
+}
+
+// Value evaluates node id and returns its value.
+//
+//scrub:hotpath
+func (c *Ctx) Value(id int32) event.Value {
+	return c.force(id)
+}
+
+// force returns the node's value for the current row, computing and
+// memoizing it on first use. Literals skip the memo entirely — reading
+// the stored value is already cheaper than the bookkeeping.
+func (c *Ctx) force(id int32) event.Value {
+	if nd := &c.prog.nodes[id]; nd.tag == pLit {
+		return nd.lit
+	}
+	if c.mark[id] == c.epoch {
+		return c.vals[id]
+	}
+	v := c.eval(id)
+	c.mark[id] = c.epoch
+	c.vals[id] = v
+	c.touched = append(c.touched, id)
+	return v
+}
+
+// eval computes one node. Operand forcing is lazy where the operator is
+// (and/or short-circuit exactly as the compiled closures do) and eager
+// where it is not, preserving Compile's evaluation order.
+func (c *Ctx) eval(id int32) event.Value {
+	nd := &c.prog.nodes[id]
+	switch nd.tag {
+	case pLit:
+		return nd.lit
+	case pField:
+		return c.row.Field(nd.typ, nd.name)
+	case pNot:
+		b, ok := c.force(nd.l).AsBool()
+		if !ok {
+			return event.Invalid
+		}
+		return event.Bool(!b)
+	case pNeg:
+		v := c.force(nd.l)
+		if i, ok := v.AsInt(); ok {
+			return event.Int(-i)
+		}
+		if f, ok := v.AsFloat(); ok {
+			return event.Float(-f)
+		}
+		return event.Invalid
+	case pArith:
+		a := c.force(nd.l)
+		b := c.force(nd.r)
+		return arithValue(nd.op, a, b)
+	case pEqNe:
+		a := c.force(nd.l)
+		b := c.force(nd.r)
+		return eqValue(nd.op, a, b)
+	case pCmp:
+		a := c.force(nd.l)
+		b := c.force(nd.r)
+		return cmpValue(nd.op, a, b)
+	case pAnd:
+		lb, lok := c.force(nd.l).AsBool()
+		if lok && !lb {
+			return event.Bool(false)
+		}
+		rb, rok := c.force(nd.r).AsBool()
+		if rok && !rb {
+			return event.Bool(false)
+		}
+		if !lok || !rok {
+			return event.Invalid
+		}
+		return event.Bool(true)
+	case pOr:
+		lb, lok := c.force(nd.l).AsBool()
+		if lok && lb {
+			return event.Bool(true)
+		}
+		rb, rok := c.force(nd.r).AsBool()
+		if rok && rb {
+			return event.Bool(true)
+		}
+		if !lok || !rok {
+			return event.Invalid
+		}
+		return event.Bool(false)
+	case pContains:
+		a := c.force(nd.l)
+		b := c.force(nd.r)
+		return containsValue(a, b)
+	case pLike:
+		s, ok := c.force(nd.l).AsStr()
+		if !ok {
+			return event.Invalid
+		}
+		return event.Bool(nd.like.match(s))
+	case pIn:
+		return inValue(c.force(nd.l), nd.list, nd.negate)
+	case pAgg:
+		return c.row.Agg(nd.agg)
+	}
+	return event.Invalid
+}

@@ -25,8 +25,10 @@
 package host
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -138,10 +140,14 @@ type queryKey struct {
 // activeQuery is one installed query object, pre-compiled for the hot
 // path.
 type activeQuery struct {
-	hq     transport.HostQuery
-	pred   func(expr.Row) bool // nil: match everything
-	colIdx []int               // schema field indices to project
-	width  int                 // len(colIdx), the projected tuple width
+	hq transport.HostQuery
+	// canon is the query's selection predicate in canonical form
+	// (expr.Canon), nil to match everything. rebuildLocked interns it into
+	// the event type's shared program; Start pre-validates it against a
+	// throwaway builder so interning at rebuild time cannot fail.
+	canon  expr.Node
+	colIdx []int // schema field indices to project
+	width  int   // len(colIdx), the projected tuple width
 	// Span bounds mirrored out of hq so the per-event gate reads flat
 	// fields adjacent to the rest of the hot state.
 	startNs, endNs int64
@@ -185,15 +191,21 @@ type activeQuery struct {
 	// so sendBatch reports mᵢ = Mᵢ without a second per-event atomic.
 	sampled atomic.Uint64
 	drops   atomic.Uint64 // queue-full drops
-	// countersDirty marks that totals changed since the last successful
-	// ship, so counter-only batches keep the estimator fresh even when
-	// sampling drops every tuple. The flag is cleared before a send's
-	// totals are loaded and re-armed on sink error, so a bump is either
-	// included in a successful batch or leaves the flag set — never
-	// silently skipped.
-	countersDirty atomic.Bool
+	// Heartbeat change detection, shipper-goroutine only. The counters a
+	// successful batch carried are snapshotted in last{Matched,Sampled,
+	// Drops}; flushCycle heartbeats when the live counters have moved past
+	// the snapshots, so the hot path never touches a dirty flag. A bump
+	// racing a send is caught by the next cycle's comparison (the snapshot
+	// records what was sent, not what was current afterwards), and a
+	// failed send leaves the snapshots alone — a bump is either included
+	// in a successful batch or still visible to the comparison, never
+	// silently skipped. announce covers the non-counter batch fields
+	// (effRate, BudgetShed), which only the shipper itself mutates.
+	announce                            bool
+	lastMatched, lastSampled, lastDrops uint64
 	// lastSentNanos is when the last batch for this query reached the
-	// sink. Shipper-goroutine only; drives the liveness heartbeat cadence.
+	// sink. Initialized at Start so a fresh query's first heartbeat honors
+	// HeartbeatInterval; shipper-goroutine only afterwards.
 	lastSentNanos int64
 }
 
@@ -211,9 +223,42 @@ type chunk struct {
 	vals   []event.Value
 }
 
-// typeQueries is the per-event-type entry of the immutable dispatch
-// snapshot, pre-split at rebuild time so Log pays span comparisons only
-// for queries that actually carry a span:
+// subscriber is one query's entry in the shared per-type dispatch index:
+// the immutable hot-path facts (predicate node, projection group, span)
+// plus the owning query, whose sampling, accounting, and chunk remain
+// strictly per-subscriber — sharing stops at selection and projection.
+type subscriber struct {
+	aq *activeQuery
+	// pred is the query's predicate node in the type's shared program;
+	// -1 matches every event.
+	pred int32
+	// group indexes typeProgram.groups (the query's projection column
+	// set); -1 for zero-width projections.
+	group          int32
+	startNs, endNs int64
+}
+
+// projGroup is one distinct projection column set shared by one or more
+// subscribers: the extracted values live at [off, off+len(colIdx)) in the
+// dispatch context's flat scratch, filled at most once per event.
+type projGroup struct {
+	colIdx []int
+	off    int
+}
+
+// typeProgram is the per-event-type entry of the immutable dispatch
+// snapshot: the type's shared query index, rebuilt wholesale by
+// rebuildLocked. Instead of running every query's predicate and
+// projection independently, the queries' canonicalized predicates are
+// interned into one expr.Program (structurally identical predicates and
+// common subexpressions become one node each) and subscribers with
+// identical column sets share a projection group — per event, each
+// distinct predicate node is evaluated at most once and each distinct
+// column set extracted at most once, with the results fanned out to
+// subscribers.
+//
+// Subscribers are pre-split so Log pays span comparisons only for
+// queries that actually carry a span:
 //
 //   - always: no span bounds — zero per-event comparisons.
 //   - gated: span-bounded; a single ts >= minStart comparison skips the
@@ -224,10 +269,75 @@ type chunk struct {
 // The split is by query shape, not wall clock, because event timestamps
 // may run on virtual time in simulations — classifying by time.Now would
 // drop in-span virtual-time events.
-type typeQueries struct {
-	always   []*activeQuery
-	gated    []*activeQuery
+type typeProgram struct {
+	// prog is the shared evaluation DAG; nil when every subscriber
+	// matches all events.
+	prog     *expr.Program
+	always   []subscriber
+	gated    []subscriber
 	minStart int64
+	groups   []projGroup
+	// ctxs pools *dispatchCtx for this snapshot. Per-snapshot (not
+	// per-agent) because a context's arrays are sized to this program and
+	// group set; a rebuild strands the old pool's contexts along with the
+	// old snapshot.
+	ctxs sync.Pool
+}
+
+// dispatchCtx is the per-event scratch for one pass over a type's
+// subscribers: the shared-program evaluation context plus the projection
+// groups' extracted values. Pooled; all arrays are preallocated to the
+// snapshot's shape so the hot path never grows them.
+//
+//scrub:pooled
+type dispatchCtx struct {
+	ec   *expr.Ctx     // nil when the snapshot has no predicate nodes
+	proj []event.Value // flat per-group scratch (see projGroup.off)
+	done []bool        // per-group: extracted for the current event
+}
+
+// project returns group g's extracted column values for ev, extracting
+// them on the group's first use for this event and reusing the scratch
+// for every later subscriber with the same column set.
+func (dc *dispatchCtx) project(tp *typeProgram, g int32, ev *event.Event) []event.Value {
+	gr := &tp.groups[g]
+	out := dc.proj[gr.off : gr.off+len(gr.colIdx)]
+	if !dc.done[g] {
+		for j, idx := range gr.colIdx {
+			out[j] = ev.At(idx)
+		}
+		dc.done[g] = true
+	}
+	return out
+}
+
+// clear releases the extracted values so a pooled context does not pin
+// event payloads between events.
+func (dc *dispatchCtx) clear(tp *typeProgram) {
+	for g := range dc.done {
+		if !dc.done[g] {
+			continue
+		}
+		gr := &tp.groups[g]
+		for j := range gr.colIdx {
+			dc.proj[gr.off+j] = event.Value{}
+		}
+		dc.done[g] = false
+	}
+}
+
+// newDispatchCtx sizes a context for the snapshot; pool-miss only.
+//
+//scrub:allowalloc(pool-miss refill; amortized to zero in steady state)
+func newDispatchCtx(tp *typeProgram, width int) *dispatchCtx {
+	dc := &dispatchCtx{
+		proj: make([]event.Value, width),
+		done: make([]bool, len(tp.groups)),
+	}
+	if tp.prog != nil {
+		dc.ec = tp.prog.NewCtx()
+	}
+	return dc
 }
 
 // Stats is a snapshot of agent-level accounting.
@@ -250,7 +360,7 @@ type Agent struct {
 
 	// byType is an immutable snapshot map, swapped wholesale on query
 	// start/stop. Log only ever loads it — no locks on the hot path.
-	byType atomic.Pointer[map[string]*typeQueries]
+	byType atomic.Pointer[map[string]*typeProgram]
 
 	mu      sync.Mutex // guards mutations of the query set
 	queries map[queryKey]*activeQuery
@@ -307,7 +417,7 @@ func New(cfg Config) (*Agent, error) {
 		flushReq: make(chan chan struct{}),
 		done:     make(chan struct{}),
 	}
-	empty := make(map[string]*typeQueries)
+	empty := make(map[string]*typeProgram)
 	a.byType.Store(&empty)
 	a.lastGovNanos = cfg.Clock().UnixNano()
 	if reg := cfg.Metrics; reg != nil {
@@ -360,11 +470,15 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 		if kind != event.KindBool {
 			return fmt.Errorf("host: predicate is %s, not bool", kind)
 		}
-		ev, err := expr.Compile(checked)
-		if err != nil {
+		canon := expr.Canon(checked)
+		// Trial-intern against a throwaway builder: rebuildLocked interns
+		// the same tree and cannot return an error, so any malformed plan
+		// (unresolved call, non-literal like pattern) must be rejected
+		// here, at the same point the old per-query compile rejected it.
+		if _, err := expr.NewProgramBuilder().Intern(canon); err != nil {
 			return fmt.Errorf("host: compile predicate: %w", err)
 		}
-		aq.pred = expr.Predicate(ev)
+		aq.canon = canon
 	}
 	aq.colIdx = make([]int, len(hq.Columns))
 	for i, col := range hq.Columns {
@@ -395,6 +509,10 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 	}
 	aq.budget = governor.Budget{CPUPct: hq.BudgetCPUPct, BytesPerSec: hq.BudgetBytesPerSec}
 	aq.tracker = governor.NewTracker()
+	// Stamp the heartbeat clock now: a fresh query with nothing to report
+	// sends its first counter-only heartbeat one HeartbeatInterval after
+	// activation, not on the first flush tick.
+	aq.lastSentNanos = a.cfg.Clock().UnixNano()
 
 	key := queryKey{id: hq.QueryID, typeIdx: hq.TypeIdx}
 	a.mu.Lock()
@@ -468,31 +586,95 @@ func (a *Agent) PruneExpired(now time.Time) int {
 	return len(removed)
 }
 
-// rebuildLocked swaps in a new immutable type→queries snapshot,
-// pre-split into span-free and span-gated lists (see typeQueries). Shed
-// queries are excluded — they stop paying per-event cost entirely — but
-// stay in a.queries so heartbeats keep announcing the BudgetShed state.
+// rebuildLocked swaps in a new immutable type→program snapshot: each
+// event type's queries compiled into one shared typeProgram (see that
+// type's comment). Shed queries are excluded — they stop paying per-event
+// cost entirely — but stay in a.queries so heartbeats keep announcing the
+// BudgetShed state. Queries are processed in (QueryID, TypeIdx) order so
+// rebuilds are deterministic: the same query set always interns the same
+// program with the same node ids, regardless of map iteration order.
 func (a *Agent) rebuildLocked() {
-	m := make(map[string]*typeQueries, len(a.queries))
-	for _, aq := range a.queries {
+	keys := make([]queryKey, 0, len(a.queries))
+	for key, aq := range a.queries {
 		if aq.shed {
 			continue
 		}
-		tq := m[aq.hq.EventType]
-		if tq == nil {
-			tq = &typeQueries{}
-			m[aq.hq.EventType] = tq
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].id != keys[j].id {
+			return keys[i].id < keys[j].id
 		}
-		if aq.hq.StartNanos == 0 && aq.hq.EndNanos == 0 {
-			tq.always = append(tq.always, aq)
-		} else {
-			if len(tq.gated) == 0 || aq.hq.StartNanos < tq.minStart {
-				tq.minStart = aq.hq.StartNanos
-			}
-			tq.gated = append(tq.gated, aq)
-		}
+		return keys[i].typeIdx < keys[j].typeIdx
+	})
+	perType := make(map[string][]*activeQuery, len(keys))
+	for _, key := range keys {
+		aq := a.queries[key]
+		perType[aq.hq.EventType] = append(perType[aq.hq.EventType], aq)
+	}
+	m := make(map[string]*typeProgram, len(perType))
+	for typ, aqs := range perType {
+		m[typ] = buildTypeProgram(aqs)
 	}
 	a.byType.Store(&m)
+}
+
+// buildTypeProgram compiles one event type's query list into its shared
+// dispatch index: predicates interned into one program, identical column
+// sets merged into one projection group, subscribers split into the
+// always/gated lists.
+func buildTypeProgram(aqs []*activeQuery) *typeProgram {
+	tp := &typeProgram{}
+	b := expr.NewProgramBuilder()
+	groupIdx := make(map[string]int32, len(aqs))
+	width := 0
+	for _, aq := range aqs {
+		s := subscriber{aq: aq, pred: -1, group: -1, startNs: aq.hq.StartNanos, endNs: aq.hq.EndNanos}
+		if aq.canon != nil {
+			// Start trial-interned the same canonical tree, so this cannot
+			// fail here.
+			id, err := b.Intern(aq.canon)
+			if err != nil {
+				continue // unreachable; drop rather than dispatch wrongly
+			}
+			s.pred = id
+		}
+		if aq.width > 0 {
+			gk := groupKey(aq.colIdx)
+			g, ok := groupIdx[gk]
+			if !ok {
+				g = int32(len(tp.groups))
+				groupIdx[gk] = g
+				tp.groups = append(tp.groups, projGroup{colIdx: aq.colIdx, off: width})
+				width += aq.width
+			}
+			s.group = g
+		}
+		if s.startNs == 0 && s.endNs == 0 {
+			tp.always = append(tp.always, s)
+		} else {
+			if len(tp.gated) == 0 || s.startNs < tp.minStart {
+				tp.minStart = s.startNs
+			}
+			tp.gated = append(tp.gated, s)
+		}
+	}
+	if prog := b.Build(); prog.NumNodes() > 0 {
+		tp.prog = prog
+	}
+	projWidth := width
+	tp.ctxs.New = func() any { return newDispatchCtx(tp, projWidth) }
+	return tp
+}
+
+// groupKey encodes a projection column set so subscribers projecting
+// identical columns (in the same order) share one projGroup.
+func groupKey(colIdx []int) string {
+	b := make([]byte, 0, len(colIdx)*4)
+	for _, idx := range colIdx {
+		b = binary.AppendVarint(b, int64(idx))
+	}
+	return string(b)
 }
 
 // Log offers one event to every active query. This is the application hot
@@ -518,32 +700,53 @@ func (a *Agent) Log(ev *event.Event) {
 	}
 }
 
+// logEvent dispatches one event through the type's shared query index:
+// each distinct predicate node is evaluated at most once (memoized in the
+// dispatch context's expr.Ctx), each distinct projection column set is
+// extracted at most once, and the results fan out to subscribers — whose
+// sampling, accounting, and chunks remain strictly per-query.
+//
+//scrub:hotpath
 func (a *Agent) logEvent(ev *event.Event) {
-	tq := (*a.byType.Load())[ev.Schema.Name()]
-	if tq == nil {
+	tp := (*a.byType.Load())[ev.Schema.Name()]
+	if tp == nil {
 		return
 	}
 	ts := ev.TimeNanos
-	row := expr.EventRow{Event: ev}
+	dc := tp.ctxs.Get().(*dispatchCtx)
+	if dc.ec != nil {
+		dc.ec.Begin(expr.EventRow{Event: ev})
+	}
 	anyMatch := false
-	for _, aq := range tq.always {
-		if a.offer(aq, row, ev, ts) {
+	for i := range tp.always {
+		s := &tp.always[i]
+		if s.pred >= 0 && !dc.ec.Bool(s.pred) {
+			continue
+		}
+		a.offerMatched(tp, s, dc, ev, ts)
+		anyMatch = true
+	}
+	if len(tp.gated) > 0 && ts >= tp.minStart {
+		for i := range tp.gated {
+			s := &tp.gated[i]
+			if ts < s.startNs {
+				continue
+			}
+			if s.endNs != 0 && ts >= s.endNs {
+				continue
+			}
+			if s.pred >= 0 && !dc.ec.Bool(s.pred) {
+				continue
+			}
+			a.offerMatched(tp, s, dc, ev, ts)
 			anyMatch = true
 		}
 	}
-	if len(tq.gated) > 0 && ts >= tq.minStart {
-		for _, aq := range tq.gated {
-			if ts < aq.startNs {
-				continue
-			}
-			if aq.endNs != 0 && ts >= aq.endNs {
-				continue
-			}
-			if a.offer(aq, row, ev, ts) {
-				anyMatch = true
-			}
-		}
+	if dc.ec != nil {
+		dc.ec.Finish()
 	}
+	dc.clear(tp)
+	tp.ctxs.Put(dc)
 	if anyMatch {
 		a.matched.Add(1)
 	}
@@ -558,25 +761,21 @@ const (
 	costSampleMask  = 1<<costSampleShift - 1
 )
 
-// offer runs one in-span query over the event: selection, accounting,
-// sampling, and (for kept events) projection into the query's chunk. It
-// reports whether the event matched the query's selection.
-func (a *Agent) offer(aq *activeQuery, row expr.EventRow, ev *event.Event, ts int64) bool {
-	if aq.pred != nil && !aq.pred(row) {
-		return false
-	}
+// offerMatched runs the per-subscriber half of dispatch for an event that
+// already passed the shared selection stage: Mᵢ accounting, event
+// sampling, and (for kept events) projection into the query's chunk.
+func (a *Agent) offerMatched(tp *typeProgram, s *subscriber, dc *dispatchCtx, ev *event.Event, ts int64) {
+	aq := s.aq
 	m := aq.matched.Add(1)
 	// The matched count doubles as the cost-sampling sequence, so the
-	// per-query CPU measurement adds no atomics of its own. Selection
-	// cost for non-matching events is not charged — shedding removes it
-	// anyway, and downsampling never could.
+	// per-query CPU measurement adds no atomics of its own. Shared
+	// selection cost is not charged per-query — as before, when selection
+	// for non-matching events was not charged — because shedding one
+	// subscriber cannot remove a predicate node other queries still need.
 	timed := m&costSampleMask == 0
 	var t0 time.Time
 	if timed {
 		t0 = time.Now()
-	}
-	if !aq.countersDirty.Load() {
-		aq.countersDirty.Store(true)
 	}
 	kept := true
 	if !aq.sampleAll.Load() {
@@ -590,18 +789,26 @@ func (a *Agent) offer(aq *activeQuery, row expr.EventRow, ev *event.Event, ts in
 		}
 	}
 	if kept {
-		a.enqueue(aq, ev, ts)
+		a.enqueue(tp, s, dc, ev, ts)
 	}
 	if timed {
 		aq.cpuNs.Add(uint64(time.Since(t0)) << costSampleShift)
 	}
-	return true
 }
 
-// enqueue projects the event into the query's active chunk, submitting
-// the chunk to the shipper when it fills. Allocation-free in steady
-// state: the tuple and its values land in pooled chunk memory.
-func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
+// enqueue copies the event's projected columns — extracted at most once
+// per event per distinct column set by the dispatch context — into the
+// query's active chunk, submitting the chunk to the shipper when it
+// fills. Allocation-free in steady state: the tuple and its values land
+// in pooled chunk memory.
+func (a *Agent) enqueue(tp *typeProgram, s *subscriber, dc *dispatchCtx, ev *event.Event, ts int64) {
+	aq := s.aq
+	// Extract (or reuse) the group's columns outside aq.mu: the scratch
+	// belongs to the dispatch context, not the query.
+	var src []event.Value
+	if s.group >= 0 {
+		src = dc.project(tp, s.group, ev)
+	}
 	aq.mu.Lock()
 	if !aq.sampleAll.Load() {
 		// Re-arm the countdown for the next kept event. Adding (rather
@@ -620,9 +827,7 @@ func (a *Agent) enqueue(aq *activeQuery, ev *event.Event, ts int64) {
 	if w := aq.width; w > 0 {
 		base := i * w
 		vals = c.vals[base : base+w : base+w]
-		for j, idx := range aq.colIdx {
-			vals[j] = ev.At(idx)
-		}
+		copy(vals, src)
 	}
 	c.tuples[i] = transport.Tuple{RequestID: ev.RequestID, TsNanos: ts, Values: vals}
 	c.n++
@@ -648,7 +853,6 @@ func (a *Agent) submit(c *chunk) {
 		n := uint64(c.n)
 		c.q.drops.Add(n)
 		a.queueDrops.Add(n)
-		c.q.countersDirty.Store(true)
 		a.putChunk(c)
 	}
 }
@@ -764,7 +968,7 @@ func (a *Agent) flushCycle() {
 	}
 	now := a.cfg.Clock().UnixNano()
 	for _, aq := range actives {
-		if aq.countersDirty.Load() || now-aq.lastSentNanos >= int64(a.cfg.HeartbeatInterval) {
+		if aq.needsHeartbeat() || now-aq.lastSentNanos >= int64(a.cfg.HeartbeatInterval) {
 			a.sendBatch(aq, nil)
 		}
 	}
@@ -777,13 +981,27 @@ func (a *Agent) ship(c *chunk) {
 	a.putChunk(c)
 }
 
+// needsHeartbeat reports whether the query has anything new to announce:
+// cumulative counters that moved past what the last successful batch
+// carried, or a pending non-counter change (rate, shed). Shipper-
+// goroutine only. A counter bump racing this comparison is caught by the
+// next cycle — the snapshots record what was sent, never what is current.
+func (aq *activeQuery) needsHeartbeat() bool {
+	return aq.announce ||
+		aq.matched.Load() != aq.lastMatched ||
+		aq.sampled.Load() != aq.lastSampled ||
+		aq.drops.Load() != aq.lastDrops
+}
+
 // sendBatch ships tuples (nil for a counter-only heartbeat) with the
-// query's cumulative accounting. See countersDirty for the flag
-// protocol that keeps mid-flush counter bumps from being skipped.
+// query's cumulative accounting. On success the counter snapshots record
+// what the batch carried; a failed send leaves them alone, so the same
+// totals trigger a resend on the next cycle (see needsHeartbeat).
 func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
-	aq.countersDirty.Store(false)
 	matched := aq.matched.Load()
-	sampled := aq.sampled.Load()
+	sampledRaw := aq.sampled.Load()
+	drops := aq.drops.Load()
+	sampled := sampledRaw
 	if aq.sampleAll.Load() {
 		sampled = matched // rate 1: every matched event is sampled
 	}
@@ -794,7 +1012,7 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 		Tuples:       tuples,
 		MatchedTotal: matched,
 		SampledTotal: sampled,
-		QueueDrops:   aq.drops.Load(),
+		QueueDrops:   drops,
 		EffRate:      aq.effRate,
 		BudgetShed:   aq.shed,
 		CPUNs:        aq.cpuNs.Load(),
@@ -811,9 +1029,14 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 	}
 	if err := a.cfg.Sink.SendBatch(batch); err != nil {
 		a.sinkErrors.Add(1)
-		aq.countersDirty.Store(true)
 		return
 	}
+	// Snapshot the raw counters (not the rate-1 substituted mᵢ, which
+	// derives from matched and is covered by its comparison).
+	aq.announce = false
+	aq.lastMatched = matched
+	aq.lastSampled = sampledRaw
+	aq.lastDrops = drops
 	aq.lastSentNanos = a.cfg.Clock().UnixNano()
 	aq.bytesShipped += uint64(size)
 	a.shipBytes.Add(uint64(size))
@@ -865,7 +1088,7 @@ func (a *Agent) governTick(actives []*activeQuery) {
 			aq.shed = true
 			a.rebuildLocked()
 			a.mu.Unlock()
-			aq.countersDirty.Store(true)
+			aq.announce = true
 			a.salvage(aq)
 		}
 	}
@@ -896,7 +1119,7 @@ func (a *Agent) applyRate(aq *activeQuery) {
 	aq.skip.Store(aq.sampler.NextSkip())
 	aq.effRate = rate
 	aq.mu.Unlock()
-	aq.countersDirty.Store(true)
+	aq.announce = true
 }
 
 // AccountDrops charges n dropped tuples against a query's cumulative
@@ -914,8 +1137,7 @@ func (a *Agent) AccountDrops(queryID uint64, typeIdx uint8, n uint64) {
 	aq := a.queries[queryKey{id: queryID, typeIdx: typeIdx}]
 	a.mu.Unlock()
 	if aq != nil {
-		aq.drops.Add(n)
-		aq.countersDirty.Store(true)
+		aq.drops.Add(n) // the drops-counter comparison heartbeats this
 	}
 }
 

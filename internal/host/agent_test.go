@@ -54,6 +54,14 @@ func (s *collectSink) tuples() []transport.Tuple {
 	return out
 }
 
+func (s *collectSink) all() []transport.TupleBatch {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]transport.TupleBatch, len(s.batches))
+	copy(out, s.batches)
+	return out
+}
+
 func (s *collectSink) lastCounters() (matched, sampled, drops uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -34,6 +34,9 @@ func TestLogNoQueriesZeroAllocs(t *testing.T) {
 }
 
 func TestLogMatchAndEnqueueZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; AllocsPerRun over the pooled dispatch context is meaningless")
+	}
 	// BatchSize 4096 with an hour-long flush interval keeps the whole
 	// measurement inside one pooled chunk, so the steady state — predicate,
 	// counters, projection, chunk append — is what AllocsPerRun sees.
@@ -68,6 +71,9 @@ func TestLogMatchAndEnqueueZeroAllocs(t *testing.T) {
 }
 
 func TestLogInstrumentedZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; AllocsPerRun over the pooled dispatch context is meaningless")
+	}
 	// With a metrics registry attached, Log additionally bumps the obs
 	// counters, times 1-in-64 calls into the latency histogram, and charges
 	// 1-in-64 matches to the query's cost meter. None of that may allocate:

@@ -1,0 +1,343 @@
+package host
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/expr"
+	"scrub/internal/transport"
+)
+
+// Tests for the shared query index: many concurrent queries compiled into
+// one per-type evaluation DAG with projection groups (see typeProgram).
+// The contract under test is that sharing is invisible — per-query tuple
+// streams, counters, and sampling are bit-identical to running every
+// query independently — while the hot path stays allocation-free.
+
+// predSpellings returns predicate trees over the bid schema, including
+// equivalent-but-differently-spelled pairs so canonicalization sharing is
+// exercised, plus nil (match-all).
+func predSpellings() []expr.Node {
+	price := func() expr.Node { return expr.FieldRef{Type: "bid", Name: "bid_price"} }
+	city := func() expr.Node { return expr.FieldRef{Type: "bid", Name: "city"} }
+	user := func() expr.Node { return expr.FieldRef{Type: "bid", Name: "user_id"} }
+	gt := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.OpGt, L: l, R: r} }
+	eq := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.OpEq, L: l, R: r} }
+	and := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.OpAnd, L: l, R: r} }
+	or := func(l, r expr.Node) expr.Node { return expr.Binary{Op: expr.OpOr, L: l, R: r} }
+	return []expr.Node{
+		nil,
+		gt(price(), expr.Lit{Val: event.Float(0.5)}),
+		// Same conjunction spelled both ways: canonically identical.
+		and(eq(city(), expr.Lit{Val: event.Str("sf")}), gt(price(), expr.Lit{Val: event.Float(0.5)})),
+		and(gt(price(), expr.Lit{Val: event.Float(0.5)}), eq(city(), expr.Lit{Val: event.Str("sf")})),
+		or(eq(expr.Binary{Op: expr.OpMod, L: user(), R: expr.Lit{Val: event.Int(2)}}, expr.Lit{Val: event.Int(0)}),
+			expr.Binary{Op: expr.OpLe, L: price(), R: expr.Lit{Val: event.Float(0.2)}}),
+		expr.In{X: city(), List: []expr.Node{
+			expr.Lit{Val: event.Str("sf")}, expr.Lit{Val: event.Str("nyc")}, expr.Lit{Val: event.Str("sf")}}},
+		expr.Unary{Op: expr.OpNot, X: gt(price(), expr.Lit{Val: event.Float(0.5)})},
+		// x >= 3 && x >= 3: idempotent duplicate collapses in canon form.
+		and(expr.Binary{Op: expr.OpGe, L: user(), R: expr.Lit{Val: event.Int(3)}},
+			expr.Binary{Op: expr.OpGe, L: user(), R: expr.Lit{Val: event.Int(3)}}),
+	}
+}
+
+var colSets = [][]string{
+	{"user_id", "city"},
+	{"city", "user_id"}, // same columns, different order: distinct group
+	{"bid_price"},
+	{"user_id", "city"}, // repeat: shares the first group
+	nil,                 // zero-width projection
+}
+
+func TestSharedIndexZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; AllocsPerRun over the pooled dispatch context is meaningless")
+	}
+	// 16 queries cycling through 8 predicate spellings and 5 column sets:
+	// the shared-DAG dispatch with fan-out, memoized subexpressions, and
+	// projection groups must stay allocation-free, exactly like the old
+	// per-query loop.
+	a, err := New(Config{
+		HostID: "h", Service: "s", Catalog: testCatalog(),
+		Sink:      SinkFunc(func(transport.TupleBatch) error { return nil }),
+		QueueSize: 1 << 18, BatchSize: 8192,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	preds := predSpellings()
+	for i := 0; i < 16; i++ {
+		if err := a.Start(transport.HostQuery{
+			QueryID:   uint64(i + 1),
+			EventType: "bid",
+			Pred:      preds[i%len(preds)],
+			Columns:   colSets[i%len(colSets)],
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := bidEvent(1, 4, "sf", 1.0, time.Now().UnixNano())
+	a.Log(ev) // size the chunks and the pooled dispatch context
+	if allocs := testing.AllocsPerRun(500, func() { a.Log(ev) }); allocs != 0 {
+		t.Errorf("shared-index Log allocates %.1f/op, want 0", allocs)
+	}
+	a.Flush()
+	if st := a.Stats(); st.Shipped == 0 {
+		t.Error("measured tuples never shipped")
+	}
+}
+
+func TestRebuildUnderConcurrentLogPredicates(t *testing.T) {
+	// Start/Stop churn rebuilds the shared program while Log goroutines
+	// dispatch through whichever snapshot they loaded. A stable query rides
+	// along the whole time; every tuple it ships must satisfy its own
+	// predicate regardless of how often the DAG around it was rebuilt.
+	sink := &collectSink{}
+	a := newAgent(t, sink)
+	stable := transport.HostQuery{
+		QueryID: 1, EventType: "bid",
+		Pred: expr.Binary{Op: expr.OpEq,
+			L: expr.FieldRef{Type: "bid", Name: "city"},
+			R: expr.Lit{Val: event.Str("sf")}},
+		Columns: []string{"city", "user_id"},
+	}
+	if err := a.Start(stable); err != nil {
+		t.Fatal(err)
+	}
+	preds := predSpellings()
+	now := time.Now().UnixNano()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cities := []string{"sf", "nyc", "la"}
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+					a.Log(bidEvent(uint64(i), int64(w), cities[i%3], float64(i%10)/5, now))
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 60; i++ {
+		qid := uint64(100 + i)
+		if err := a.Start(transport.HostQuery{
+			QueryID: qid, EventType: "bid",
+			Pred:    preds[i%len(preds)],
+			Columns: colSets[i%len(colSets)],
+		}); err != nil {
+			t.Error(err)
+		}
+		time.Sleep(500 * time.Microsecond)
+		a.Stop(qid)
+	}
+	close(stop)
+	wg.Wait()
+	a.Flush()
+	for _, b := range sink.all() {
+		if b.QueryID != 1 {
+			continue
+		}
+		for _, tu := range b.Tuples {
+			if got, _ := tu.Values[0].AsStr(); got != "sf" {
+				t.Fatalf("stable query shipped city %q, want sf", got)
+			}
+		}
+	}
+}
+
+// refQuery is the naive per-query dispatch the shared index replaced: an
+// independently compiled predicate over the ORIGINAL (un-canonicalized)
+// tree and its own projection loop. It is the semantic oracle for the
+// differential test below.
+type refQuery struct {
+	id             uint64
+	pred           func(expr.Row) bool
+	colIdx         []int
+	startNs, endNs int64
+	matched        uint64
+	tuples         []transport.Tuple
+}
+
+func (r *refQuery) offer(ev *event.Event, ts int64) {
+	if ts < r.startNs {
+		return
+	}
+	if r.endNs != 0 && ts >= r.endNs {
+		return
+	}
+	if r.pred != nil && !r.pred(expr.EventRow{Event: ev}) {
+		return
+	}
+	r.matched++
+	vals := make([]event.Value, len(r.colIdx))
+	for j, idx := range r.colIdx {
+		vals[j] = ev.At(idx)
+	}
+	if len(vals) == 0 {
+		vals = nil
+	}
+	r.tuples = append(r.tuples, transport.Tuple{RequestID: ev.RequestID, TsNanos: ts, Values: vals})
+}
+
+func TestSharedDispatchMatchesReference(t *testing.T) {
+	// Differential oracle for the tentpole rewrite: 24 queries (heavy
+	// predicate and projection overlap, some span-gated) dispatched through
+	// the shared index must produce, per query, exactly the tuple stream
+	// and matched count of a naive loop that compiles every original
+	// predicate independently. Rate 1 everywhere so sampling cannot hide a
+	// divergence.
+	for seed := int64(1); seed <= 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			sink := &collectSink{}
+			// The queue must hold the full run: nothing drains it until the
+			// final Flush, and a drop would be a (correct) divergence from
+			// the lossless reference.
+			a := newAgent(t, sink, func(c *Config) {
+				c.FlushInterval = time.Hour
+				c.QueueSize = 1 << 17
+			})
+			preds := predSpellings()
+			base := time.Now().UnixNano()
+			const n = 2000
+			refs := make(map[uint64]*refQuery)
+			for i := 0; i < 24; i++ {
+				qid := uint64(i + 1)
+				hq := transport.HostQuery{
+					QueryID: qid, EventType: "bid",
+					Pred:    preds[rng.Intn(len(preds))],
+					Columns: colSets[rng.Intn(len(colSets))],
+				}
+				if rng.Intn(3) == 0 { // span-gated third
+					lo := rng.Int63n(n)
+					hi := lo + 1 + rng.Int63n(n)
+					hq.StartNanos = base + lo
+					hq.EndNanos = base + hi
+				}
+				if err := a.Start(hq); err != nil {
+					t.Fatal(err)
+				}
+				ref := &refQuery{id: qid, startNs: hq.StartNanos, endNs: hq.EndNanos}
+				if hq.Pred != nil {
+					checked, _, err := expr.Check(hq.Pred, expr.SchemaResolver{Schemas: []*event.Schema{bidSchema}})
+					if err != nil {
+						t.Fatal(err)
+					}
+					ev, err := expr.Compile(checked)
+					if err != nil {
+						t.Fatal(err)
+					}
+					ref.pred = expr.Predicate(ev)
+				}
+				for _, col := range hq.Columns {
+					ref.colIdx = append(ref.colIdx, bidSchema.FieldIndex(col))
+				}
+				refs[qid] = ref
+			}
+			cities := []string{"sf", "nyc", "la", ""}
+			for i := 0; i < n; i++ {
+				ev := bidEvent(uint64(i), rng.Int63n(6), cities[rng.Intn(len(cities))],
+					float64(rng.Intn(200))/100-0.3, base+int64(i))
+				a.Log(ev)
+				for _, ref := range refs {
+					ref.offer(ev, ev.TimeNanos)
+				}
+			}
+			a.Flush()
+			if st := a.Stats(); st.QueueDrops != 0 {
+				t.Fatalf("queue dropped %d tuples; size the queue for the run", st.QueueDrops)
+			}
+			got := make(map[uint64][]transport.Tuple)
+			lastMatched := make(map[uint64]uint64)
+			for _, b := range sink.all() {
+				got[b.QueryID] = append(got[b.QueryID], b.Tuples...)
+				lastMatched[b.QueryID] = b.MatchedTotal
+			}
+			for qid, ref := range refs {
+				if m := lastMatched[qid]; m != ref.matched {
+					t.Errorf("query %d: matched %d, reference %d", qid, m, ref.matched)
+				}
+				gt := got[qid]
+				if len(gt) != len(ref.tuples) {
+					t.Fatalf("query %d: %d tuples, reference %d", qid, len(gt), len(ref.tuples))
+				}
+				for i := range gt {
+					w := ref.tuples[i]
+					g := gt[i]
+					if g.RequestID != w.RequestID || g.TsNanos != w.TsNanos || len(g.Values) != len(w.Values) {
+						t.Fatalf("query %d tuple %d: got %+v, want %+v", qid, i, g, w)
+					}
+					for j := range g.Values {
+						if !g.Values[j].Equal(w.Values[j]) {
+							t.Fatalf("query %d tuple %d col %d: got %v, want %v", qid, i, j, g.Values[j], w.Values[j])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSharedPredicateIndependentAccounting(t *testing.T) {
+	// Two queries with the identical predicate and column set share one
+	// DAG node and one projection group, but sampling and accounting stay
+	// per-query: the downsampled query ships fewer tuples while its
+	// sibling at rate 1 ships every match, and both report exact Mᵢ.
+	sink := &collectSink{}
+	a := newAgent(t, sink, func(c *Config) { c.FlushInterval = time.Hour })
+	pred := func() expr.Node {
+		return expr.Binary{Op: expr.OpGt,
+			L: expr.FieldRef{Type: "bid", Name: "bid_price"},
+			R: expr.Lit{Val: event.Float(0.5)}}
+	}
+	if err := a.Start(transport.HostQuery{
+		QueryID: 1, EventType: "bid", Pred: pred(), Columns: []string{"user_id"},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Start(transport.HostQuery{
+		QueryID: 2, EventType: "bid", Pred: pred(), Columns: []string{"user_id"},
+		SampleEvents: 0.25,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	now := time.Now().UnixNano()
+	const n = 4000
+	for i := 0; i < n; i++ {
+		a.Log(bidEvent(uint64(i), int64(i), "sf", 1.0, now+int64(i)))
+	}
+	a.Flush()
+	counts := make(map[uint64]int)
+	matched := make(map[uint64]uint64)
+	sampled := make(map[uint64]uint64)
+	for _, b := range sink.all() {
+		counts[b.QueryID] += len(b.Tuples)
+		matched[b.QueryID] = b.MatchedTotal
+		sampled[b.QueryID] = b.SampledTotal
+	}
+	if matched[1] != n || matched[2] != n {
+		t.Errorf("matched = %d/%d, want %d for both", matched[1], matched[2], n)
+	}
+	if counts[1] != n {
+		t.Errorf("rate-1 query shipped %d tuples, want %d", counts[1], n)
+	}
+	if uint64(counts[2]) != sampled[2] {
+		t.Errorf("sampled query shipped %d tuples but reported mᵢ=%d", counts[2], sampled[2])
+	}
+	if counts[2] == 0 || counts[2] >= n/2 {
+		t.Errorf("rate-0.25 query shipped %d of %d tuples, want roughly a quarter", counts[2], n)
+	}
+}

@@ -1,0 +1,10 @@
+//go:build race
+
+package host
+
+// raceEnabled reports whether the race detector is compiled in. Under it,
+// sync.Pool deliberately drops a fraction of Puts to shake out lifecycle
+// bugs, so steady-state AllocsPerRun assertions over pooled hot paths are
+// meaningless there; tests gate on this and skip. The zero-allocation
+// guarantees are enforced by the non-race test run.
+const raceEnabled = true

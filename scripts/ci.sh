@@ -23,6 +23,9 @@ go run ./scripts/metricssmoke
 echo "== chaos soak (fixed seed, quick, -race) =="
 go run -race ./cmd/benchrunner -only C1 -quick -p1json ''
 
+echo "== bench smoke (tiny PS sweep, BENCH_P2 emission) =="
+make bench-smoke
+
 echo "== differential oracle sweep (200 seeded sims, -race) =="
 go test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
 
