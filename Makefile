@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzDecode -fuzztime=5s
 	$(GO) test ./internal/transport -run='^$$' -fuzz=FuzzRecvFrame -fuzztime=5s
 	$(GO) test ./internal/ql -run='^$$' -fuzz=FuzzParse -fuzztime=5s
+	$(GO) test ./internal/replay -run='^$$' -fuzz=FuzzDecodeChunk -fuzztime=5s
 
 # Fixed-seed chaos soak (quick mode) under the race detector.
 chaos-soak:

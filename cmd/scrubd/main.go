@@ -33,6 +33,7 @@ import (
 	"scrub/internal/governor"
 	"scrub/internal/host"
 	"scrub/internal/obs"
+	"scrub/internal/replay"
 )
 
 func main() {
@@ -48,6 +49,9 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "observability listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:0); empty disables")
 	hostCPU := flag.Float64("budget-cpu", 0, "global per-host CPU budget for all scrub work, as a fraction of one core (0 disables)")
 	hostBytes := flag.Float64("budget-bytes", 0, "global per-host shipping budget in bytes/sec (0 disables)")
+	record := flag.Bool("record", false, "record every logged event into the local replay store so REPLAY queries can ship history")
+	recordDir := flag.String("record-dir", "", "directory for the replay store's disk tier (empty keeps sealed chunks in memory only)")
+	recordRetain := flag.Duration("record-retain", 0, "replay store retention window; chunks older than this are evicted (0 = default 15m)")
 	flag.Parse()
 
 	if *hostID == "" || *service == "" {
@@ -80,11 +84,27 @@ func main() {
 	if *metricsAddr != "" {
 		reg = obs.NewRegistry()
 	}
+	var recStore *replay.Store
+	if *record {
+		var err error
+		recStore, err = replay.Open(replay.Options{
+			Catalog: catalog,
+			Dir:     *recordDir,
+			MaxAge:  *recordRetain,
+			Metrics: reg,
+		})
+		if err != nil {
+			log.Fatalf("scrubd: replay store: %v", err)
+		}
+	} else if *recordDir != "" || *recordRetain != 0 {
+		log.Fatal("scrubd: -record-dir/-record-retain require -record")
+	}
 	sink := host.NewNetSinkWith(*dataAddr, *hostID, host.NetSinkOptions{Metrics: reg})
 	agent, err := host.New(host.Config{
 		HostID: *hostID, Service: *service, DC: *dc,
 		Catalog: catalog, Sink: sink,
 		Metrics: reg,
+		Record:  recStore,
 		Governor: governor.Config{
 			HostBudget: governor.Budget{CPUPct: *hostCPU, BytesPerSec: *hostBytes},
 		},
@@ -121,6 +141,9 @@ func main() {
 	cancel()
 	agent.Close()
 	sink.Close()
+	if recStore != nil {
+		recStore.Close()
+	}
 	st := agent.Stats()
 	fmt.Printf("scrubd: done. logged=%d matched=%d shipped=%d drops=%d\n",
 		st.Logged, st.Matched, st.Shipped, st.QueueDrops)

@@ -101,3 +101,43 @@ func KeepCopy(h *holder, t *Tuple) {
 	kept.Values = append([]int(nil), t.Values...)
 	h.ts = append(h.ts, kept) // ok: deep-copied before retention
 }
+
+// The record-hook buffer handoff (the replay store's shape): Append
+// encodes each event into a reusable scratch buffer that the next
+// Append overwrites, so sealing must copy the bytes out — retaining the
+// scratch, or any reslice of it, hands recycled memory to the reader.
+
+//scrub:pooled
+type scratch struct{ b []byte }
+
+type recordStore struct {
+	data   []byte
+	sealed [][]byte
+}
+
+func SealRetainsScratch(s *recordStore, sc *scratch) {
+	s.data = sc.b // want `pooled memory stored into s.data`
+}
+
+func SealRetainsReslice(s *recordStore, sc *scratch, n int) {
+	s.data = sc.b[:n] // want `pooled memory stored into s.data`
+}
+
+func SealGlobal(sc *scratch) {
+	globalData = sc.b // want `pooled memory stored in package-level variable globalData`
+}
+
+var globalData []byte
+
+// SealOwned is the mandated repair, byte-for-byte what Store.sealLocked
+// does: the payload lands in a fresh allocation before retention.
+func SealOwned(s *recordStore, sc *scratch) {
+	cp := make([]byte, len(sc.b))
+	copy(cp, sc.b) // ok: byte elements carry no pooled fields
+	s.data = cp    // ok: owned memory
+}
+
+// SealAppendOwned is the compact form of the same repair.
+func SealAppendOwned(s *recordStore, sc *scratch) {
+	s.data = append([]byte(nil), sc.b...) // ok: detached from the scratch
+}

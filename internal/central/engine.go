@@ -134,6 +134,17 @@ type queryState struct {
 	stats    transport.QueryStats
 	tuplesC  *obs.Counter // per-query ingest counter; nil without a registry
 	overflow uint64       // raw-row + join-pending drops
+	// Replay hold (Plan.Replay > 0): while open, no window closes at all —
+	// neither watermark-driven nor wall-clock-forced — because replayed
+	// history with old event times may still be in flight, and a window
+	// that closes early would count that history as late instead of
+	// folding it in. The hold releases when every stream that announced
+	// replay has sent its ReplayDone marker (liveness.ReplaySettled) or at
+	// replayDeadline — lease-clock, 2× the lease TTL past query start —
+	// whichever comes first; the deadline bounds the damage of a dropped
+	// done marker or of a query no recording host serves.
+	replayHold     bool
+	replayDeadline int64
 	// scratchKey is the reused group-key buffer for accumulate (engine
 	// lock held throughout a batch, so one buffer per query suffices);
 	// only a tuple that opens a new group copies it.
@@ -195,7 +206,7 @@ func (e *Engine) StartQuery(p Plan, emit EmitFunc) error {
 	if _, dup := e.queries[p.QueryID]; dup {
 		return fmt.Errorf("central: query %d already active", p.QueryID)
 	}
-	e.queries[p.QueryID] = &queryState{
+	qs := &queryState{
 		plan:    p,
 		comp:    comp,
 		win:     win,
@@ -203,7 +214,23 @@ func (e *Engine) StartQuery(p Plan, emit EmitFunc) error {
 		streams: liveness.NewTable(e.opt.LeaseTTL),
 		tuplesC: e.met.queryTuples(p.QueryID),
 	}
+	if p.Replay > 0 {
+		qs.replayHold = true
+		qs.replayDeadline = e.opt.Clock().UnixNano() + 2*int64(e.opt.LeaseTTL)
+	}
+	e.queries[p.QueryID] = qs
 	return nil
+}
+
+// replayHolding reports whether a query's replay hold is still open at
+// leaseNow, releasing it when replay has settled or the deadline passed.
+// One function shared by both executors so their close decisions stay
+// bit-identical.
+func replayHolding(hold *bool, deadline int64, streams *liveness.Table, leaseNow int64) bool {
+	if *hold && (streams.ReplaySettled() || leaseNow >= deadline) {
+		*hold = false
+	}
+	return *hold
 }
 
 // ActiveQueries returns the installed query ids.
@@ -236,13 +263,15 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 		return
 	}
 	key := liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx}
-	st, _ := qs.streams.Touch(key, e.opt.Clock().UnixNano())
+	nowN := e.opt.Clock().UnixNano()
+	st, _ := qs.streams.Touch(key, nowN)
 	// Counters are cumulative; max() keeps a delayed or duplicated batch
 	// (chaos, retransmits) from regressing them.
 	st.Matched = max(st.Matched, b.MatchedTotal)
 	st.Sampled = max(st.Sampled, b.SampledTotal)
 	st.Drops = max(st.Drops, b.QueueDrops)
 	st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
+	qs.streams.FoldReplay(st, b.ReplayEpoch, b.ReplayDone)
 	if e.met != nil {
 		e.met.batches.Inc()
 		e.met.tuples.Add(uint64(len(b.Tuples)))
@@ -252,11 +281,12 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	}
 
 	lateBefore := qs.win.LateDrops()
+	dataStart := qs.plan.DataStartNanos()
 	var maxTs int64
 	hasTs := false
 	for i := range b.Tuples {
 		t := &b.Tuples[i]
-		if qs.plan.StartNanos != 0 && t.TsNanos < qs.plan.StartNanos {
+		if dataStart != 0 && t.TsNanos < dataStart {
 			continue
 		}
 		if qs.plan.EndNanos != 0 && t.TsNanos >= qs.plan.EndNanos {
@@ -273,9 +303,17 @@ func (e *Engine) HandleBatch(b transport.TupleBatch) {
 	st.LateDrops += qs.win.LateDrops() - lateBefore
 	if hasTs {
 		st.ObserveTs(maxTs)
+	}
+	// A batch that releases the replay hold (its ReplayDone marker
+	// settled the last replaying stream) closes windows even when it
+	// carried no tuples of its own.
+	wasHolding := qs.replayHold
+	holding := replayHolding(&qs.replayHold, qs.replayDeadline, qs.streams, nowN)
+	released := wasHolding && !holding
+	if !holding && (hasTs || released) {
 		if wm, ok := qs.streams.Watermark(); ok {
 			if e.met != nil {
-				e.met.wmLag.Set(e.opt.Clock().UnixNano() - wm)
+				e.met.wmLag.Set(nowN - wm)
 			}
 			for _, closed := range qs.win.Observe(wm) {
 				e.emitWindow(qs, closed)
@@ -623,7 +661,17 @@ func (e *Engine) Tick(nowNanos int64) {
 	defer e.mu.Unlock()
 	leaseNow := e.opt.Clock().UnixNano()
 	for _, qs := range e.queries {
-		if evicted := qs.streams.Expire(leaseNow); len(evicted) > 0 {
+		// Expire before the hold check: evicting a replaying stream can
+		// settle the replay (a dead host will never send its done marker).
+		evicted := qs.streams.Expire(leaseNow)
+		wasHolding := qs.replayHold
+		if replayHolding(&qs.replayHold, qs.replayDeadline, qs.streams, leaseNow) {
+			// Replayed history may still be in flight: closing a window
+			// now — by watermark or by wall clock — would count it late.
+			continue
+		}
+		released := wasHolding && !qs.replayHold
+		if len(evicted) > 0 || released {
 			if wm, ok := qs.streams.Watermark(); ok {
 				for _, closed := range qs.win.Observe(wm) {
 					e.emitWindow(qs, closed)

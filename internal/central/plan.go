@@ -38,6 +38,13 @@ type Plan struct {
 	StartNanos int64
 	EndNanos   int64
 
+	// Replay is the REPLAY clause: hosts with a record stream ship
+	// history from [StartNanos-Replay, StartNanos) before going live, so
+	// the span filter must accept event times that far before the start
+	// and window closing must wait for the history (the replay hold).
+	// 0 disables replay.
+	Replay time.Duration
+
 	// Estimator inputs (paper Eq. 1–3): how many hosts matched the target
 	// spec (N), how many were activated after host sampling (n), and the
 	// per-host event sampling rate (q).
@@ -70,20 +77,21 @@ func FromPlan(p *ql.Plan, queryID uint64, startNanos, endNanos int64, totalHosts
 		cols[i] = p.Columns[t]
 	}
 	return Plan{
-		QueryID:      queryID,
-		Types:        types,
-		Columns:      cols,
-		GroupBy:      p.GroupBy,
-		Aggs:         p.Aggs,
-		Select:       p.Select,
-		CentralPred:  p.CentralPred,
-		Having:       p.Having,
-		OrderBy:      p.OrderBy,
-		Limit:        p.Limit,
-		Window:       p.Window,
-		Slide:        p.Slide,
-		StartNanos:   startNanos,
-		EndNanos:     endNanos,
+		QueryID:           queryID,
+		Types:             types,
+		Columns:           cols,
+		GroupBy:           p.GroupBy,
+		Aggs:              p.Aggs,
+		Select:            p.Select,
+		CentralPred:       p.CentralPred,
+		Having:            p.Having,
+		OrderBy:           p.OrderBy,
+		Limit:             p.Limit,
+		Window:            p.Window,
+		Slide:             p.Slide,
+		StartNanos:        startNanos,
+		EndNanos:          endNanos,
+		Replay:            p.Replay,
 		TotalHosts:        totalHosts,
 		SampledHosts:      sampledHosts,
 		SampleEvents:      p.SampleEvents,
@@ -117,6 +125,9 @@ func (p *Plan) fillDefaults() error {
 	if p.Lateness < 0 {
 		return fmt.Errorf("central: negative lateness")
 	}
+	if p.Replay < 0 {
+		return fmt.Errorf("central: negative replay")
+	}
 	if p.Lateness == 0 {
 		p.Lateness = 2 * time.Second
 	}
@@ -139,6 +150,16 @@ func (p *Plan) fillDefaults() error {
 		p.MaxJoinPending = 1 << 20
 	}
 	return nil
+}
+
+// DataStartNanos returns the earliest event time the query accepts:
+// the span start, extended back by the replay span when the query
+// replays history. A zero span start accepts any event time either way.
+func (p *Plan) DataStartNanos() int64 {
+	if p.StartNanos == 0 || p.Replay <= 0 {
+		return p.StartNanos
+	}
+	return p.StartNanos - int64(p.Replay)
 }
 
 // IsJoin reports whether the plan joins two event types.

@@ -69,7 +69,11 @@ type shardedQuery struct {
 	// flushed during shutdown can no longer poll dropsOf, and without this
 	// their stats would silently forget every drop counted so far.
 	stoppedShardDrops uint64
-	tuplesC    *obs.Counter // per-query ingest counter; nil without a registry
+	tuplesC           *obs.Counter // per-query ingest counter; nil without a registry
+	// Replay hold — the exact twin of queryState's (see engine.go): while
+	// open, the merger neither collects nor flushes windows for the query.
+	replayHold     bool
+	replayDeadline int64
 }
 
 // NewShardedEngine creates an engine with n shards (n >= 1) and default
@@ -120,12 +124,17 @@ func (se *ShardedEngine) StartQuery(p Plan, emit EmitFunc) error {
 		se.mu.Unlock()
 		return fmt.Errorf("central: query %d already active", p.QueryID)
 	}
-	se.queries[p.QueryID] = &shardedQuery{
+	sq := &shardedQuery{
 		plan: p, comp: comp, emit: emit,
 		streams: liveness.NewTable(se.opt.LeaseTTL),
 		pending: make(map[int64]*winState),
 		tuplesC: se.met.queryTuples(p.QueryID),
 	}
+	if p.Replay > 0 {
+		sq.replayHold = true
+		sq.replayDeadline = se.opt.Clock().UnixNano() + 2*int64(se.opt.LeaseTTL)
+	}
+	se.queries[p.QueryID] = sq
 	se.mu.Unlock()
 
 	for i, sh := range se.shards {
@@ -161,9 +170,10 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	if int(b.TypeIdx) >= len(sq.plan.Types) {
 		return
 	}
+	nowN := se.opt.Clock().UnixNano()
 	st, _ := sq.streams.Touch(
 		liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx},
-		se.opt.Clock().UnixNano(),
+		nowN,
 	)
 	// Counters are cumulative; max() keeps chaos-induced reorder or
 	// duplication from regressing them.
@@ -171,6 +181,7 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	st.Sampled = max(st.Sampled, b.SampledTotal)
 	st.Drops = max(st.Drops, b.QueueDrops)
 	st.FoldGovernor(b.EffRate, b.BudgetShed, b.CPUNs, b.ShipBytes)
+	sq.streams.FoldReplay(st, b.ReplayEpoch, b.ReplayDone)
 	if se.met != nil {
 		se.met.batches.Inc()
 		se.met.tuples.Add(uint64(len(b.Tuples)))
@@ -178,17 +189,23 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	if sq.tuplesC != nil {
 		sq.tuplesC.Add(uint64(len(b.Tuples)))
 	}
-	if len(b.Tuples) == 0 {
+	// Mirror Engine.HandleBatch: a tuple-free batch is worth processing
+	// only when its ReplayDone marker just released the replay hold.
+	wasHolding := sq.replayHold
+	holding := replayHolding(&sq.replayHold, sq.replayDeadline, sq.streams, nowN)
+	released := wasHolding && !holding
+	if len(b.Tuples) == 0 && !released {
 		return
 	}
 	n := uint64(len(se.shards))
 	sub := make([][]transport.Tuple, len(se.shards))
+	dataStart := sq.plan.DataStartNanos()
 	var maxTs int64
 	hasTs := false
 	for _, t := range b.Tuples {
 		// Out-of-span tuples neither reach a shard nor advance the
 		// stream's event clock (same filter as Engine.HandleBatch).
-		if sq.plan.StartNanos != 0 && t.TsNanos < sq.plan.StartNanos {
+		if dataStart != 0 && t.TsNanos < dataStart {
 			continue
 		}
 		if sq.plan.EndNanos != 0 && t.TsNanos >= sq.plan.EndNanos {
@@ -218,6 +235,8 @@ func (se *ShardedEngine) HandleBatch(b transport.TupleBatch) {
 	st.LateDrops += se.winLateLocked(b.QueryID) - lateBefore
 	if hasTs {
 		st.ObserveTs(maxTs)
+	}
+	if !holding && (hasTs || released) {
 		if wm, wok := sq.streams.Watermark(); wok {
 			bound := wm - int64(sq.plan.Lateness)
 			se.collectLocked(b.QueryID, sq, bound)
@@ -247,10 +266,18 @@ func (se *ShardedEngine) Tick(nowNanos int64) {
 	defer se.mu.Unlock()
 	leaseNow := se.opt.Clock().UnixNano()
 	for id, sq := range se.queries {
-		// Mirror Engine.Tick: when lease expiry evicts a stream, the
-		// watermark recomputed over the survivors closes the windows the
-		// dead host was holding open right away.
-		if evicted := sq.streams.Expire(leaseNow); len(evicted) > 0 {
+		// Mirror Engine.Tick: expire before the hold check (evicting a
+		// replaying stream can settle the replay), skip every close while
+		// the hold is open, and when lease expiry evicts a stream — or
+		// this tick released the hold — close at the watermark recomputed
+		// over the survivors right away.
+		evicted := sq.streams.Expire(leaseNow)
+		wasHolding := sq.replayHold
+		if replayHolding(&sq.replayHold, sq.replayDeadline, sq.streams, leaseNow) {
+			continue
+		}
+		released := wasHolding && !sq.replayHold
+		if len(evicted) > 0 || released {
 			if wm, ok := sq.streams.Watermark(); ok {
 				b := wm - int64(sq.plan.Lateness)
 				se.collectLocked(id, sq, b)

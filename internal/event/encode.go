@@ -2,9 +2,16 @@ package event
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"math"
 )
+
+// ErrUnknownType marks a decoded event whose type is not in the catalog.
+// Consumers that read events written under an older catalog (the replay
+// store across a restart) match it with errors.Is to skip the record
+// rather than treat it as corruption.
+var ErrUnknownType = errors.New("unknown event type")
 
 // Binary encoding. The wire format between host agents and ScrubCentral is
 // deliberately simple: a one-byte kind tag per value, varint lengths, and
@@ -142,7 +149,7 @@ func DecodeEvent(b []byte, cat *Catalog) (*Event, int, error) {
 	n += int(ln)
 	schema, ok := cat.Lookup(name)
 	if !ok {
-		return nil, 0, fmt.Errorf("event: decode event: unknown type %q", name)
+		return nil, 0, fmt.Errorf("event: decode event: unknown type %q: %w", name, ErrUnknownType)
 	}
 	if len(b) < n+16 {
 		return nil, 0, fmt.Errorf("event: decode event: short header")

@@ -37,6 +37,7 @@ import (
 	"scrub/internal/expr"
 	"scrub/internal/governor"
 	"scrub/internal/obs"
+	"scrub/internal/replay"
 	"scrub/internal/sampling"
 	"scrub/internal/transport"
 )
@@ -96,6 +97,11 @@ type Config struct {
 	// Per-query budgets arrive with each HostQuery; Governor.HostBudget
 	// additionally caps the aggregate impact of all queries on this host.
 	Governor governor.Config
+	// Record, when non-nil, appends every logged event to the host's
+	// replay store, and queries arriving with ReplayNanos ship matching
+	// history from it before going live. Nil disables recording: Log then
+	// pays a single pointer comparison for the feature.
+	Record *replay.Store
 }
 
 func (c *Config) fillDefaults() error {
@@ -185,6 +191,11 @@ type activeQuery struct {
 	//scrub:guardedby(mu)
 	cur *chunk
 
+	// stopped flips when the query is removed (Stop, span expiry) or shed
+	// by the governor; the replay scanner polls it so historical shipping
+	// for a dead query aborts instead of running its scan to completion.
+	stopped atomic.Bool
+
 	matched atomic.Uint64 // Mᵢ: events passing selection
 	// sampled is mᵢ: events surviving event sampling. Maintained only
 	// when sampling is active — at rate 1 every matched event is sampled,
@@ -217,8 +228,13 @@ type activeQuery struct {
 //
 //scrub:pooled
 type chunk struct {
-	q      *activeQuery
-	n      int
+	q *activeQuery
+	n int
+	// epoch tags a chunk of historical tuples replayed from the record
+	// stream (nonzero = replay); done marks the stream's final replay
+	// chunk. Live chunks leave both zero.
+	epoch  uint32
+	done   bool
 	tuples []transport.Tuple
 	vals   []event.Value
 }
@@ -277,6 +293,16 @@ type typeProgram struct {
 	gated    []subscriber
 	minStart int64
 	groups   []projGroup
+	// solo is the single-subscriber fast path: with exactly one query on
+	// the type there is nothing to share, so the memoizing shared-program
+	// machinery (context pool round-trip, Begin/Finish epoch bookkeeping)
+	// is pure overhead. The subscriber's predicate is compiled into the
+	// stateless closure soloPred (nil matches everything) evaluated
+	// directly on the event, and projection copies straight from the event
+	// into the chunk. Nil when the type has 2+ subscribers or the closure
+	// compile failed (the shared path then serves as fallback).
+	solo     *subscriber
+	soloPred func(expr.Row) bool
 	// ctxs pools *dispatchCtx for this snapshot. Per-snapshot (not
 	// per-agent) because a context's arrays are sized to this program and
 	// group set; a rebuild strands the old pool's contexts along with the
@@ -394,6 +420,11 @@ type Agent struct {
 	govDownsamples obs.Counter
 	govRecovers    obs.Counter
 	govSheds       obs.Counter
+	// Replay shipping accounting: historical tuples (and their encoded
+	// bytes) shipped from the record stream on behalf of REPLAY queries.
+	// Subsets of shipped/shipBytes, split out so replay load is visible.
+	replayShipped   obs.Counter
+	replayShipBytes obs.Counter
 	// logNs is the sampled Log-call latency (1 in 64 calls timed); nil
 	// unless a Metrics registry was configured, so unobserved agents pay
 	// nothing for it.
@@ -432,6 +463,8 @@ func New(cfg Config) (*Agent, error) {
 		reg.RegisterCounter("scrub_host_governor_downsamples_total", "budget governor rate halvings", &a.govDownsamples, hl)
 		reg.RegisterCounter("scrub_host_governor_recovers_total", "budget governor rate recoveries", &a.govRecovers, hl)
 		reg.RegisterCounter("scrub_host_governor_sheds_total", "queries shed by the budget governor", &a.govSheds, hl)
+		reg.RegisterCounter("scrub_host_replay_shipped_total", "historical tuples shipped from the record stream", &a.replayShipped, hl)
+		reg.RegisterCounter("scrub_host_replay_ship_bytes_total", "encoded bytes of replay batches handed to the sink", &a.replayShipBytes, hl)
 		a.logNs = obs.NewHistogram(obs.ExpBuckets(64, 4, 10))
 		reg.RegisterHistogram("scrub_host_log_ns", "sampled Log call latency in nanoseconds (1 in 64 calls)", a.logNs, hl)
 	}
@@ -516,12 +549,17 @@ func (a *Agent) Start(hq transport.HostQuery) error {
 
 	key := queryKey{id: hq.QueryID, typeIdx: hq.TypeIdx}
 	a.mu.Lock()
-	defer a.mu.Unlock()
 	if _, dup := a.queries[key]; dup {
+		a.mu.Unlock()
 		return fmt.Errorf("host: query %d (type %s) already active", hq.QueryID, hq.EventType)
 	}
 	a.queries[key] = aq
 	a.rebuildLocked()
+	a.mu.Unlock()
+	if hq.ReplayNanos > 0 && a.cfg.Record != nil {
+		a.wg.Add(1)
+		go a.replayShip(aq)
+	}
 	return nil
 }
 
@@ -543,6 +581,7 @@ func (a *Agent) Stop(queryID uint64) {
 	}
 	a.mu.Unlock()
 	for _, aq := range removed {
+		aq.stopped.Store(true)
 		a.salvage(aq)
 	}
 }
@@ -581,6 +620,7 @@ func (a *Agent) PruneExpired(now time.Time) int {
 	}
 	a.mu.Unlock()
 	for _, aq := range removed {
+		aq.stopped.Store(true)
 		a.salvage(aq)
 	}
 	return len(removed)
@@ -662,6 +702,20 @@ func buildTypeProgram(aqs []*activeQuery) *typeProgram {
 	if prog := b.Build(); prog.NumNodes() > 0 {
 		tp.prog = prog
 	}
+	if len(tp.always)+len(tp.gated) == 1 {
+		s := &subscriber{}
+		if len(tp.always) == 1 {
+			*s = tp.always[0]
+		} else {
+			*s = tp.gated[0]
+		}
+		if s.aq.canon == nil {
+			tp.solo = s
+		} else if ev, err := expr.Compile(s.aq.canon); err == nil {
+			tp.solo = s
+			tp.soloPred = expr.Predicate(ev)
+		}
+	}
 	projWidth := width
 	tp.ctxs.New = func() any { return newDispatchCtx(tp, projWidth) }
 	return tp
@@ -685,6 +739,9 @@ func groupKey(colIdx []int) string {
 //
 //scrub:hotpath
 func (a *Agent) Log(ev *event.Event) {
+	if rs := a.cfg.Record; rs != nil {
+		rs.Append(ev)
+	}
 	seq := a.logged.IncValue()
 	// Self-observation must cost less than the thing observed: 1 in 64
 	// calls is timed into the latency histogram, and only when a registry
@@ -713,6 +770,17 @@ func (a *Agent) logEvent(ev *event.Event) {
 		return
 	}
 	ts := ev.TimeNanos
+	if s := tp.solo; s != nil {
+		if ts < s.startNs || (s.endNs != 0 && ts >= s.endNs) {
+			return
+		}
+		if tp.soloPred != nil && !tp.soloPred(expr.EventRow{Event: ev}) {
+			return
+		}
+		a.offerMatched(tp, s, nil, ev, ts)
+		a.matched.Add(1)
+		return
+	}
 	dc := tp.ctxs.Get().(*dispatchCtx)
 	if dc.ec != nil {
 		dc.ec.Begin(expr.EventRow{Event: ev})
@@ -800,13 +868,14 @@ func (a *Agent) offerMatched(tp *typeProgram, s *subscriber, dc *dispatchCtx, ev
 // per event per distinct column set by the dispatch context — into the
 // query's active chunk, submitting the chunk to the shipper when it
 // fills. Allocation-free in steady state: the tuple and its values land
-// in pooled chunk memory.
+// in pooled chunk memory. A nil dc (the solo fast path) extracts the
+// columns directly from the event into the chunk.
 func (a *Agent) enqueue(tp *typeProgram, s *subscriber, dc *dispatchCtx, ev *event.Event, ts int64) {
 	aq := s.aq
 	// Extract (or reuse) the group's columns outside aq.mu: the scratch
 	// belongs to the dispatch context, not the query.
 	var src []event.Value
-	if s.group >= 0 {
+	if dc != nil && s.group >= 0 {
 		src = dc.project(tp, s.group, ev)
 	}
 	aq.mu.Lock()
@@ -827,7 +896,13 @@ func (a *Agent) enqueue(tp *typeProgram, s *subscriber, dc *dispatchCtx, ev *eve
 	if w := aq.width; w > 0 {
 		base := i * w
 		vals = c.vals[base : base+w : base+w]
-		copy(vals, src)
+		if src != nil {
+			copy(vals, src)
+		} else {
+			for j, idx := range aq.colIdx {
+				vals[j] = ev.At(idx)
+			}
+		}
 	}
 	c.tuples[i] = transport.Tuple{RequestID: ev.RequestID, TsNanos: ts, Values: vals}
 	c.n++
@@ -889,6 +964,8 @@ func (a *Agent) putChunk(c *chunk) {
 	}
 	c.q = nil
 	c.n = 0
+	c.epoch = 0
+	c.done = false
 	a.chunkPool.Put(c)
 }
 
@@ -906,6 +983,127 @@ func (a *Agent) salvage(aq *activeQuery) {
 		a.putChunk(c)
 		return
 	}
+	a.submit(c)
+}
+
+// replayShip scans the record stream for a query's replay span —
+// [StartNanos-ReplayNanos, StartNanos), the complement of the live
+// partition, so replayed and live tuples never overlap — and ships the
+// matching history through the normal chunk/shipper path tagged with the
+// replay epoch, ending with a ReplayDone marker batch. Runs as its own
+// goroutine per replaying query: the scan is disk- and decode-bound and
+// must never touch the application's Log latency.
+//
+// Replay shipping inherits every impact bound live shipping has: chunks
+// go through the same bounded queue (a backlog drops them, counted as
+// queue drops), the encoded bytes land in the same governor accounting,
+// and a shed or stopped query aborts the scan mid-flight. The ReplayDone
+// marker itself can be dropped under backlog; central's replay hold has
+// a lease-clock deadline for exactly that case.
+func (a *Agent) replayShip(aq *activeQuery) {
+	defer a.wg.Done()
+	to := aq.startNs
+	if to == 0 {
+		// Immediate-start query: the live partition begins at activation.
+		to = a.cfg.Clock().UnixNano()
+	}
+	from := to - aq.hq.ReplayNanos
+	var pred func(expr.Row) bool
+	if aq.canon != nil {
+		ev, err := expr.Compile(aq.canon)
+		if err != nil {
+			// Start validated the tree, so this is unreachable; ship
+			// nothing rather than unfiltered history.
+			a.submitReplay(nil, aq, true)
+			return
+		}
+		pred = expr.Predicate(ev)
+	}
+	// Replay applies the query's base event-sampling rate with a fresh
+	// sampler under the query's own seed: the sample stays reproducible
+	// per (query, host), but is drawn independently of the live sampler's
+	// sequence. With sampling off (rate 1) replay is exact.
+	sampleAll := aq.baseRate >= 1
+	var sampler *sampling.GeometricSampler
+	var skip int64
+	if !sampleAll {
+		sampler = sampling.NewGeometricSampler(aq.baseRate, aq.seed)
+		skip = sampler.NextSkip()
+	}
+	var c *chunk
+	err := a.cfg.Record.Scan(from, to, aq.hq.EventType, func(ev *event.Event) bool {
+		if aq.stopped.Load() {
+			return false
+		}
+		select {
+		case <-a.done:
+			return false
+		default:
+		}
+		if pred != nil && !pred(expr.EventRow{Event: ev}) {
+			return true
+		}
+		// Fold replayed accounting into the query's cumulative counters:
+		// central's estimator and stream stats then see the same Mᵢ/mᵢ a
+		// query submitted before the events would have reported.
+		aq.matched.Add(1)
+		a.matched.Add(1)
+		if !sampleAll {
+			skip--
+			if skip != 0 {
+				return true
+			}
+			skip = sampler.NextSkip()
+			aq.sampled.Add(1)
+		}
+		if c == nil {
+			c = a.getChunk(aq)
+			c.epoch = 1
+		}
+		i := c.n
+		var vals []event.Value
+		if w := aq.width; w > 0 {
+			base := i * w
+			vals = c.vals[base : base+w : base+w]
+			for j, idx := range aq.colIdx {
+				vals[j] = ev.At(idx)
+			}
+		}
+		c.tuples[i] = transport.Tuple{RequestID: ev.RequestID, TsNanos: ev.TimeNanos, Values: vals}
+		c.n++
+		if c.n == len(c.tuples) {
+			a.submitReplay(c, aq, false)
+			c = nil
+		}
+		return true
+	})
+	_ = err // a failed or aborted scan still owes the done marker below
+	if aq.stopped.Load() {
+		// Dead query: drop the partial chunk, skip the marker (central
+		// tears the query's state down independently).
+		if c != nil {
+			a.putChunk(c)
+		}
+		return
+	}
+	// Final partial chunk doubles as the done marker; an empty scan still
+	// sends an explicit (tuple-free) marker so central can release the
+	// hold without waiting out the deadline.
+	if c == nil {
+		c = a.getChunk(aq)
+		c.epoch = 1
+	}
+	a.submitReplay(c, aq, true)
+}
+
+// submitReplay tags and submits one replay chunk (nil allocates an empty
+// marker-only chunk first).
+func (a *Agent) submitReplay(c *chunk, aq *activeQuery, done bool) {
+	if c == nil {
+		c = a.getChunk(aq)
+		c.epoch = 1
+	}
+	c.done = done
 	a.submit(c)
 }
 
@@ -969,7 +1167,7 @@ func (a *Agent) flushCycle() {
 	now := a.cfg.Clock().UnixNano()
 	for _, aq := range actives {
 		if aq.needsHeartbeat() || now-aq.lastSentNanos >= int64(a.cfg.HeartbeatInterval) {
-			a.sendBatch(aq, nil)
+			a.sendBatch(aq, nil, 0, false)
 		}
 	}
 	a.governTick(actives)
@@ -977,7 +1175,7 @@ func (a *Agent) flushCycle() {
 
 // ship sends one chunk's tuples and recycles the chunk.
 func (a *Agent) ship(c *chunk) {
-	a.sendBatch(c.q, c.tuples[:c.n])
+	a.sendBatch(c.q, c.tuples[:c.n], c.epoch, c.done)
 	a.putChunk(c)
 }
 
@@ -996,8 +1194,10 @@ func (aq *activeQuery) needsHeartbeat() bool {
 // sendBatch ships tuples (nil for a counter-only heartbeat) with the
 // query's cumulative accounting. On success the counter snapshots record
 // what the batch carried; a failed send leaves them alone, so the same
-// totals trigger a resend on the next cycle (see needsHeartbeat).
-func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
+// totals trigger a resend on the next cycle (see needsHeartbeat). A
+// nonzero epoch marks the batch as replayed history; done marks the
+// stream's final replay batch.
+func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple, epoch uint32, done bool) {
 	matched := aq.matched.Load()
 	sampledRaw := aq.sampled.Load()
 	drops := aq.drops.Load()
@@ -1017,6 +1217,8 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 		BudgetShed:   aq.shed,
 		CPUNs:        aq.cpuNs.Load(),
 		ShipBytes:    aq.bytesShipped, // through the previous batch
+		ReplayEpoch:  epoch,
+		ReplayDone:   done,
 	}
 	// Measure the batch's wire size for budget accounting by encoding it
 	// into a shipper-owned scratch buffer — exact (it is the same codec
@@ -1041,6 +1243,10 @@ func (a *Agent) sendBatch(aq *activeQuery, tuples []transport.Tuple) {
 	aq.bytesShipped += uint64(size)
 	a.shipBytes.Add(uint64(size))
 	a.shipped.Add(uint64(len(tuples)))
+	if epoch != 0 {
+		a.replayShipped.Add(uint64(len(tuples)))
+		a.replayShipBytes.Add(uint64(size))
+	}
 }
 
 // governTick runs one budget-enforcement interval over the active
@@ -1088,6 +1294,7 @@ func (a *Agent) governTick(actives []*activeQuery) {
 			aq.shed = true
 			a.rebuildLocked()
 			a.mu.Unlock()
+			aq.stopped.Store(true) // replay shipping is sheddable too
 			aq.announce = true
 			a.salvage(aq)
 		}

@@ -8,6 +8,7 @@ import (
 	"scrub/internal/event"
 	"scrub/internal/expr"
 	"scrub/internal/obs"
+	"scrub/internal/replay"
 	"scrub/internal/transport"
 )
 
@@ -42,8 +43,8 @@ func TestLogMatchAndEnqueueZeroAllocs(t *testing.T) {
 	// counters, projection, chunk append — is what AllocsPerRun sees.
 	a, err := New(Config{
 		HostID: "h", Service: "s", Catalog: testCatalog(),
-		Sink:          SinkFunc(func(transport.TupleBatch) error { return nil }),
-		QueueSize:     1 << 16, BatchSize: 4096,
+		Sink:      SinkFunc(func(transport.TupleBatch) error { return nil }),
+		QueueSize: 1 << 16, BatchSize: 4096,
 		FlushInterval: time.Hour,
 	})
 	if err != nil {
@@ -80,8 +81,8 @@ func TestLogInstrumentedZeroAllocs(t *testing.T) {
 	// the instruments are fixed-shape atomics registered once at startup.
 	a, err := New(Config{
 		HostID: "h", Service: "s", Catalog: testCatalog(),
-		Sink:          SinkFunc(func(transport.TupleBatch) error { return nil }),
-		QueueSize:     1 << 16, BatchSize: 4096,
+		Sink:      SinkFunc(func(transport.TupleBatch) error { return nil }),
+		QueueSize: 1 << 16, BatchSize: 4096,
 		FlushInterval: time.Hour,
 		Metrics:       obs.NewRegistry(),
 	})
@@ -102,6 +103,70 @@ func TestLogInstrumentedZeroAllocs(t *testing.T) {
 	a.Log(ev) // allocate and size the first chunk
 	if allocs := testing.AllocsPerRun(1000, func() { a.Log(ev) }); allocs != 0 {
 		t.Errorf("instrumented Log allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestLogTwoQueriesZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops Puts under the race detector; AllocsPerRun over the pooled dispatch context is meaningless")
+	}
+	// With two subscribers on the type, Log takes the memoized shared-
+	// dispatch path instead of the solo fast path — it must stay
+	// allocation-free too.
+	a, err := New(Config{
+		HostID: "h", Service: "s", Catalog: testCatalog(),
+		Sink:      SinkFunc(func(transport.TupleBatch) error { return nil }),
+		QueueSize: 1 << 16, BatchSize: 4096,
+		FlushInterval: time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	for qid := uint64(1); qid <= 2; qid++ {
+		if err := a.Start(transport.HostQuery{
+			QueryID: qid, EventType: "bid",
+			Pred: expr.Binary{Op: expr.OpGt,
+				L: expr.FieldRef{Type: "bid", Name: "bid_price"},
+				R: expr.Lit{Val: event.Float(0.5)}},
+			Columns: []string{"user_id", "city"},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ev := bidEvent(1, 42, "sf", 1.0, time.Now().UnixNano())
+	a.Log(ev) // allocate and size the first chunks
+	if allocs := testing.AllocsPerRun(1000, func() { a.Log(ev) }); allocs != 0 {
+		t.Errorf("two-query Log allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestLogRecordingAmortizedAllocs(t *testing.T) {
+	// With the record stream attached, Log additionally appends the
+	// encoded event into the active chunk. That append is amortized — the
+	// scratch buffer grows geometrically and seals copy in bulk — so the
+	// per-event average must stay well under one allocation.
+	rs, err := replay.Open(replay.Options{Catalog: testCatalog()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rs.Close()
+	a, err := New(Config{
+		HostID: "h", Service: "s", Catalog: testCatalog(),
+		Sink:          SinkFunc(func(transport.TupleBatch) error { return nil }),
+		FlushInterval: time.Hour,
+		Record:        rs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	ev := bidEvent(1, 42, "sf", 1.0, time.Now().UnixNano())
+	for i := 0; i < 2000; i++ {
+		a.Log(ev) // warm the encode scratch past its growth phase
+	}
+	if allocs := testing.AllocsPerRun(1000, func() { a.Log(ev) }); allocs >= 1 {
+		t.Errorf("recording Log allocates %.2f/op, want amortized < 1", allocs)
 	}
 }
 

@@ -62,6 +62,14 @@ type Stream struct {
 	BudgetShed bool
 	CPUNs      uint64
 	Bytes      uint64
+	// Replay framing (TupleBatch fields). Replaying marks a stream
+	// currently shipping replayed history: it announced a nonzero replay
+	// epoch and has not yet sent its ReplayDone marker. ReplayEnded
+	// latches once its replay finished (done marker, or eviction
+	// mid-replay), so a duplicated or reordered epoch batch cannot
+	// restart a finished replay.
+	Replaying   bool
+	ReplayEnded bool
 }
 
 // FoldGovernor folds one batch's governor accounting into the stream.
@@ -87,6 +95,11 @@ func (s *Stream) FoldGovernor(effRate float64, shed bool, cpuNs, bytes uint64) {
 type Table struct {
 	ttl     int64
 	streams map[Key]*Stream
+	// Replay bookkeeping: how many streams ever announced replay and how
+	// many are still replaying. Maintained by FoldReplay and Expire; the
+	// engines' replay hold reads them through ReplaySettled.
+	replayStarted int
+	replayActive  int
 }
 
 // DefaultTTL is the lease timeout applied when none is configured. It
@@ -122,6 +135,35 @@ func (t *Table) Touch(k Key, nowNanos int64) (s *Stream, readmitted bool) {
 	return s, readmitted
 }
 
+// FoldReplay folds one batch's replay-epoch framing into the stream and
+// the table's replay bookkeeping. Epoch 0 (a live batch) is a no-op:
+// replay chunks interleave with live chunks on the same stream, so a
+// live batch says nothing about whether the history has finished
+// shipping — only the explicit ReplayDone marker (or eviction) does.
+func (t *Table) FoldReplay(s *Stream, epoch uint32, done bool) {
+	if epoch == 0 {
+		return
+	}
+	if !s.Replaying && !s.ReplayEnded {
+		s.Replaying = true
+		t.replayStarted++
+		t.replayActive++
+	}
+	if done && s.Replaying {
+		s.Replaying = false
+		s.ReplayEnded = true
+		t.replayActive--
+	}
+}
+
+// ReplaySettled reports whether replay shipping has finished: at least
+// one stream announced replay and none is still replaying. A query no
+// recording host serves never settles — the engines' hold deadline
+// covers that case.
+func (t *Table) ReplaySettled() bool {
+	return t.replayStarted > 0 && t.replayActive == 0
+}
+
 // ObserveTs folds one batch's max event time into the stream.
 func (s *Stream) ObserveTs(maxTs int64) {
 	if !s.HasTs || maxTs > s.LastTs {
@@ -142,6 +184,13 @@ func (t *Table) Expire(nowNanos int64) []Key {
 		if nowNanos-s.LastSeen >= t.ttl {
 			s.Evicted = true
 			s.Evictions++
+			if s.Replaying {
+				// A dead host cannot finish its replay; a replay hold
+				// must not wait out its own deadline for it.
+				s.Replaying = false
+				s.ReplayEnded = true
+				t.replayActive--
+			}
 			out = append(out, k)
 		}
 	}

@@ -68,6 +68,9 @@ type Plan struct {
 	Window time.Duration
 	Slide  time.Duration // == Window for tumbling windows
 	Span   time.Duration
+	// Replay asks recording hosts to ship this much pre-start history
+	// through the pipeline before going live (REPLAY clause); 0 disables.
+	Replay time.Duration
 	// StartAt/StartIn copied from the query (resolution to absolute time
 	// happens at submission in the query server).
 	StartAt time.Time
@@ -123,6 +126,7 @@ func Analyze(q *Query, cat *event.Catalog) (*Plan, error) {
 		Window:            q.Window,
 		Slide:             q.Slide,
 		Span:              q.Span,
+		Replay:            q.Replay,
 		StartAt:           q.StartAt,
 		StartIn:           q.StartIn,
 		Target:            q.Target,
@@ -169,6 +173,12 @@ func Analyze(q *Query, cat *event.Catalog) (*Plan, error) {
 	}
 	if p.Span > MaxSpan {
 		return nil, semf("duration %s exceeds the maximum query span %s", p.Span, MaxSpan)
+	}
+	if p.Replay < 0 {
+		return nil, semf("replay must be positive")
+	}
+	if p.Replay > MaxSpan {
+		return nil, semf("replay %s exceeds the maximum query span %s", p.Replay, MaxSpan)
 	}
 	if p.SampleHosts == 0 {
 		p.SampleHosts = 1

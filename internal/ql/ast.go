@@ -96,6 +96,11 @@ type Query struct {
 	StartIn time.Duration // relative start ("start +30s"), if given
 	Span    time.Duration // 0 → DefaultSpan
 
+	// Replay asks hosts with a record stream to replay this much history
+	// from before the query's start through the normal pipeline before
+	// going live (the REPLAY clause); 0 disables replay.
+	Replay time.Duration
+
 	Target TargetSpec
 
 	// Sampling rates as fractions in (0,1]; 0 means unset (no sampling).
@@ -191,6 +196,9 @@ func (q *Query) String() string {
 	}
 	if q.Span != 0 {
 		fmt.Fprintf(&sb, " duration %s", q.Span)
+	}
+	if q.Replay != 0 {
+		fmt.Fprintf(&sb, " replay %s", q.Replay)
 	}
 	if !q.Target.IsZero() {
 		sb.WriteString(" ")

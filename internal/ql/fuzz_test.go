@@ -17,6 +17,8 @@ func FuzzParse(f *testing.F) {
 		`select count(*) from bid start +30s duration 20m`,
 		`select count(*) from bid start "2026-07-05T10:00:00Z" duration 60`,
 		`select count(*) from bid start now`,
+		`select count(*) from bid duration 10m replay 30s`,
+		`select count(*) from bid replay 45`,
 		`select sum(price), avg(price) from bid window 10s slide 2s`,
 		`select top_k(city, 5) from bid @ service = exchange and dc = iad sample hosts 10% events 50%`,
 		`select count_distinct(user_id) from bid having count(*) > 100 budget cpu 1% bytes 1048576;`,

@@ -16,7 +16,7 @@ import (
 //	query  := SELECT items FROM types [WHERE pred] [GROUP BY fields]
 //	          [HAVING pred] [ORDER BY (label|ordinal) [DESC|ASC], ...]
 //	          [LIMIT n] [WINDOW dur [SLIDE dur]]
-//	          [START (+dur | string | NOW)] [DURATION dur]
+//	          [START (+dur | string | NOW)] [DURATION dur] [REPLAY dur]
 //	          [@[ target ]] [SAMPLE [HOSTS n%] [EVENTS n%]]
 //	          [BUDGET [CPU n%] [BYTES n]] [;]
 //	target := ALL | clause (AND clause)*
@@ -262,6 +262,17 @@ func (p *parser) parseQuery() (*Query, error) {
 				return nil, err
 			}
 			q.Span = d
+
+		case t.isKeyword("replay"):
+			if q.Replay != 0 {
+				return nil, p.errf(t, "duplicate REPLAY")
+			}
+			p.pos++
+			d, err := p.parseDuration()
+			if err != nil {
+				return nil, err
+			}
+			q.Replay = d
 
 		case t.isSymbol("@"):
 			if !q.Target.IsZero() {

@@ -236,6 +236,24 @@ func TestParseSpanClauses(t *testing.T) {
 	}
 }
 
+func TestParseReplay(t *testing.T) {
+	q, err := Parse(`select count(*) from bid duration 20m replay 30s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Replay != 30*time.Second {
+		t.Errorf("Replay = %v, want 30s", q.Replay)
+	}
+	// Bare integers are seconds, like DURATION.
+	q, err = Parse(`select count(*) from bid replay 45`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Replay != 45*time.Second {
+		t.Errorf("Replay = %v, want 45s", q.Replay)
+	}
+}
+
 func TestParseTargetVariants(t *testing.T) {
 	cases := map[string]TargetSpec{
 		`@[all]`:                         {All: true},
@@ -368,6 +386,8 @@ func TestParseErrors(t *testing.T) {
 		`select x from bid group by a group by b`,
 		`select x from bid window 10s window 20s`,
 		`select x from bid duration 5m duration 6m`,
+		`select x from bid replay`,
+		`select x from bid replay 30s replay 1m`,
 		`select x from bid start +1s start +2s`,
 		`select x from bid @[all] @[all]`,
 		`select count( from bid`,
@@ -391,6 +411,7 @@ func TestQueryStringRoundTrips(t *testing.T) {
 		`select 1000 * avg(impression.cost) from impression where impression.line_item_id = 7`,
 		`select a, b from bid, exclusion where bid.x = 1 and exclusion.y = "z"`,
 		`select count(*) from bid start +5s`,
+		`select count(*) from bid duration 10m replay 30s`,
 	}
 	for _, src := range srcs {
 		q1, err := Parse(src)

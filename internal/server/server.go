@@ -204,6 +204,7 @@ func (s *Server) Submit(text string, cb Callbacks) (QueryInfo, error) {
 			EndNanos:          end.UnixNano(),
 			BudgetCPUPct:      plan.BudgetCPUPct,
 			BudgetBytesPerSec: plan.BudgetBytesPerSec,
+			ReplayNanos:       int64(plan.Replay),
 		}
 		for _, h := range chosen {
 			_ = s.cfg.Dispatcher.SendToHost(h, hq)
@@ -310,6 +311,10 @@ func (s *Server) ResyncHost(hostName string) int {
 				EndNanos:          sq.info.End.UnixNano(),
 				BudgetCPUPct:      sq.plan.BudgetCPUPct,
 				BudgetBytesPerSec: sq.plan.BudgetBytesPerSec,
+				// A resync deliberately omits ReplayNanos: the restarted
+				// host's record stream is empty (or stale), and a second
+				// replay of a query already past its start would duplicate
+				// history central has folded in.
 			}
 			if s.cfg.Dispatcher.SendToHost(hostName, hq) == nil {
 				n++

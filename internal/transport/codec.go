@@ -314,6 +314,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.i64(t.EndNanos)
 		w.f64(t.BudgetCPUPct)
 		w.f64(t.BudgetBytesPerSec)
+		w.i64(t.ReplayNanos)
 	case StopQuery:
 		w.u64(t.QueryID)
 	case DataHello:
@@ -338,6 +339,8 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.bool(t.BudgetShed)
 		w.u64(t.CPUNs)
 		w.u64(t.ShipBytes)
+		w.u32(t.ReplayEpoch)
+		w.bool(t.ReplayDone)
 	case ListQueries:
 		// no payload
 	case QueryList:
@@ -445,6 +448,7 @@ func Decode(b []byte) (Message, error) {
 			Pred: r.node(), Columns: r.strs(), SampleEvents: r.f64(),
 			StartNanos: r.i64(), EndNanos: r.i64(),
 			BudgetCPUPct: r.f64(), BudgetBytesPerSec: r.f64(),
+			ReplayNanos: r.i64(),
 		}
 	case tagStopQuery:
 		m = StopQuery{QueryID: r.u64()}
@@ -479,6 +483,8 @@ func Decode(b []byte) (Message, error) {
 		tb.BudgetShed = r.boolv()
 		tb.CPUNs = r.u64()
 		tb.ShipBytes = r.u64()
+		tb.ReplayEpoch = r.u32()
+		tb.ReplayDone = r.boolv()
 		m = tb
 	case tagListQueries:
 		m = ListQueries{}

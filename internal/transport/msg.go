@@ -166,6 +166,10 @@ type HostQuery struct {
 	// governor downsamples then sheds when the measured cost exceeds it.
 	BudgetCPUPct      float64
 	BudgetBytesPerSec float64
+	// ReplayNanos asks the host to replay recorded events from
+	// [StartNanos-ReplayNanos, StartNanos) through its record stream
+	// before the query goes live (REPLAY clause); 0 disables replay.
+	ReplayNanos int64
 }
 
 // StopQuery deactivates a query on a host (cancel or span end).
@@ -213,6 +217,13 @@ type TupleBatch struct {
 	BudgetShed bool
 	CPUNs      uint64
 	ShipBytes  uint64
+	// Replay-epoch framing. ReplayEpoch is nonzero on batches carrying
+	// historical tuples replayed from the host's record stream; central
+	// folds them into windows under the query's replay hold so windows
+	// the history belongs to cannot force-close first. ReplayDone marks
+	// the stream's final replay batch: everything after it is live.
+	ReplayEpoch uint32
+	ReplayDone  bool
 }
 
 // ListQueries asks the server for its active queries (operational

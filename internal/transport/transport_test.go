@@ -51,7 +51,7 @@ func sampleMessages() []Message {
 		HostQuery{
 			QueryID: 7, EventType: "bid", TypeIdx: 1, Pred: pred,
 			Columns: []string{"user_id", "bid_price"}, SampleEvents: 0.1,
-			StartNanos: 100, EndNanos: 200,
+			StartNanos: 100, EndNanos: 200, ReplayNanos: 30_000_000_000,
 		},
 		HostQuery{QueryID: 8, EventType: "click"}, // nil pred, no columns
 		StopQuery{QueryID: 7},
@@ -63,8 +63,10 @@ func sampleMessages() []Message {
 				{RequestID: 2, TsNanos: 12, Values: []event.Value{event.Int(43), event.Invalid}},
 			},
 			MatchedTotal: 100, SampledTotal: 10, QueueDrops: 3,
+			ReplayEpoch: 1,
 		},
 		TupleBatch{QueryID: 8, HostID: "h"}, // empty batch (counters only)
+		TupleBatch{QueryID: 9, HostID: "h", ReplayEpoch: 1, ReplayDone: true},
 		ListQueries{},
 		QueryList{Queries: []QuerySummary{
 			{QueryID: 7, Text: "select count(*) from bid", Columns: []string{"count(*)"},

@@ -29,9 +29,13 @@ make bench-smoke
 echo "== differential oracle sweep (200 seeded sims, -race) =="
 go test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
 
-echo "== fuzz smoke (transport frame decoding, ql parser) =="
+echo "== replay smoke (record/replay equivalence, hold release) =="
+go test -race -run 'TestReplay' ./internal/difftest ./internal/host ./internal/central ./internal/replay
+
+echo "== fuzz smoke (transport frame decoding, ql parser, replay chunks) =="
 go test ./internal/transport -run='^$' -fuzz=FuzzDecode -fuzztime=3s
 go test ./internal/transport -run='^$' -fuzz=FuzzRecvFrame -fuzztime=3s
 go test ./internal/ql -run='^$' -fuzz=FuzzParse -fuzztime=3s
+go test ./internal/replay -run='^$' -fuzz=FuzzDecodeChunk -fuzztime=3s
 
 echo "ci: OK"
