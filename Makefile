@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1 bench-ps bench-smoke bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak
+.PHONY: build test race vet ci bench bench-p1 bench-ps bench-smoke bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak multinode-smoke
 
 build:
 	$(GO) build ./...
@@ -67,12 +67,19 @@ chaos-soak:
 
 # Differential-oracle sweep: 200 seeded cluster simulations (two full
 # family × shards × mode coverage cycles) cross-checking Engine,
-# ShardedEngine at 1–8 shards, and the exact oracle, under the race
-# detector. Every failure prints its exact replay command
-# (DESIGN.md §13).
+# ShardedEngine at 1–8 shards, the coordinator + 2/4-shard multiprocess
+# topology over the pipe transport, and the exact oracle, under the
+# race detector. Every failure prints its exact replay command
+# (DESIGN.md §13, §16).
 difftest:
 	$(GO) test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
 
 # Long soak: ~21 coverage cycles of the same harness.
 difftest-soak:
 	$(GO) test -race ./internal/difftest -run TestDifferentialSweep -difftest.seeds=2000 -timeout 30m
+
+# Distributed deployment smoke: coordinator + 2 shard processes (one
+# static, one hello-joined) + 3 host agents routing by shard map, full
+# wire protocol on loopback, under the race detector (DESIGN.md §16).
+multinode-smoke:
+	$(GO) test -race -run TestMultinodeSmoke ./internal/server

@@ -6,6 +6,17 @@
 // The event catalog comes from a schema file (see internal/event schema-
 // file syntax) or, with -adplatform, the simulated ad platform's types.
 //
+// A distributed deployment splits ScrubCentral across processes:
+//
+//	scrubcentral -shard :7710 -join 127.0.0.1:7702   # one per shard
+//	scrubcentral -coord -schema events.schema \
+//	    -client :7700 -control :7701 -data :7702     # the coordinator
+//
+// The coordinator owns query registration and shard membership; shard
+// processes hold the window state for their slice of the request-id
+// space. Shards enroll statically (-shard-addrs on the coordinator) or
+// dynamically (-join on the shard).
+//
 // Usage:
 //
 //	scrubcentral -schema events.schema \
@@ -18,14 +29,18 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
+	"time"
 
 	"scrub/internal/adplatform"
 	"scrub/internal/central"
 	"scrub/internal/cluster"
+	"scrub/internal/coord"
 	"scrub/internal/event"
 	"scrub/internal/obs"
 	"scrub/internal/server"
+	"scrub/internal/transport"
 )
 
 func main() {
@@ -36,7 +51,16 @@ func main() {
 	dataAddr := flag.String("data", "127.0.0.1:7702", "agent data listen address")
 	shards := flag.Int("shards", 1, "ScrubCentral shards (>1 runs the sharded cluster)")
 	metricsAddr := flag.String("metrics", "", "observability listen address for /metrics and /debug/pprof (e.g. 127.0.0.1:0); empty disables")
+	coordMode := flag.Bool("coord", false, "run ScrubCentral as a multi-process shard-fabric coordinator")
+	shardAddrs := flag.String("shard-addrs", "", "comma-separated shard data addresses to enroll at startup (with -coord)")
+	shardListen := flag.String("shard", "", "run as a shard process serving shard RPC on this address (exclusive with -coord)")
+	joinAddr := flag.String("join", "", "coordinator data address to announce this shard to (with -shard)")
+	advertise := flag.String("advertise", "", "address the coordinator should dial this shard back on (with -shard -join; default: the bound -shard address)")
 	flag.Parse()
+
+	if *coordMode && *shardListen != "" {
+		log.Fatal("scrubcentral: -coord and -shard are mutually exclusive")
+	}
 
 	catalog := event.NewCatalog()
 	if *useAdPlatform {
@@ -61,6 +85,11 @@ func main() {
 		log.Fatal("scrubcentral: no event types; pass -schema or -adplatform")
 	}
 
+	if *shardListen != "" {
+		runShard(catalog, *shardListen, *joinAddr, *advertise)
+		return
+	}
+
 	registry := cluster.NewRegistry()
 	hub, err := server.NewHub(registry, *clientAddr, *controlAddr, *dataAddr)
 	if err != nil {
@@ -72,7 +101,21 @@ func main() {
 	}
 	copt := central.Options{Metrics: reg}
 	var engine central.Executor = central.NewEngineWith(copt)
-	if *shards > 1 {
+	var coordEng *coord.Coordinator
+	switch {
+	case *coordMode:
+		coordEng = coord.NewCoordinator(copt)
+		for _, addr := range strings.Split(*shardAddrs, ",") {
+			addr = strings.TrimSpace(addr)
+			if addr == "" {
+				continue
+			}
+			if err := coordEng.AddShard(addr); err != nil {
+				log.Fatalf("scrubcentral: enroll shard %s: %v", addr, err)
+			}
+		}
+		engine = coordEng
+	case *shards > 1:
 		se, err := central.NewShardedEngineWith(*shards, copt)
 		if err != nil {
 			log.Fatalf("scrubcentral: %v", err)
@@ -90,6 +133,11 @@ func main() {
 	}
 	hub.SetMetrics(reg)
 	hub.SetServer(srv)
+	if coordEng != nil {
+		// Push every membership epoch to registered hosts; the hook may
+		// fire under the coordinator's lock, so dispatch asynchronously.
+		coordEng.OnShardMap(func(m transport.ShardMap) { go hub.BroadcastShardMap(m) })
+	}
 	hub.Serve()
 
 	if reg != nil {
@@ -109,4 +157,55 @@ func main() {
 	fmt.Println("scrubcentral: shutting down")
 	srv.Close()
 	hub.Close()
+}
+
+// runShard serves one shard process: an Engine in driven mode behind the
+// shard RPC listener. With -join it announces itself on the coordinator's
+// data plane; the coordinator dials the advertised address back and pushes
+// a new shard-map epoch to the host fleet.
+func runShard(catalog *event.Catalog, listen, join, advertise string) {
+	node := coord.NewShardNode(catalog)
+	l, err := transport.Listen(listen)
+	if err != nil {
+		log.Fatalf("scrubcentral: shard listener: %v", err)
+	}
+	go node.Serve(l)
+	if advertise == "" {
+		advertise = l.Addr()
+	}
+	fmt.Printf("scrubcentral shard up\n  shard rpc: %s\n  event types: %v\n", l.Addr(), catalog.Names())
+
+	var joinConn *transport.Conn
+	if join != "" {
+		joinConn, err = transport.Dial(join, 3*time.Second)
+		if err != nil {
+			log.Fatalf("scrubcentral: join %s: %v", join, err)
+		}
+		if err := joinConn.Send(transport.DataHello{HostID: "shard:" + advertise}); err != nil {
+			log.Fatalf("scrubcentral: join %s: %v", join, err)
+		}
+		if err := joinConn.Send(transport.ShardHello{ShardID: advertise, DataAddr: advertise}); err != nil {
+			log.Fatalf("scrubcentral: join %s: %v", join, err)
+		}
+		// Hold the connection open (and drain it) so the coordinator's hub
+		// keeps the session; membership health rides the dialed-back RPC
+		// connection, not this one.
+		go func() {
+			for {
+				if _, err := joinConn.Recv(); err != nil {
+					return
+				}
+			}
+		}()
+		fmt.Printf("  joined: %s (advertised %s)\n", join, advertise)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("scrubcentral shard: shutting down")
+	l.Close()
+	if joinConn != nil {
+		joinConn.Close()
+	}
 }

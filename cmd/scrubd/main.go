@@ -25,15 +25,18 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"time"
 
 	"scrub/internal/adplatform"
+	"scrub/internal/coord"
 	"scrub/internal/event"
 	"scrub/internal/governor"
 	"scrub/internal/host"
 	"scrub/internal/obs"
 	"scrub/internal/replay"
+	"scrub/internal/transport"
 )
 
 func main() {
@@ -100,9 +103,14 @@ func main() {
 		log.Fatal("scrubd: -record-dir/-record-retain require -record")
 	}
 	sink := host.NewNetSinkWith(*dataAddr, *hostID, host.NetSinkOptions{Metrics: reg})
+	// Batches route through the shard fabric when the control plane pins
+	// queries to a shard-map epoch; unpinned queries fall back to the
+	// plain data connection, so the same agent serves both deployments.
+	md := &manifestDialer{addr: *dataAddr, hostID: *hostID}
+	router := coord.NewRouter(md.send, sink.SendBatch)
 	agent, err := host.New(host.Config{
 		HostID: *hostID, Service: *service, DC: *dc,
-		Catalog: catalog, Sink: sink,
+		Catalog: catalog, Sink: router,
 		Metrics: reg,
 		Record:  recStore,
 		Governor: governor.Config{
@@ -112,6 +120,7 @@ func main() {
 	if err != nil {
 		log.Fatalf("scrubd: %v", err)
 	}
+	sink.SetDropAccounting(agent.AccountDrops)
 	if reg != nil {
 		bound, err := obs.Serve(*metricsAddr, reg)
 		if err != nil {
@@ -123,7 +132,13 @@ func main() {
 
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
-		if err := agent.RunControlWith(ctx, *controlAddr, host.ControlOptions{Metrics: reg}); err != nil && ctx.Err() == nil {
+		opts := host.ControlOptions{
+			Metrics:      reg,
+			OnShardMap:   router.HandleShardMap,
+			OnQueryPin:   router.PinQuery,
+			OnQueryUnpin: router.UnpinQuery,
+		}
+		if err := agent.RunControlWith(ctx, *controlAddr, opts); err != nil && ctx.Err() == nil {
 			log.Printf("scrubd: control loop: %v", err)
 		}
 	}()
@@ -140,6 +155,8 @@ func main() {
 	<-sig
 	cancel()
 	agent.Close()
+	router.Close()
+	md.close()
 	sink.Close()
 	if recStore != nil {
 		recStore.Close()
@@ -147,6 +164,52 @@ func main() {
 	st := agent.Stats()
 	fmt.Printf("scrubd: done. logged=%d matched=%d shipped=%d drops=%d\n",
 		st.Logged, st.Matched, st.Shipped, st.QueueDrops)
+}
+
+// manifestDialer lazily opens the router's manifest channel to the
+// coordinator's data plane. Errors reset the connection so the next
+// manifest redials — transient coordinator outages cost manifests (the
+// counters are cumulative, so the next one supersedes them), not state.
+type manifestDialer struct {
+	addr   string
+	hostID string
+
+	mu   sync.Mutex
+	conn *transport.Conn
+	fn   coord.ManifestFunc
+}
+
+func (d *manifestDialer) send(m transport.BatchManifest) error {
+	d.mu.Lock()
+	if d.fn == nil {
+		conn, err := transport.Dial(d.addr, 3*time.Second)
+		if err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		if err := conn.Send(transport.DataHello{HostID: d.hostID}); err != nil {
+			conn.Close()
+			d.mu.Unlock()
+			return err
+		}
+		d.conn, d.fn = conn, coord.NewManifestClient(conn)
+	}
+	fn := d.fn
+	d.mu.Unlock()
+	if err := fn(m); err != nil {
+		d.close()
+		return err
+	}
+	return nil
+}
+
+func (d *manifestDialer) close() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.conn != nil {
+		d.conn.Close()
+	}
+	d.conn, d.fn = nil, nil
 }
 
 // startDemoGenerators spawns one goroutine per type=rate spec, producing

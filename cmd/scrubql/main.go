@@ -60,6 +60,11 @@ func main() {
 				q.Stats.HostDrops+q.Stats.LateDrops,
 				strings.Join(strings.Fields(q.Text), " "))
 		}
+		if *stats {
+			if sl, err := client.ShardStatus(); err == nil {
+				printShardStatus(sl)
+			}
+		}
 		return
 	}
 
@@ -119,6 +124,33 @@ func main() {
 	if *stats && final.ShedWindows > 0 {
 		fmt.Printf("shed windows: %d (at least one host's governor shed the query to hold its budget)\n",
 			final.ShedWindows)
+	}
+	if *stats {
+		// A distributed central also reports its per-shard view; a single-
+		// process deployment answers with an empty list and prints nothing.
+		if sl, err := client.ShardStatus(); err == nil {
+			printShardStatus(sl)
+		}
+	}
+}
+
+// printShardStatus renders the shard-fabric table: one row per shard
+// process with its liveness, query load, and merge lag (time since the
+// coordinator's last successful RPC to it).
+func printShardStatus(sl transport.ShardStatusList) {
+	if sl.Epoch == 0 && len(sl.Shards) == 0 {
+		return // single-process central: no shard fabric
+	}
+	fmt.Printf("shard fabric: epoch=%d shards=%d merges=%d rebalances=%d evicted-streams=%d\n",
+		sl.Epoch, len(sl.Shards), sl.Merges, sl.Rebalances, sl.EvictedStreams)
+	fmt.Println("  shard\taddr\tstate\tqueries\ttuples\tmerge-lag")
+	for _, s := range sl.Shards {
+		state := "up"
+		if s.Down {
+			state = "DOWN"
+		}
+		fmt.Printf("  %d\t%s\t%s\t%d\t%d\t%s\n",
+			s.Index, s.Addr, state, s.ActiveQueries, s.TuplesIn, time.Duration(s.LagNanos))
 	}
 }
 

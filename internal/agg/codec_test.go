@@ -1,0 +1,136 @@
+package agg
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"scrub/internal/event"
+)
+
+func randValue(rng *rand.Rand) event.Value {
+	switch rng.Intn(4) {
+	case 0:
+		return event.Int(int64(rng.Intn(1000) - 500))
+	case 1:
+		return event.Float(rng.NormFloat64() * 100)
+	case 2:
+		return event.Str(fmt.Sprintf("s%d", rng.Intn(50)))
+	default:
+		return event.Invalid
+	}
+}
+
+// sameResult treats two Invalid results (SQL NULL) as matching; Equal
+// deliberately does not.
+func sameResult(a, b event.Value) bool {
+	if !a.IsValid() && !b.IsValid() {
+		return true
+	}
+	return a.Equal(b)
+}
+
+// TestStateCodecRoundTrip drives every aggregate kind through random
+// inputs, round-trips its state, and checks the decoded copy renders the
+// same result and keeps merging identically afterwards.
+func TestStateCodecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindCountStar},
+		{Kind: KindCount},
+		{Kind: KindSum},
+		{Kind: KindAvg},
+		{Kind: KindMin},
+		{Kind: KindMax},
+		{Kind: KindTopK, K: 3},
+		{Kind: KindCountDistinct},
+		{Kind: KindCountDistinct, Prec: 6},
+	}
+	rng := rand.New(rand.NewSource(11))
+	for _, spec := range specs {
+		for trial := 0; trial < 10; trial++ {
+			a := MustNew(spec)
+			for i := rng.Intn(200); i > 0; i-- {
+				a.Add(randValue(rng))
+			}
+			enc, err := AppendState(nil, a)
+			if err != nil {
+				t.Fatalf("%v: encode: %v", spec.Kind, err)
+			}
+			d, n, err := DecodeState(spec, enc)
+			if err != nil {
+				t.Fatalf("%v: decode: %v", spec.Kind, err)
+			}
+			if n != len(enc) {
+				t.Fatalf("%v: consumed %d of %d bytes", spec.Kind, n, len(enc))
+			}
+			if d.Count() != a.Count() {
+				t.Fatalf("%v: count %d vs %d", spec.Kind, d.Count(), a.Count())
+			}
+			if !sameResult(d.Result(), a.Result()) {
+				t.Fatalf("%v: result %v vs %v", spec.Kind, d.Result(), a.Result())
+			}
+			// The decoded copy must keep evolving identically: fold the
+			// same partial into both, then the same direct additions.
+			o := MustNew(spec)
+			for i := 0; i < 50; i++ {
+				o.Add(randValue(rng))
+			}
+			if err := a.Merge(o); err != nil {
+				t.Fatalf("%v: merge into original: %v", spec.Kind, err)
+			}
+			if err := d.Merge(o); err != nil {
+				t.Fatalf("%v: merge into decoded: %v", spec.Kind, err)
+			}
+			for i := 0; i < 20; i++ {
+				v := randValue(rng)
+				a.Add(v)
+				d.Add(v)
+			}
+			if d.Count() != a.Count() || !sameResult(d.Result(), a.Result()) {
+				t.Fatalf("%v: post-merge divergence: (%d,%v) vs (%d,%v)",
+					spec.Kind, d.Count(), d.Result(), a.Count(), a.Result())
+			}
+		}
+	}
+}
+
+func TestStateCodecEmpty(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindCountStar}, {Kind: KindSum}, {Kind: KindAvg},
+		{Kind: KindMin}, {Kind: KindMax}, {Kind: KindTopK, K: 2},
+		{Kind: KindCountDistinct},
+	} {
+		a := MustNew(spec)
+		enc, err := AppendState(nil, a)
+		if err != nil {
+			t.Fatalf("%v: encode empty: %v", spec.Kind, err)
+		}
+		d, n, err := DecodeState(spec, enc)
+		if err != nil || n != len(enc) {
+			t.Fatalf("%v: decode empty: n=%d err=%v", spec.Kind, n, err)
+		}
+		if d.Count() != 0 || !sameResult(d.Result(), a.Result()) {
+			t.Fatalf("%v: empty round-trip mismatch", spec.Kind)
+		}
+	}
+}
+
+func TestStateCodecTruncation(t *testing.T) {
+	for _, spec := range []Spec{
+		{Kind: KindSum}, {Kind: KindAvg}, {Kind: KindMin},
+		{Kind: KindTopK, K: 2}, {Kind: KindCountDistinct, Prec: 6},
+	} {
+		a := MustNew(spec)
+		a.Add(event.Int(5))
+		a.Add(event.Int(9))
+		enc, err := AppendState(nil, a)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", spec.Kind, err)
+		}
+		for cut := 0; cut < len(enc); cut++ {
+			if _, _, err := DecodeState(spec, enc[:cut]); err == nil {
+				t.Fatalf("%v: truncation at %d decoded without error", spec.Kind, cut)
+			}
+		}
+	}
+}

@@ -15,6 +15,8 @@ func register(r *Registry, dynamic string) {
 	r.Counter("events_total", "x")           // want `does not match scrub_`
 	r.Counter("scrub_query_rows_total", "x") // want `does not match scrub_`
 	r.Gauge("scrub_transport_conns", "ok")
+	r.Counter("scrub_coord_merges_total", "ok")
+	r.Gauge("scrub_coord_shards", "ok")
 	r.Histogram("scrub_central_merge_ns", nil)
 	r.Histogram("scrub_central_merge", nil) // want `must carry a unit suffix`
 	r.Counter(dynamic, "x")                 // want `must be a string literal`

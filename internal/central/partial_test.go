@@ -1,0 +1,167 @@
+package central
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"time"
+
+	"scrub/internal/event"
+	"scrub/internal/transport"
+)
+
+// TestPartialCodecMatchesShardedEngine drives identical batches through a
+// ShardedEngine and through the exported driven surface (N driven engines
+// + serialized partials + QueryRuntime merge — the distributed
+// coordinator's data path) and requires the rendered windows to match
+// bit for bit.
+func TestPartialCodecMatchesShardedEngine(t *testing.T) {
+	queries := []string{
+		`select count(*) from bid`,
+		`select exchange_id, count(*), sum(bid_price) from bid group by exchange_id`,
+		`select avg(bid_price), min(bid_price), max(user_id) from bid`,
+		`select top_k(exchange_id, 3), count_distinct(user_id) from bid`,
+		`select user_id, bid_price from bid order by bid_price desc limit 7`,
+		`select count(*) from bid sample events 50%`,
+	}
+	for qi, src := range queries {
+		for _, shards := range []int{2, 4} {
+			t.Run(fmt.Sprintf("q%d-s%d", qi, shards), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(int64(qi*10 + shards)))
+				var batches []transport.TupleBatch
+				for h := 0; h < 3; h++ {
+					host := fmt.Sprintf("h%d", h)
+					for bi := 0; bi < 6; bi++ {
+						var tuples []transport.Tuple
+						for k := 0; k < 10; k++ {
+							tuples = append(tuples, tup(
+								uint64(rng.Intn(500)),
+								sec(int64(rng.Intn(10))),
+								event.Int(int64(rng.Intn(50))),
+								event.Int(int64(rng.Intn(5))),
+								event.Float(rng.NormFloat64()*10),
+							))
+						}
+						batches = append(batches, bidBatch(1, host, tuples...))
+					}
+				}
+				bound := sec(8)
+
+				// Arm 1: in-process ShardedEngine, collect+flush via a
+				// fake wall clock tick at bound+lateness.
+				se, err := NewShardedEngine(shards)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := &collector{}
+				p := buildPlan(t, src, 1, 4, 2)
+				p.Lateness = time.Hour
+				if err := se.StartQuery(p, c.emit); err != nil {
+					t.Fatal(err)
+				}
+				for _, b := range batches {
+					se.HandleBatch(transport.CloneBatch(b))
+				}
+				se.Tick(bound + int64(p.Lateness))
+				want := c.all()
+
+				// Arm 2: driven engines + partial codec + QueryRuntime.
+				qr, err := CompileQuery(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				drv := make([]*Engine, shards)
+				for i := range drv {
+					drv[i] = NewEngine()
+					if err := drv[i].StartDriven(p); err != nil {
+						t.Fatal(err)
+					}
+				}
+				for _, b := range batches {
+					sub := make([][]transport.Tuple, shards)
+					for _, tp := range b.Tuples {
+						i := int(tp.RequestID % uint64(shards))
+						sub[i] = append(sub[i], tp)
+					}
+					for i, tuples := range sub {
+						if len(tuples) == 0 {
+							continue
+						}
+						if _, ok := drv[i].ApplyDriven(transport.CloneBatch(transport.TupleBatch{
+							QueryID: 1, HostID: b.HostID, TypeIdx: b.TypeIdx, Tuples: tuples,
+						})); !ok {
+							t.Fatal("ApplyDriven: unknown query")
+						}
+					}
+				}
+				merged := make(map[int64]*PartialWindow)
+				for _, e := range drv {
+					partials, _, _, ok := e.CollectDriven(1, bound)
+					if !ok {
+						t.Fatal("CollectDriven: unknown query")
+					}
+					for _, ep := range partials {
+						pw, err := qr.DecodePartial(ep.Data)
+						if err != nil {
+							t.Fatalf("DecodePartial: %v", err)
+						}
+						if dst, ok := merged[ep.Start]; ok {
+							qr.Merge(dst, pw)
+						} else {
+							merged[ep.Start] = pw
+						}
+					}
+				}
+				var got []transport.ResultWindow
+				var starts []int64
+				for start := range merged {
+					starts = append(starts, start)
+				}
+				for i := range starts {
+					for j := i + 1; j < len(starts); j++ {
+						if starts[j] < starts[i] {
+							starts[i], starts[j] = starts[j], starts[i]
+						}
+					}
+				}
+				for _, start := range starts {
+					got = append(got, qr.Render(start, merged[start], nil))
+				}
+
+				if len(got) != len(want) {
+					t.Fatalf("window counts: driven %d vs sharded %d", len(got), len(want))
+				}
+				for i := range want {
+					w, g := want[i], got[i]
+					// The mini-merger fills only what renderWindow fills;
+					// blank the deployment-level fields on the reference.
+					w.Stats.HostDrops, w.Stats.LateDrops = 0, 0
+					w.Degraded, w.BudgetShed, w.Streams = false, false, nil
+					if w.WindowStart != g.WindowStart || w.WindowEnd != g.WindowEnd {
+						t.Fatalf("window %d span: [%d,%d) vs [%d,%d)", i, g.WindowStart, g.WindowEnd, w.WindowStart, w.WindowEnd)
+					}
+					if w.Stats != g.Stats {
+						t.Fatalf("window %d stats: %+v vs %+v", i, g.Stats, w.Stats)
+					}
+					if w.Approx != g.Approx {
+						t.Fatalf("window %d approx: %v vs %v", i, g.Approx, w.Approx)
+					}
+					if !reflect.DeepEqual(w.Rows, g.Rows) {
+						t.Fatalf("window %d rows:\n got %v\nwant %v", i, g.Rows, w.Rows)
+					}
+					if len(w.ErrBounds) != len(g.ErrBounds) {
+						t.Fatalf("window %d bounds len: %d vs %d", i, len(g.ErrBounds), len(w.ErrBounds))
+					}
+					for j := range w.ErrBounds {
+						wb, gb := w.ErrBounds[j], g.ErrBounds[j]
+						if math.IsNaN(wb) != math.IsNaN(gb) || (!math.IsNaN(wb) && math.Float64bits(wb) != math.Float64bits(gb)) {
+							t.Fatalf("window %d bound %d: %v vs %v", i, j, gb, wb)
+						}
+					}
+				}
+			})
+		}
+	}
+}

@@ -20,6 +20,11 @@ import (
 // (absolute span, host counts for estimator scaling).
 type Plan struct {
 	QueryID uint64
+	// Text is the original query source, carried so a coordinator can
+	// re-distribute the query to shard processes (which re-analyze it
+	// against their own catalog). Empty for in-process executors; never
+	// consulted by the engines themselves.
+	Text    string
 	Types   []string   // event types in FROM order (1 or 2)
 	Columns [][]string // per type: projected column names, HostQuery order
 

@@ -1,0 +1,204 @@
+// Package coord runs ScrubCentral as a multi-process shard fabric: a
+// coordinator process owns query registration, shard membership and the
+// merge layer; shard processes run central engines in driven mode (no
+// self-closing windows); and routers — on the host agents, or inside the
+// coordinator for legacy hosts — split every tuple batch across shards by
+// hash(request-id) mod shards, so the request-identifier equi-join stays
+// shard-local exactly as in the in-process ShardedEngine.
+//
+// The design transplants ShardedEngine's merge semantics across process
+// boundaries without changing them: shards absorb sub-batches and report
+// what they observed (max in-span event time, late-drop deltas) in
+// synchronous acks; the router folds the acks into a BatchManifest that
+// reaches the coordinator only after every shard has applied its slice;
+// and the coordinator processes manifests with the same stream-lease,
+// watermark, replay-hold and window-close decisions the in-process merger
+// makes per batch. Window state crosses the wire as serialized partials
+// (central.EncodedPartial) merged in ascending shard order, so the
+// differential oracle can hold a 1-process Engine and an N-process
+// topology to bit-identical windows, rows, bounds and stats.
+//
+// Membership is epoch-numbered: every join or leave bumps the epoch and
+// pushes a fresh ShardMap to the host agents. A query pins the epoch
+// current at its start (carried on HostQuery), so all hosts split its
+// request-id space over the same shard list for the query's whole life;
+// later joins serve new queries only, and a shard death degrades the
+// queries pinned to it (results keep flowing, flagged Degraded) instead
+// of wedging their watermarks.
+package coord
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrub/internal/transport"
+)
+
+// rpcTimeout bounds every synchronous shard RPC so a hung (but not yet
+// closed) shard process cannot wedge the coordinator or a router; lease
+// expiry needs failures to surface in bounded time.
+const rpcTimeout = 5 * time.Second
+
+// shardClient is one synchronous RPC channel to a shard process. Requests
+// are serialized per client and matched to responses by sequence number;
+// any transport error or sequence mismatch marks the client down and
+// closes the connection — callers degrade, they never block forever.
+type shardClient struct {
+	addr string
+
+	mu   sync.Mutex
+	conn *transport.Conn
+	seq  uint64
+
+	down   atomic.Bool
+	lastOK atomic.Int64 // wall nanos of the last successful round-trip
+}
+
+// newShardClient wraps an established connection (tests, pipes).
+func newShardClient(conn *transport.Conn, addr string) *shardClient {
+	c := &shardClient{addr: addr, conn: conn}
+	c.lastOK.Store(time.Now().UnixNano())
+	return c
+}
+
+// dialShard connects to a shard's data address.
+func dialShard(addr string) (*shardClient, error) {
+	conn, err := transport.Dial(addr, rpcTimeout)
+	if err != nil {
+		return nil, err
+	}
+	return newShardClient(conn, addr), nil
+}
+
+func (c *shardClient) isDown() bool { return c.down.Load() }
+
+// lagNanos reports how long ago the last successful RPC completed.
+func (c *shardClient) lagNanos() int64 { return time.Now().UnixNano() - c.lastOK.Load() }
+
+func (c *shardClient) close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.failLocked()
+}
+
+func (c *shardClient) failLocked() {
+	c.down.Store(true)
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// do sends one request built with the next sequence number and returns
+// the response. The read deadline keeps a silent peer from blocking the
+// caller past rpcTimeout.
+func (c *shardClient) do(build func(seq uint64) transport.Message) (transport.Message, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.conn == nil {
+		return nil, 0, fmt.Errorf("coord: shard %s is down", c.addr)
+	}
+	c.seq++
+	seq := c.seq
+	c.conn.SetReadDeadline(time.Now().Add(rpcTimeout))
+	if err := c.conn.Send(build(seq)); err != nil {
+		c.failLocked()
+		return nil, 0, err
+	}
+	resp, err := c.conn.Recv()
+	if err != nil {
+		c.failLocked()
+		return nil, 0, err
+	}
+	c.lastOK.Store(time.Now().UnixNano())
+	return resp, seq, nil
+}
+
+func (c *shardClient) seqErr(got transport.Message) error {
+	c.mu.Lock()
+	c.failLocked()
+	c.mu.Unlock()
+	return fmt.Errorf("coord: shard %s: unexpected response %s", c.addr, transport.Name(got))
+}
+
+func (c *shardClient) start(msg transport.ShardStart) error {
+	resp, seq, err := c.do(func(s uint64) transport.Message { msg.Seq = s; return msg })
+	if err != nil {
+		return err
+	}
+	ack, ok := resp.(transport.ShardAck)
+	if !ok || ack.Seq != seq {
+		return c.seqErr(resp)
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("coord: shard %s: %s", c.addr, ack.Err)
+	}
+	return nil
+}
+
+func (c *shardClient) apply(msg transport.ShardSubBatch) (transport.ShardBatchAck, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message { msg.Seq = s; return msg })
+	if err != nil {
+		return transport.ShardBatchAck{}, err
+	}
+	ack, ok := resp.(transport.ShardBatchAck)
+	if !ok || ack.Seq != seq {
+		return transport.ShardBatchAck{}, c.seqErr(resp)
+	}
+	return ack, nil
+}
+
+func (c *shardClient) collect(queryID uint64, bound int64) (transport.ShardPartials, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message {
+		return transport.ShardCollectReq{Seq: s, QueryID: queryID, Bound: bound}
+	})
+	if err != nil {
+		return transport.ShardPartials{}, err
+	}
+	sp, ok := resp.(transport.ShardPartials)
+	if !ok || sp.Seq != seq {
+		return transport.ShardPartials{}, c.seqErr(resp)
+	}
+	return sp, nil
+}
+
+func (c *shardClient) stop(queryID uint64) (transport.ShardPartials, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message {
+		return transport.ShardStopReq{Seq: s, QueryID: queryID}
+	})
+	if err != nil {
+		return transport.ShardPartials{}, err
+	}
+	sp, ok := resp.(transport.ShardPartials)
+	if !ok || sp.Seq != seq {
+		return transport.ShardPartials{}, c.seqErr(resp)
+	}
+	return sp, nil
+}
+
+func (c *shardClient) stats(queryID uint64) (transport.ShardStatsResp, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message {
+		return transport.ShardStatsReq{Seq: s, QueryID: queryID}
+	})
+	if err != nil {
+		return transport.ShardStatsResp{}, err
+	}
+	sr, ok := resp.(transport.ShardStatsResp)
+	if !ok || sr.Seq != seq {
+		return transport.ShardStatsResp{}, c.seqErr(resp)
+	}
+	return sr, nil
+}
+
+func (c *shardClient) ping(nonce uint64) error {
+	resp, _, err := c.do(func(s uint64) transport.Message { return transport.Ping{Nonce: nonce} })
+	if err != nil {
+		return err
+	}
+	if p, ok := resp.(transport.Pong); !ok || p.Nonce != nonce {
+		return c.seqErr(resp)
+	}
+	return nil
+}

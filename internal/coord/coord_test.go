@@ -1,0 +1,391 @@
+package coord
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/event"
+	"scrub/internal/obs"
+	"scrub/internal/ql"
+	"scrub/internal/transport"
+)
+
+var testSchema = event.MustSchema("ev",
+	event.FieldDef{Name: "v", Kind: event.KindFloat},
+)
+
+func testCatalog() *event.Catalog {
+	c := event.NewCatalog()
+	c.MustRegister(testSchema)
+	return c
+}
+
+// vclock is a harness-controlled clock (single harness goroutine; reads
+// from serve goroutines are ordered by the pipes' synchronous RPCs).
+type vclock struct{ nanos int64 }
+
+func (v *vclock) now() time.Time { return time.Unix(0, v.nanos) }
+
+type collector struct{ wins []transport.ResultWindow }
+
+func (c *collector) emit(rw transport.ResultWindow) { c.wins = append(c.wins, rw) }
+
+// testShard is one fake shard process: a node plus the server ends of its
+// connections, so tests can kill it.
+type testShard struct {
+	node  *ShardNode
+	conns []*transport.Conn // server ends: coordinator's and router's
+}
+
+// kill closes the shard's connections: the next RPC to it fails, exactly
+// like a died process.
+func (s *testShard) kill() {
+	for _, c := range s.conns {
+		c.Close()
+	}
+}
+
+type testTopo struct {
+	coord  *Coordinator
+	router *Router
+	shards []*testShard
+}
+
+func newTestTopo(t *testing.T, n int, opts Options) *testTopo {
+	t.Helper()
+	tt := &testTopo{coord: NewCoordinator(opts)}
+	tt.router = NewRouter(func(m transport.BatchManifest) error {
+		tt.coord.HandleManifest(m)
+		return nil
+	}, nil)
+	for i := 0; i < n; i++ {
+		tt.addShard(t)
+	}
+	return tt
+}
+
+// addShard grows the fabric by one shard process (join).
+func (tt *testTopo) addShard(t *testing.T) *testShard {
+	t.Helper()
+	s := &testShard{node: NewShardNode(testCatalog())}
+	addr := fmt.Sprintf("shard-%d", len(tt.shards))
+	cc, cs := transport.Pipe()
+	go s.node.ServeConn(cs)
+	tt.coord.AddShardConn(cc, addr)
+	rc, rs := transport.Pipe()
+	go s.node.ServeConn(rs)
+	tt.router.AddShardConn(addr, rc)
+	s.conns = []*transport.Conn{cs, rs}
+	tt.shards = append(tt.shards, s)
+	tt.router.HandleShardMap(tt.coord.ShardMap())
+	return s
+}
+
+func (tt *testTopo) close() {
+	tt.router.Close()
+	tt.coord.Close()
+	for _, s := range tt.shards {
+		s.kill()
+	}
+}
+
+func (tt *testTopo) startQuery(t *testing.T, id uint64, src string, lateness time.Duration, col *collector) {
+	t.Helper()
+	q, err := ql.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := ql.Analyze(q, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := central.FromPlan(qp, id, 0, 0, 1, 1)
+	plan.Text = src
+	plan.Lateness = lateness
+	if err := tt.coord.StartQuery(plan, col.emit); err != nil {
+		t.Fatal(err)
+	}
+	epoch, ok := tt.coord.QueryEpoch(id)
+	if !ok {
+		t.Fatalf("query %d has no pinned epoch", id)
+	}
+	tt.router.PinQuery(id, epoch)
+}
+
+// send ships one single-tuple batch through the router.
+func (tt *testTopo) send(t *testing.T, id, rid uint64, ts int64) {
+	t.Helper()
+	err := tt.router.SendBatch(transport.TupleBatch{
+		QueryID: id, HostID: "h1", TypeIdx: 0,
+		Tuples: []transport.Tuple{{RequestID: rid, TsNanos: ts, Values: []event.Value{event.Float(1)}}},
+	})
+	if err != nil {
+		t.Fatalf("send rid=%d ts=%d: %v", rid, ts, err)
+	}
+}
+
+const sec = int64(time.Second)
+
+func countOf(t *testing.T, rw transport.ResultWindow) int64 {
+	t.Helper()
+	if len(rw.Rows) != 1 || len(rw.Rows[0]) < 1 {
+		t.Fatalf("window [%d,%d): want one count row, got %v", rw.WindowStart, rw.WindowEnd, rw.Rows)
+	}
+	n, ok := rw.Rows[0][0].AsInt()
+	if !ok {
+		t.Fatalf("count column not an int: %v", rw.Rows[0][0])
+	}
+	return n
+}
+
+// TestShardKillMidQuery kills one of two shards mid-query and asserts
+// windows keep closing — degraded, with the lost tuples accounted as
+// drops — instead of the watermark wedging.
+func TestShardKillMidQuery(t *testing.T) {
+	vc := &vclock{}
+	tt := newTestTopo(t, 2, Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer tt.close()
+	col := &collector{}
+	tt.startQuery(t, 1, `select count(*) from ev window 10s`, time.Second, col)
+
+	// Window [0,10s): rids 0..5 land 3 per shard (rid % 2).
+	for i := 0; i < 6; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	// ts=12s advances the watermark past 10s+lateness: [0,10s) closes.
+	vc.nanos = 12 * sec
+	tt.send(t, 1, 6, 12*sec)
+	if len(col.wins) != 1 {
+		t.Fatalf("want 1 window before the kill, got %d", len(col.wins))
+	}
+	if col.wins[0].Degraded {
+		t.Fatal("window closed before the kill must not be degraded")
+	}
+	if n := countOf(t, col.wins[0]); n != 6 {
+		t.Fatalf("window [0,10s) count = %d, want 6", n)
+	}
+
+	// Shard 1 dies. Tuples keep flowing: odd rids now drop at the router,
+	// even rids land on the survivor, and the manifests keep the
+	// watermark moving.
+	tt.shards[1].kill()
+	for i := 12; i < 22; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	vc.nanos = 32 * sec
+	tt.send(t, 1, 32, 32*sec)
+	if len(col.wins) < 2 {
+		t.Fatalf("windows stopped closing after shard death: %d total", len(col.wins))
+	}
+	for _, rw := range col.wins[1:] {
+		if !rw.Degraded {
+			t.Errorf("window [%d,%d) after shard death not flagged Degraded", rw.WindowStart, rw.WindowEnd)
+		}
+	}
+	// Window [10s,20s): rids 6 (ts 12s, even) and 12..18 even (13s..19s)
+	// reached the survivor; odd rids died with shard 1.
+	if n := countOf(t, col.wins[1]); n != 5 {
+		t.Fatalf("degraded window [10s,20s) count = %d, want 5 (survivor-shard tuples only)", n)
+	}
+
+	// A tick sweeps the dead shard out of the membership: epoch bumps and
+	// the map shrinks, but the running query keeps its pinned topology.
+	epochBefore, _ := tt.coord.QueryEpoch(1)
+	tt.coord.Tick(vc.nanos)
+	if m := tt.coord.ShardMap(); len(m.Addrs) != 1 || m.Epoch <= epochBefore {
+		t.Fatalf("membership after death sweep: %+v (want 1 addr, epoch > %d)", m, epochBefore)
+	}
+	if e, ok := tt.coord.QueryEpoch(1); !ok || e != epochBefore {
+		t.Fatalf("running query's pinned epoch changed: %d -> %d", epochBefore, e)
+	}
+
+	stats, ok := tt.coord.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery missed")
+	}
+	if stats.DegradedWindows == 0 {
+		t.Error("final stats did not count degraded windows")
+	}
+	if stats.Windows != uint64(len(col.wins)) {
+		t.Errorf("stats.Windows = %d, emitted %d", stats.Windows, len(col.wins))
+	}
+}
+
+// TestShardJoinMidQuery joins a third shard mid-query: the running query
+// keeps its 2-shard pin and its results stay exact; a query started after
+// the join routes over all three shards.
+func TestShardJoinMidQuery(t *testing.T) {
+	vc := &vclock{}
+	tt := newTestTopo(t, 2, Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer tt.close()
+	col := &collector{}
+	tt.startQuery(t, 1, `select count(*) from ev window 10s`, time.Second, col)
+
+	for i := 0; i < 4; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+
+	tt.addShard(t) // join: epoch bumps, map now 3 shards
+
+	if m := tt.coord.ShardMap(); len(m.Addrs) != 3 {
+		t.Fatalf("membership after join: %+v", m)
+	}
+	// The running query still routes rid%2 and merges from its pinned two
+	// shards: deliveries after the join must not disturb it.
+	for i := 4; i < 6; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	vc.nanos = 12 * sec
+	tt.send(t, 1, 6, 12*sec)
+	if len(col.wins) != 1 {
+		t.Fatalf("want 1 closed window, got %d", len(col.wins))
+	}
+	if rw := col.wins[0]; rw.Degraded || countOf(t, rw) != 6 {
+		t.Fatalf("window after join: degraded=%v count=%d, want exact 6", rw.Degraded, countOf(t, rw))
+	}
+
+	// A new query pins the post-join epoch and lands on all three shards.
+	col2 := &collector{}
+	tt.startQuery(t, 2, `select count(*) from ev window 10s`, time.Second, col2)
+	for i := 0; i < 6; i++ {
+		vc.nanos += sec
+		tt.send(t, 2, uint64(i), int64(i+1)*sec)
+	}
+	st := tt.coord.Status()
+	if len(st.Shards) != 3 {
+		t.Fatalf("status shards: %d, want 3", len(st.Shards))
+	}
+	for _, row := range st.Shards {
+		if row.Down {
+			t.Errorf("shard %d (%s) reported down", row.Index, row.Addr)
+		}
+		if row.ActiveQueries == 0 {
+			t.Errorf("shard %d (%s) has no active queries; join did not distribute", row.Index, row.Addr)
+		}
+	}
+	if _, ok := tt.coord.StopQuery(1); !ok {
+		t.Fatal("StopQuery(1) missed")
+	}
+	if _, ok := tt.coord.StopQuery(2); !ok {
+		t.Fatal("StopQuery(2) missed")
+	}
+}
+
+// TestShardLeaveReMerge stops a query cleanly after a shard has died and
+// checks the re-merge at StopQuery: the surviving shard's windows drain
+// without divergence — every remaining tuple lands in exactly one final
+// window and the drop accounting balances.
+func TestShardLeaveReMerge(t *testing.T) {
+	vc := &vclock{}
+	tt := newTestTopo(t, 2, Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer tt.close()
+	col := &collector{}
+	tt.startQuery(t, 1, `select count(*) from ev window 10s`, time.Second, col)
+
+	for i := 0; i < 6; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	tt.shards[1].kill()
+	// Open window [0,10s) holds 3 tuples on each shard; shard 1's three
+	// are unrecoverable. Stop must still drain shard 0's partials.
+	stats, ok := tt.coord.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery missed")
+	}
+	if len(col.wins) != 1 {
+		t.Fatalf("drain emitted %d windows, want 1", len(col.wins))
+	}
+	rw := col.wins[0]
+	if !rw.Degraded {
+		t.Error("drained window after shard death not flagged Degraded")
+	}
+	if n := countOf(t, rw); n != 3 {
+		t.Errorf("drained window count = %d, want 3 (surviving shard)", n)
+	}
+	if stats.TuplesIn != 3 {
+		t.Errorf("stats.TuplesIn = %d, want 3", stats.TuplesIn)
+	}
+}
+
+// TestRouterFallback: a query with no epoch pin goes to the fallback sink
+// whole — the single-process central path.
+func TestRouterFallback(t *testing.T) {
+	var got []transport.TupleBatch
+	r := NewRouter(func(transport.BatchManifest) error { return nil },
+		func(b transport.TupleBatch) error { got = append(got, b); return nil })
+	b := transport.TupleBatch{QueryID: 9, HostID: "h", Tuples: []transport.Tuple{{RequestID: 1}}}
+	if err := r.SendBatch(b); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || len(got[0].Tuples) != 1 {
+		t.Fatalf("fallback did not receive the whole batch: %+v", got)
+	}
+
+	// Without a fallback, an unpinned query is an error, not silence.
+	r2 := NewRouter(func(transport.BatchManifest) error { return nil }, nil)
+	if err := r2.SendBatch(b); err == nil {
+		t.Fatal("unpinned query with no fallback must error")
+	}
+}
+
+// TestCoordMetricsZeroAlloc pins the scrub_coord_* update paths to zero
+// allocations, like the other components' hot counters.
+func TestCoordMetricsZeroAlloc(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := newCoordMetrics(reg)
+	lag := m.shardLag("shard-0")
+	if allocs := testing.AllocsPerRun(200, func() {
+		m.manifests.Inc()
+		m.tuples.Add(17)
+		m.merges.Inc()
+		m.rebalances.Inc()
+		m.setMembership(4, 9)
+		lag.Set(123456)
+	}); allocs != 0 {
+		t.Fatalf("metric updates allocate: %v allocs/op", allocs)
+	}
+}
+
+// TestMetricsMembershipSeries: shard lag gauges appear on join and vanish
+// on leave.
+func TestMetricsMembershipSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	vc := &vclock{}
+	c := NewCoordinator(Options{Clock: vc.now, Metrics: reg})
+	a1, b1 := transport.Pipe()
+	defer b1.Close()
+	node := NewShardNode(testCatalog())
+	go node.ServeConn(b1)
+	c.AddShardConn(a1, "s0")
+
+	found := func(name string) bool {
+		for _, s := range reg.Snapshot() {
+			if s.Name == name {
+				return true
+			}
+		}
+		return false
+	}
+	if !found("scrub_coord_shard_lag_ns") {
+		t.Fatal("per-shard lag gauge not registered on join")
+	}
+	if !found("scrub_coord_shards") || !found("scrub_coord_epoch") {
+		t.Fatal("membership gauges not registered")
+	}
+	a1.Close()
+	// Force the down flag, then sweep.
+	if err := c.members[0].ping(1); err == nil {
+		t.Fatal("ping over closed conn should fail")
+	}
+	c.Tick(0)
+	if found("scrub_coord_shard_lag_ns") {
+		t.Fatal("per-shard lag gauge not unregistered on leave")
+	}
+}

@@ -1,0 +1,632 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/liveness"
+	"scrub/internal/obs"
+	"scrub/internal/transport"
+)
+
+// Options configures a Coordinator. The zero value matches the central
+// engines' defaults, which matters: the differential oracle only holds if
+// lease TTLs and clocks agree across executors.
+type Options = central.Options
+
+// Coordinator is the control plane and merge layer of a distributed
+// ScrubCentral. It owns query registration and shard membership, folds
+// batch manifests into per-stream liveness and watermark state exactly
+// like ShardedEngine.HandleBatch, and pulls serialized window partials
+// from the shards at close barriers to merge, render and emit them.
+//
+// It implements central.Executor, so the query server can drive a
+// coordinator wherever it would drive an in-process engine.
+type Coordinator struct {
+	opt central.Options
+	met *coordMetrics
+
+	mu         sync.Mutex
+	members    []*shardClient
+	epoch      uint32
+	merges     uint64
+	rebalances uint64
+	queries    map[uint64]*coordQuery
+	onMap      func(transport.ShardMap)
+}
+
+var _ central.Executor = (*Coordinator)(nil)
+
+// coordQuery mirrors shardedQuery (internal/central/sharded.go) across
+// process boundaries. The one structural difference: emitted drop totals
+// come from cached cumulative per-shard counters — max-folded from
+// manifests and refreshed by every collect response — instead of polling
+// the shards in-process at emit time. Collect barriers refresh the cache
+// on every live shard before any flush, so at emit the cache equals what
+// dropsOf would have returned.
+type coordQuery struct {
+	qr   *central.QueryRuntime
+	emit central.EmitFunc
+
+	// Topology pinned at StartQuery: the shard list of the then-current
+	// epoch. Membership changes never touch a running query.
+	epoch         uint32
+	shards        []*shardClient
+	shardLate     []uint64 // cumulative window-late drops, by shard index
+	shardOverflow []uint64 // cumulative overflow drops, by shard index
+	// topoDegraded latches when a pinned shard dies or a partial fails to
+	// decode: part of the query's state is unreachable, so every window
+	// from then on is flagged Degraded rather than silently incomplete.
+	topoDegraded bool
+
+	streams    *liveness.Table
+	pending    map[int64]*central.PartialWindow
+	stats      transport.QueryStats
+	mergeDrops uint64
+	// stoppedShardDrops carries the shards' final drop totals once
+	// StopQuery has torn the shard queries down (see shardedQuery).
+	stoppedShardDrops uint64
+	// routeDrops tracks cumulative router send failures per stream for the
+	// legacy whole-batch path (HandleBatch), where the coordinator routes
+	// on behalf of hosts that predate shard maps.
+	routeDrops map[liveness.Key]uint64
+
+	replayHold     bool
+	replayDeadline int64
+}
+
+// NewCoordinator creates a coordinator with no shards. Register shards
+// with AddShard/AddShardConn/HandleHello before starting queries.
+func NewCoordinator(opt Options) *Coordinator {
+	if opt.LeaseTTL <= 0 {
+		opt.LeaseTTL = liveness.DefaultTTL
+	}
+	if opt.Clock == nil {
+		opt.Clock = time.Now
+	}
+	return &Coordinator{
+		opt:     opt,
+		met:     newCoordMetrics(opt.Metrics),
+		queries: make(map[uint64]*coordQuery),
+	}
+}
+
+// MetricsRegistry returns the registry the coordinator was configured
+// with (nil if none).
+func (c *Coordinator) MetricsRegistry() *obs.Registry { return c.opt.Metrics }
+
+// AddShard dials a shard's data address and adds it to the membership,
+// bumping the shard-map epoch.
+func (c *Coordinator) AddShard(addr string) error {
+	sc, err := dialShard(addr)
+	if err != nil {
+		return err
+	}
+	c.addClient(sc)
+	return nil
+}
+
+// AddShardConn adds a shard over an established connection (pipes,
+// tests), bumping the shard-map epoch.
+func (c *Coordinator) AddShardConn(conn *transport.Conn, addr string) {
+	c.addClient(newShardClient(conn, addr))
+}
+
+// HandleHello admits a shard that announced itself on the data plane.
+func (c *Coordinator) HandleHello(h transport.ShardHello) error {
+	return c.AddShard(h.DataAddr)
+}
+
+func (c *Coordinator) addClient(sc *shardClient) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.members = append(c.members, sc)
+	c.bumpEpochLocked()
+	if g := c.met.shardLag(sc.addr); g != nil {
+		g.Set(sc.lagNanos())
+	}
+}
+
+// bumpEpochLocked advances the shard-map epoch after a membership change
+// and pushes the new map to whoever subscribed with OnShardMap.
+func (c *Coordinator) bumpEpochLocked() {
+	c.epoch++
+	c.rebalances++
+	if c.met != nil {
+		c.met.rebalances.Inc()
+	}
+	c.met.setMembership(len(c.members), c.epoch)
+	if c.onMap != nil {
+		c.onMap(c.shardMapLocked())
+	}
+}
+
+func (c *Coordinator) shardMapLocked() transport.ShardMap {
+	m := transport.ShardMap{Epoch: c.epoch}
+	for _, sc := range c.members {
+		m.Addrs = append(m.Addrs, sc.addr)
+	}
+	return m
+}
+
+// ShardMap returns the current epoch-numbered membership.
+func (c *Coordinator) ShardMap() transport.ShardMap {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shardMapLocked()
+}
+
+// OnShardMap registers the push hook for membership changes and fires it
+// once with the current map. The hook runs with the coordinator locked:
+// it must hand the map off (enqueue, send) without calling back in.
+func (c *Coordinator) OnShardMap(fn func(transport.ShardMap)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.onMap = fn
+	if fn != nil {
+		fn(c.shardMapLocked())
+	}
+}
+
+// QueryEpoch reports the shard-map epoch a running query is pinned to,
+// for stamping HostQuery.ShardEpoch at registration fan-out.
+func (c *Coordinator) QueryEpoch(id uint64) (uint32, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cq, ok := c.queries[id]
+	if !ok {
+		return 0, false
+	}
+	return cq.epoch, true
+}
+
+// removeDownLocked drops dead shards from the membership (their pinned
+// queries keep their clients and degrade; only new queries see the
+// shrunken map) and bumps the epoch if anything changed.
+func (c *Coordinator) removeDownLocked() {
+	kept := c.members[:0]
+	changed := false
+	for _, sc := range c.members {
+		if sc.isDown() {
+			changed = true
+			c.met.dropShard(sc.addr)
+			sc.close()
+			continue
+		}
+		kept = append(kept, sc)
+	}
+	c.members = kept
+	if changed {
+		c.bumpEpochLocked()
+	}
+}
+
+// StartQuery implements central.Executor: compile, pin the current shard
+// list and epoch, then install the query on every pinned shard (rolling
+// back on failure). The plan must carry its source text — shards
+// re-analyze it against their own catalogs.
+func (c *Coordinator) StartQuery(p central.Plan, emit central.EmitFunc) error {
+	if emit == nil {
+		return fmt.Errorf("coord: nil emit")
+	}
+	qr, err := central.CompileQuery(p)
+	if err != nil {
+		return err
+	}
+	plan := qr.Plan()
+	if plan.Text == "" {
+		return fmt.Errorf("coord: plan for query %d has no source text (required to distribute to shards)", plan.QueryID)
+	}
+
+	c.mu.Lock()
+	if len(c.members) == 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("coord: no shards joined")
+	}
+	if _, dup := c.queries[plan.QueryID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("central: query %d already active", plan.QueryID)
+	}
+	cq := &coordQuery{
+		qr: qr, emit: emit,
+		epoch:      c.epoch,
+		shards:     append([]*shardClient(nil), c.members...),
+		streams:    liveness.NewTable(c.opt.LeaseTTL),
+		pending:    make(map[int64]*central.PartialWindow),
+		routeDrops: make(map[liveness.Key]uint64),
+	}
+	cq.shardLate = make([]uint64, len(cq.shards))
+	cq.shardOverflow = make([]uint64, len(cq.shards))
+	if plan.Replay > 0 {
+		cq.replayHold = true
+		cq.replayDeadline = c.opt.Clock().UnixNano() + 2*int64(c.opt.LeaseTTL)
+	}
+	c.queries[plan.QueryID] = cq
+	c.mu.Unlock()
+
+	msg := ShardStartFromPlan(plan)
+	for i, sc := range cq.shards {
+		if err := sc.start(msg); err != nil {
+			for j := 0; j < i; j++ {
+				cq.shards[j].stop(plan.QueryID)
+			}
+			c.mu.Lock()
+			delete(c.queries, plan.QueryID)
+			c.mu.Unlock()
+			return err
+		}
+	}
+	return nil
+}
+
+// HandleManifest folds one routed batch's manifest into the query's
+// stream, watermark and window state — the distributed twin of
+// ShardedEngine.HandleBatch, minus the fan-out the router already did.
+func (c *Coordinator) HandleManifest(m transport.BatchManifest) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cq, ok := c.queries[m.QueryID]
+	if !ok {
+		return
+	}
+	if int(m.TypeIdx) >= len(cq.qr.Plan().Types) {
+		return
+	}
+	c.manifestLocked(cq, m)
+}
+
+func (c *Coordinator) manifestLocked(cq *coordQuery, m transport.BatchManifest) {
+	nowN := c.opt.Clock().UnixNano()
+	st, _ := cq.streams.Touch(
+		liveness.Key{Host: m.HostID, TypeIdx: m.TypeIdx},
+		nowN,
+	)
+	st.Matched = max(st.Matched, m.MatchedTotal)
+	st.Sampled = max(st.Sampled, m.SampledTotal)
+	st.Drops = max(st.Drops, m.QueueDrops)
+	st.FoldGovernor(m.EffRate, m.BudgetShed, m.CPUNs, m.ShipBytes)
+	cq.streams.FoldReplay(st, m.ReplayEpoch, m.ReplayDone)
+	if c.met != nil {
+		c.met.manifests.Inc()
+		c.met.tuples.Add(m.RawTuples)
+	}
+	wasHolding := cq.replayHold
+	holding := central.ReplayHolding(&cq.replayHold, cq.replayDeadline, cq.streams, nowN)
+	released := wasHolding && !holding
+	// The manifest's drop counters are cumulative, so the max-fold is
+	// order-insensitive — late or duplicated manifests cannot regress them.
+	for i := 0; i < len(cq.shards) && i < len(m.ShardLate); i++ {
+		cq.shardLate[i] = max(cq.shardLate[i], m.ShardLate[i])
+	}
+	for i := 0; i < len(cq.shards) && i < len(m.ShardOverflow); i++ {
+		cq.shardOverflow[i] = max(cq.shardOverflow[i], m.ShardOverflow[i])
+	}
+	// Mirror the engines: a tuple-free batch is worth processing only when
+	// its ReplayDone marker just released the replay hold.
+	if m.RawTuples == 0 && !released {
+		return
+	}
+	st.LateDrops += m.LateDelta
+	if m.HasTs {
+		st.ObserveTs(m.MaxTs)
+	}
+	if !holding && (m.HasTs || released) {
+		if wm, wok := cq.streams.Watermark(); wok {
+			bound := wm - int64(cq.qr.Plan().Lateness)
+			c.collectLocked(m.QueryID, cq, bound)
+			c.flushLocked(cq, bound)
+		}
+	}
+}
+
+// HandleBatch implements central.Executor for hosts that predate shard
+// maps: the coordinator routes the whole batch itself, then processes the
+// resulting manifest as if a host-side router had sent it.
+func (c *Coordinator) HandleBatch(b transport.TupleBatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cq, ok := c.queries[b.QueryID]
+	if !ok {
+		return
+	}
+	if int(b.TypeIdx) >= len(cq.qr.Plan().Types) {
+		return
+	}
+	key := liveness.Key{Host: b.HostID, TypeIdx: b.TypeIdx}
+	cum := cq.routeDrops[key]
+	m := routeToShards(b, cq.shards, &cum)
+	cq.routeDrops[key] = cum
+	c.manifestLocked(cq, m)
+}
+
+// Tick implements central.Executor: sweep dead shards out of the
+// membership, then run the same per-query expiry/hold/close sequence as
+// ShardedEngine.Tick, with collect barriers over the pinned shards.
+func (c *Coordinator) Tick(nowNanos int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.removeDownLocked()
+	leaseNow := c.opt.Clock().UnixNano()
+	for id, cq := range c.queries {
+		evicted := cq.streams.Expire(leaseNow)
+		wasHolding := cq.replayHold
+		if central.ReplayHolding(&cq.replayHold, cq.replayDeadline, cq.streams, leaseNow) {
+			continue
+		}
+		released := wasHolding && !cq.replayHold
+		if len(evicted) > 0 || released {
+			if wm, ok := cq.streams.Watermark(); ok {
+				b := wm - int64(cq.qr.Plan().Lateness)
+				c.collectLocked(id, cq, b)
+				c.flushLocked(cq, b)
+			}
+		}
+		bound := nowNanos - int64(cq.qr.Plan().Lateness)
+		c.collectLocked(id, cq, bound)
+		c.flushLocked(cq, bound)
+	}
+	if c.met != nil {
+		for _, sc := range c.members {
+			if g := c.met.shardLag(sc.addr); g != nil {
+				g.Set(sc.lagNanos())
+			}
+		}
+	}
+}
+
+// collectLocked is the close barrier: every live pinned shard is asked
+// for windows ending at or before bound, in ascending shard order, and
+// the partials are merged into the pending set. The responses also carry
+// the shards' cumulative drop counters, refreshing the cache emits read.
+func (c *Coordinator) collectLocked(id uint64, cq *coordQuery, bound int64) {
+	for i, sc := range cq.shards {
+		if sc.isDown() {
+			cq.topoDegraded = true
+			continue
+		}
+		sp, err := sc.collect(id, bound)
+		if err != nil {
+			cq.topoDegraded = true
+			continue
+		}
+		if !sp.Found {
+			continue
+		}
+		cq.shardLate[i] = max(cq.shardLate[i], sp.Late)
+		cq.shardOverflow[i] = max(cq.shardOverflow[i], sp.Overflow)
+		c.mergePartialsLocked(cq, sp.Partials)
+	}
+}
+
+func (c *Coordinator) mergePartialsLocked(cq *coordQuery, partials []transport.WindowPartial) {
+	for _, wp := range partials {
+		pw, err := cq.qr.DecodePartial(wp.Data)
+		if err != nil {
+			// Undecodable state is lost state: flag the query rather than
+			// emit a silently incomplete window.
+			cq.topoDegraded = true
+			continue
+		}
+		if dst, ok := cq.pending[wp.Start]; ok {
+			cq.mergeDrops += cq.qr.Merge(dst, pw)
+			c.merges++
+			if c.met != nil {
+				c.met.merges.Inc()
+			}
+		} else {
+			cq.pending[wp.Start] = pw
+		}
+	}
+}
+
+// flushLocked renders and emits pending windows ending at or before
+// bound, in start order (same as ShardedEngine.flushLocked).
+func (c *Coordinator) flushLocked(cq *coordQuery, bound int64) {
+	var starts []int64
+	winSize := int64(cq.qr.Plan().Window)
+	for start := range cq.pending {
+		if start+winSize <= bound {
+			starts = append(starts, start)
+		}
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+	for _, start := range starts {
+		c.emitLocked(cq, start, cq.pending[start])
+		delete(cq.pending, start)
+	}
+}
+
+func (c *Coordinator) emitLocked(cq *coordQuery, start int64, pw *central.PartialWindow) {
+	plan := cq.qr.Plan()
+	rw := cq.qr.Render(start, pw, cq.streams.RatesByHost(plan.SampleEvents))
+	hostDrops := cq.streams.HostDrops()
+	lateDrops := cq.mergeDrops + cq.stoppedShardDrops
+	for i := range cq.shards {
+		lateDrops += cq.shardLate[i] + cq.shardOverflow[i]
+	}
+	rw.Stats.HostDrops = hostDrops
+	rw.Stats.LateDrops = lateDrops
+	rw.Degraded = cq.streams.AnyEvicted() || cq.topoDegraded
+	rw.BudgetShed = cq.streams.AnyShed()
+	rw.Streams = cq.streams.Snapshot()
+	if rw.Degraded {
+		cq.stats.DegradedWindows++
+	}
+	if rw.BudgetShed {
+		cq.stats.ShedWindows++
+	}
+	cq.stats.Windows++
+	cq.stats.Rows += uint64(len(rw.Rows))
+	cq.stats.TuplesIn += pw.Tuples()
+	cq.stats.HostDrops = hostDrops
+	cq.stats.LateDrops = lateDrops
+	cq.emit(rw)
+}
+
+// StopQuery implements central.Executor: drain every pinned shard, merge
+// and emit the remainder, return the final stats. Dead shards contribute
+// their last-known drop totals — their window state is gone, which the
+// Degraded flag on earlier windows already reported.
+func (c *Coordinator) StopQuery(id uint64) (transport.QueryStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cq, ok := c.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	var lateDrops uint64
+	for i, sc := range cq.shards {
+		if sc.isDown() {
+			cq.topoDegraded = true
+			lateDrops += cq.shardLate[i] + cq.shardOverflow[i]
+			continue
+		}
+		sp, err := sc.stop(id)
+		if err != nil {
+			cq.topoDegraded = true
+			lateDrops += cq.shardLate[i] + cq.shardOverflow[i]
+			continue
+		}
+		if !sp.Found {
+			continue
+		}
+		lateDrops += sp.Late + sp.Overflow
+		c.mergePartialsLocked(cq, sp.Partials)
+	}
+	cq.stoppedShardDrops = lateDrops
+	// Cached counters must not double-count on top of the drained totals.
+	for i := range cq.shards {
+		cq.shardLate[i], cq.shardOverflow[i] = 0, 0
+	}
+	c.flushLocked(cq, int64(1)<<62-1)
+	cq.stats.LateDrops = lateDrops + cq.mergeDrops
+	cq.stats.HostDrops = cq.streams.HostDrops()
+	delete(c.queries, id)
+	return cq.stats, true
+}
+
+// Stats implements central.Executor: like ShardedEngine.Stats, TuplesIn
+// so far is what the shards have absorbed, polled over RPC.
+func (c *Coordinator) Stats(id uint64) (transport.QueryStats, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cq, ok := c.queries[id]
+	if !ok {
+		return transport.QueryStats{}, false
+	}
+	st := cq.stats
+	var tuples uint64
+	for _, sc := range cq.shards {
+		if sc.isDown() {
+			continue
+		}
+		if sr, err := sc.stats(id); err == nil && sr.Found {
+			tuples += sr.TuplesIn
+		}
+	}
+	if tuples > st.TuplesIn {
+		st.TuplesIn = tuples
+	}
+	return st, true
+}
+
+// ActiveQueries implements central.Executor.
+func (c *Coordinator) ActiveQueries() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]uint64, 0, len(c.queries))
+	for id := range c.queries {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Status reports the fabric's operational view for scrubql -stats: the
+// epoch, merge and rebalance totals, and one row per member shard.
+func (c *Coordinator) Status() transport.ShardStatusList {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sl := transport.ShardStatusList{
+		Epoch:      c.epoch,
+		Merges:     c.merges,
+		Rebalances: c.rebalances,
+	}
+	for _, cq := range c.queries {
+		for _, s := range cq.streams.Snapshot() {
+			if s.Evicted {
+				sl.EvictedStreams++
+			}
+		}
+	}
+	for i, sc := range c.members {
+		row := transport.ShardStatus{
+			Index:    uint32(i),
+			Addr:     sc.addr,
+			Down:     sc.isDown(),
+			LagNanos: sc.lagNanos(),
+		}
+		if !row.Down {
+			if sr, err := sc.stats(0); err == nil {
+				row.ActiveQueries = sr.ActiveQueries
+				row.TuplesIn = sr.TuplesIn
+				row.LagNanos = sc.lagNanos()
+			} else {
+				row.Down = true
+			}
+		}
+		if g := c.met.shardLag(sc.addr); g != nil {
+			g.Set(row.LagNanos)
+		}
+		sl.Shards = append(sl.Shards, row)
+	}
+	return sl
+}
+
+// ServeConn answers a data-plane connection carrying manifests and
+// control asks from a host-side router or the query server's hub.
+func (c *Coordinator) ServeConn(conn *transport.Conn) {
+	defer conn.Close()
+	for {
+		m, err := conn.Recv()
+		if err != nil {
+			return
+		}
+		var resp transport.Message
+		switch t := m.(type) {
+		case transport.BatchManifest:
+			c.HandleManifest(t)
+			resp = transport.ManifestAck{Seq: t.Seq}
+		case transport.ShardStatusReq:
+			resp = c.Status()
+		case transport.ShardHello:
+			// Best effort: a failed dial leaves the shard out of the map.
+			c.HandleHello(t)
+			continue
+		case transport.Ping:
+			resp = transport.Pong{Nonce: t.Nonce}
+		default:
+			continue
+		}
+		if err := conn.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close tears down every shard connection. Queries are not drained.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sc := range c.members {
+		sc.close()
+	}
+	for _, cq := range c.queries {
+		for _, sc := range cq.shards {
+			sc.close()
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package coord
+
+import (
+	"fmt"
+	"sync"
+
+	"scrub/internal/transport"
+)
+
+// ManifestFunc delivers one routed batch's manifest to the coordinator.
+// It must be synchronous: the router only calls it after every shard ack
+// for the batch arrived, and the coordinator relies on that ordering
+// (shard state for a batch is applied before its manifest is processed).
+type ManifestFunc func(transport.BatchManifest) error
+
+// NewManifestClient wraps a connection to the coordinator's data plane
+// into a ManifestFunc doing synchronous BatchManifest → ManifestAck
+// round-trips. Safe for concurrent use.
+func NewManifestClient(conn *transport.Conn) ManifestFunc {
+	mc := newShardClient(conn, "coordinator")
+	return func(m transport.BatchManifest) error {
+		resp, seq, err := mc.do(func(s uint64) transport.Message { m.Seq = s; return m })
+		if err != nil {
+			return err
+		}
+		ack, ok := resp.(transport.ManifestAck)
+		if !ok || ack.Seq != seq {
+			return mc.seqErr(resp)
+		}
+		return nil
+	}
+}
+
+// routeKey identifies one (query, host, type) stream for cumulative
+// route-failure accounting.
+type routeKey struct {
+	query   uint64
+	host    string
+	typeIdx uint8
+}
+
+// Router is the host-side half of the shard fabric: a host.Sink that
+// splits every tuple batch across the shards of the query's pinned
+// epoch by request-id modulo shard count, collects the synchronous
+// shard acks, and reports the folded manifest to the coordinator.
+//
+// Tuples that cannot reach their shard (dead shard, send failure) fold
+// into the stream's cumulative drop counter and ride the manifest's
+// QueueDrops field — same wire contract as host-side queue drops, so
+// the coordinator needs no extra failure channel.
+type Router struct {
+	manifest ManifestFunc
+	// fallback receives whole batches for queries with no epoch pin
+	// (ShardEpoch 0: a single-process central). Nil means such batches
+	// error out — a shard-fabric-only deployment.
+	fallback func(transport.TupleBatch) error
+
+	mu      sync.Mutex
+	maps    map[uint32][]string // epoch -> shard addresses
+	pins    map[uint64]uint32   // query -> pinned epoch
+	clients map[string]*shardClient
+	drops   map[routeKey]uint64
+}
+
+// NewRouter creates a router reporting manifests through manifest.
+// fallback (optional) handles batches for unpinned queries.
+func NewRouter(manifest ManifestFunc, fallback func(transport.TupleBatch) error) *Router {
+	return &Router{
+		manifest: manifest,
+		fallback: fallback,
+		maps:     make(map[uint32][]string),
+		pins:     make(map[uint64]uint32),
+		clients:  make(map[string]*shardClient),
+		drops:    make(map[routeKey]uint64),
+	}
+}
+
+// SetMap installs one epoch's shard membership (from a ShardMap push).
+// Old epochs stay resolvable: queries pinned to them outlive the change.
+func (r *Router) SetMap(epoch uint32, addrs []string) {
+	if epoch == 0 {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.maps[epoch] = append([]string(nil), addrs...)
+}
+
+// HandleShardMap is SetMap for a received push message.
+func (r *Router) HandleShardMap(m transport.ShardMap) { r.SetMap(m.Epoch, m.Addrs) }
+
+// PinQuery pins a query's routing to a shard-map epoch (from
+// HostQuery.ShardEpoch). Epoch 0 means unpinned: the fallback sink
+// handles the query's batches whole.
+func (r *Router) PinQuery(id uint64, epoch uint32) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if epoch == 0 {
+		delete(r.pins, id)
+		return
+	}
+	r.pins[id] = epoch
+}
+
+// UnpinQuery forgets a stopped query's pin and drop counters.
+func (r *Router) UnpinQuery(id uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.pins, id)
+	for k := range r.drops {
+		if k.query == id {
+			delete(r.drops, k)
+		}
+	}
+}
+
+// AddShardConn installs an established connection (pipes, tests) as the
+// client for addr, instead of dialing on first use.
+func (r *Router) AddShardConn(addr string, conn *transport.Conn) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.clients[addr] = newShardClient(conn, addr)
+}
+
+// clientFor returns (dialing if needed) the client for a shard address.
+// A down client stays down — re-dial policy belongs to membership
+// changes (a recovered shard rejoins under a new epoch), not the data
+// path.
+func (r *Router) clientFor(addr string) *shardClient {
+	r.mu.Lock()
+	sc, ok := r.clients[addr]
+	r.mu.Unlock()
+	if ok {
+		return sc
+	}
+	sc, err := dialShard(addr)
+	if err != nil {
+		sc = &shardClient{addr: addr}
+		sc.down.Store(true)
+	}
+	r.mu.Lock()
+	if cur, ok := r.clients[addr]; ok {
+		r.mu.Unlock()
+		sc.close()
+		return cur
+	}
+	r.clients[addr] = sc
+	r.mu.Unlock()
+	return sc
+}
+
+// Close tears down every shard connection.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, sc := range r.clients {
+		sc.close()
+	}
+}
+
+// SendBatch implements host.Sink: split by request id over the pinned
+// epoch's shards, apply synchronously, fold the acks, report the
+// manifest. The sub-batches alias the caller's pooled tuple memory, but
+// every send completes (encoding copies the bytes) before return.
+func (r *Router) SendBatch(b transport.TupleBatch) error {
+	r.mu.Lock()
+	epoch, pinned := r.pins[b.QueryID]
+	addrs := r.maps[epoch]
+	r.mu.Unlock()
+	if !pinned {
+		if r.fallback != nil {
+			return r.fallback(b)
+		}
+		return fmt.Errorf("coord: query %d has no shard-epoch pin and no fallback sink", b.QueryID)
+	}
+	if len(addrs) == 0 {
+		return fmt.Errorf("coord: no shard map for epoch %d", epoch)
+	}
+	clients := make([]*shardClient, len(addrs))
+	for i, addr := range addrs {
+		clients[i] = r.clientFor(addr)
+	}
+	key := routeKey{query: b.QueryID, host: b.HostID, typeIdx: b.TypeIdx}
+	r.mu.Lock()
+	cum := r.drops[key]
+	r.mu.Unlock()
+	m := routeToShards(b, clients, &cum)
+	r.mu.Lock()
+	r.drops[key] = cum
+	r.mu.Unlock()
+	return r.manifest(m)
+}
+
+// routeToShards fans one batch out across the shard clients by
+// request-id modulo shard count and folds the acks into a manifest.
+//
+// Unlike ShardedEngine.HandleBatch, no span filter runs here: the shard
+// applies the identical filter itself (Engine.ApplyDriven), and its acks
+// report HasTs/MaxTs over in-span tuples only — so the folded manifest
+// carries exactly what the in-process merger would have observed, while
+// the router stays plan-free. cumDrops accumulates tuples that could not
+// reach a live shard; the manifest's QueueDrops carries the sum of the
+// host's own drops and the routing failures.
+func routeToShards(b transport.TupleBatch, clients []*shardClient, cumDrops *uint64) transport.BatchManifest {
+	m := transport.BatchManifest{
+		QueryID:       b.QueryID,
+		HostID:        b.HostID,
+		TypeIdx:       b.TypeIdx,
+		RawTuples:     uint64(len(b.Tuples)),
+		ShardLate:     make([]uint64, len(clients)),
+		ShardOverflow: make([]uint64, len(clients)),
+		MatchedTotal:  b.MatchedTotal,
+		SampledTotal:  b.SampledTotal,
+		EffRate:       b.EffRate,
+		BudgetShed:    b.BudgetShed,
+		CPUNs:         b.CPUNs,
+		ShipBytes:     b.ShipBytes,
+		ReplayEpoch:   b.ReplayEpoch,
+		ReplayDone:    b.ReplayDone,
+	}
+	n := uint64(len(clients))
+	sub := make([][]transport.Tuple, len(clients))
+	for _, t := range b.Tuples {
+		i := int(t.RequestID % n)
+		// Sub-batches alias the caller's pooled tuple memory only within
+		// this call: each send below encodes synchronously before return.
+		//scrub:allowretain(synchronous fan-out; sends encode before routeToShards returns)
+		sub[i] = append(sub[i], t)
+	}
+	for i, tuples := range sub {
+		if len(tuples) == 0 {
+			continue
+		}
+		sc := clients[i]
+		if sc == nil || sc.isDown() {
+			*cumDrops += uint64(len(tuples))
+			continue
+		}
+		ack, err := sc.apply(transport.ShardSubBatch{
+			QueryID: b.QueryID, HostID: b.HostID, TypeIdx: b.TypeIdx,
+			Tuples: tuples,
+		})
+		if err != nil {
+			*cumDrops += uint64(len(tuples))
+			continue
+		}
+		if !ack.Known {
+			continue
+		}
+		if ack.HasTs && (!m.HasTs || ack.MaxTs > m.MaxTs) {
+			m.MaxTs = ack.MaxTs
+		}
+		m.HasTs = m.HasTs || ack.HasTs
+		m.LateDelta += ack.LateDelta
+		m.ShardLate[i] = ack.Late
+		m.ShardOverflow[i] = ack.Overflow
+	}
+	m.QueueDrops = b.QueueDrops + *cumDrops
+	return m
+}

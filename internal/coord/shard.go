@@ -1,0 +1,186 @@
+package coord
+
+import (
+	"fmt"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/event"
+	"scrub/internal/ql"
+	"scrub/internal/transport"
+)
+
+// ShardNode is one shard process's serving side: a driven central.Engine
+// behind a per-connection RPC loop. Windows never close here — the
+// coordinator's collect barriers are the only close authority — so a
+// shard holds state, absorbs sub-batches, and answers collect/stop/stats.
+type ShardNode struct {
+	eng *central.Engine
+	cat *event.Catalog
+}
+
+// NewShardNode creates a shard node over cat. The engine never registers
+// metrics of its own: ingest accounting lives at the coordinator, which
+// is the only component that sees whole batches.
+func NewShardNode(cat *event.Catalog) *ShardNode {
+	return &ShardNode{eng: central.NewEngine(), cat: cat}
+}
+
+// Engine exposes the underlying driven engine (tests).
+func (n *ShardNode) Engine() *central.Engine { return n.eng }
+
+// Serve accepts connections until the listener closes. Each connection
+// gets its own RPC loop; the engine serializes internally.
+func (n *ShardNode) Serve(l *transport.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go n.ServeConn(c)
+	}
+}
+
+// ServeConn answers RPCs on one connection until it fails or closes.
+func (n *ShardNode) ServeConn(c *transport.Conn) {
+	defer c.Close()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		var resp transport.Message
+		switch t := m.(type) {
+		case transport.ShardStart:
+			resp = n.handleStart(t)
+		case transport.ShardSubBatch:
+			ack, known := n.eng.ApplyDriven(transport.TupleBatch{
+				QueryID: t.QueryID, HostID: t.HostID, TypeIdx: t.TypeIdx,
+				Tuples: t.Tuples,
+			})
+			resp = transport.ShardBatchAck{
+				Seq: t.Seq, Known: known,
+				HasTs: ack.HasTs, MaxTs: ack.MaxTs,
+				LateDelta: ack.LateDelta, Late: ack.Late, Overflow: ack.Overflow,
+			}
+		case transport.ShardCollectReq:
+			partials, late, overflow, found := n.eng.CollectDriven(t.QueryID, t.Bound)
+			resp = transport.ShardPartials{
+				Seq: t.Seq, Found: found, Partials: toWirePartials(partials),
+				Late: late, Overflow: overflow,
+			}
+		case transport.ShardStopReq:
+			partials, drops, found := n.eng.DrainDriven(t.QueryID)
+			resp = transport.ShardPartials{
+				Seq: t.Seq, Found: found, Partials: toWirePartials(partials),
+				Late: drops,
+			}
+		case transport.ShardStatsReq:
+			resp = n.handleStats(t)
+		case transport.Ping:
+			resp = transport.Pong{Nonce: t.Nonce}
+		default:
+			// Unknown messages are ignored rather than answered: replying
+			// out of band would desynchronize the caller's sequence.
+			continue
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleStart re-analyzes the query text against the shard's own catalog
+// and overlays the deployment facts the coordinator resolved, then
+// installs the query in driven mode. Re-analysis (rather than shipping a
+// compiled plan) keeps the wire format free of expression trees; the
+// differential oracle holds both analyses to identical semantics.
+func (n *ShardNode) handleStart(t transport.ShardStart) transport.ShardAck {
+	cp, err := PlanFromShardStart(t, n.cat)
+	if err != nil {
+		return transport.ShardAck{Seq: t.Seq, Err: err.Error()}
+	}
+	if err := n.eng.StartDriven(cp); err != nil {
+		return transport.ShardAck{Seq: t.Seq, Err: err.Error()}
+	}
+	return transport.ShardAck{Seq: t.Seq}
+}
+
+func (n *ShardNode) handleStats(t transport.ShardStatsReq) transport.ShardStatsResp {
+	resp := transport.ShardStatsResp{
+		Seq:           t.Seq,
+		ActiveQueries: uint32(len(n.eng.ActiveQueries())),
+	}
+	if t.QueryID != 0 {
+		st, found := n.eng.Stats(t.QueryID)
+		resp.Found = found
+		resp.TuplesIn = st.TuplesIn
+	} else {
+		// QueryID 0 asks for the node view (coordinator Status rows):
+		// tuples across every active query.
+		resp.Found = true
+		for _, id := range n.eng.ActiveQueries() {
+			if st, ok := n.eng.Stats(id); ok {
+				resp.TuplesIn += st.TuplesIn
+			}
+		}
+	}
+	return resp
+}
+
+// PlanFromShardStart rebuilds the central plan a ShardStart describes:
+// parse and analyze the text, then apply the coordinator's resolved
+// values verbatim — they are post-defaults, so every override is
+// unconditional and the shard plan matches the coordinator's bit for bit.
+func PlanFromShardStart(t transport.ShardStart, cat *event.Catalog) (central.Plan, error) {
+	q, err := ql.Parse(t.Text)
+	if err != nil {
+		return central.Plan{}, fmt.Errorf("coord: shard parse: %w", err)
+	}
+	plan, err := ql.Analyze(q, cat)
+	if err != nil {
+		return central.Plan{}, fmt.Errorf("coord: shard analyze: %w", err)
+	}
+	cp := central.FromPlan(plan, t.QueryID, t.StartNanos, t.EndNanos,
+		int(t.TotalHosts), int(t.SampledHosts))
+	cp.Text = t.Text
+	cp.Replay = time.Duration(t.ReplayNanos)
+	cp.SampleEvents = t.SampleEvents
+	cp.Confidence = t.Confidence
+	cp.MaxRawRows = int(t.MaxRawRows)
+	cp.MaxJoinPending = int(t.MaxJoinPending)
+	cp.BudgetCPUPct = t.BudgetCPUPct
+	cp.BudgetBytesPerSec = t.BudgetBytesPerSec
+	return cp, nil
+}
+
+// ShardStartFromPlan is the inverse mapping, built from a post-defaults
+// plan at the coordinator.
+func ShardStartFromPlan(p *central.Plan) transport.ShardStart {
+	return transport.ShardStart{
+		QueryID:           p.QueryID,
+		Text:              p.Text,
+		StartNanos:        p.StartNanos,
+		EndNanos:          p.EndNanos,
+		ReplayNanos:       int64(p.Replay),
+		TotalHosts:        uint32(p.TotalHosts),
+		SampledHosts:      uint32(p.SampledHosts),
+		SampleEvents:      p.SampleEvents,
+		Confidence:        p.Confidence,
+		MaxRawRows:        uint32(p.MaxRawRows),
+		MaxJoinPending:    uint32(p.MaxJoinPending),
+		BudgetCPUPct:      p.BudgetCPUPct,
+		BudgetBytesPerSec: p.BudgetBytesPerSec,
+	}
+}
+
+func toWirePartials(ps []central.EncodedPartial) []transport.WindowPartial {
+	if len(ps) == 0 {
+		return nil
+	}
+	out := make([]transport.WindowPartial, len(ps))
+	for i, p := range ps {
+		out[i] = transport.WindowPartial{Start: p.Start, End: p.End, Data: p.Data}
+	}
+	return out
+}

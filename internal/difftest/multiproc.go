@@ -1,0 +1,72 @@
+package difftest
+
+import (
+	"fmt"
+
+	"scrub/internal/central"
+	"scrub/internal/coord"
+	"scrub/internal/event"
+	"scrub/internal/transport"
+)
+
+// pipeTopology stands up a real multi-process ScrubCentral in miniature:
+// a coordinator, n shard nodes and a host-side router, every hop over the
+// in-memory pipe transport through the full wire codec. The differential
+// sweep drives it as a third executor next to Engine and ShardedEngine —
+// the distributed fabric must be bit-identical to both.
+//
+// net.Pipe is fully synchronous, so every RPC round-trip is a
+// happens-before edge: the single-threaded harness observes the same
+// strict batch → shard-apply → manifest → close ordering a production
+// deployment gets from the router's synchronous ack protocol.
+type pipeTopology struct {
+	coord  *coord.Coordinator
+	router *coord.Router
+	mconn  *transport.Conn
+}
+
+// newPipeTopology builds a coordinator + shards fabric. Each shard node
+// analyzes query text against its own catalog instance, exactly like a
+// separate process would.
+func newPipeTopology(shards int, opts central.Options, cat func() *event.Catalog) *pipeTopology {
+	t := &pipeTopology{coord: coord.NewCoordinator(opts)}
+	mc, ms := transport.Pipe()
+	t.mconn = mc
+	go t.coord.ServeConn(ms)
+	t.router = coord.NewRouter(coord.NewManifestClient(mc), nil)
+	for i := 0; i < shards; i++ {
+		node := coord.NewShardNode(cat())
+		addr := fmt.Sprintf("shard-%d", i)
+		cc, cs := transport.Pipe()
+		go node.ServeConn(cs)
+		t.coord.AddShardConn(cc, addr)
+		rc, rs := transport.Pipe()
+		go node.ServeConn(rs)
+		t.router.AddShardConn(addr, rc)
+	}
+	return t
+}
+
+// start registers the query on the coordinator and pins the router's
+// routing to the query's shard-map epoch, the way a host agent would on
+// receiving the HostQuery fan-out.
+func (t *pipeTopology) start(p central.Plan, emit central.EmitFunc) error {
+	if err := t.coord.StartQuery(p, emit); err != nil {
+		return err
+	}
+	epoch, ok := t.coord.QueryEpoch(p.QueryID)
+	if !ok {
+		return fmt.Errorf("difftest: query %d vanished after StartQuery", p.QueryID)
+	}
+	t.router.HandleShardMap(t.coord.ShardMap())
+	t.router.PinQuery(p.QueryID, epoch)
+	return nil
+}
+
+// close tears down every connection; the per-connection serve loops exit
+// on their next Recv.
+func (t *pipeTopology) close() {
+	t.router.Close()
+	t.coord.Close()
+	t.mconn.Close()
+}

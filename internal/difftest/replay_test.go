@@ -187,6 +187,39 @@ func runReplayArm(t *testing.T, queryText string, events []*event.Event, base in
 	if !ok {
 		t.Fatal("StopQuery missed")
 	}
+
+	// Distributed cross-check: the same shipped batches through a
+	// coordinator + 2-shard pipe topology must match the engine bit for
+	// bit — including the replay arm, where the hold settles across
+	// shards via the manifests' ReplayDone markers.
+	topo := newPipeTopology(2, central.Options{}, replayCatalog)
+	defer topo.close()
+	cpMP := cp
+	cpMP.Text = queryText
+	mp := &collector{name: "replay-multi"}
+	if err := topo.start(cpMP, mp.emit); err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range sink.all() {
+		if err := topo.router.SendBatch(transport.CloneBatch(b)); err != nil {
+			t.Fatalf("multiproc routing: %v", err)
+		}
+	}
+	mpStats, ok := topo.coord.StopQuery(1)
+	if !ok {
+		t.Fatal("multiproc StopQuery missed")
+	}
+	// compareWindowLists, not compareReplayWindows: shard merges
+	// re-associate float additions, so cross-executor floats carry the
+	// sweep's 1e-9 relative tolerance (bit-exactness holds within an
+	// executor, which is what the two replay arms assert).
+	if err := compareWindowLists(col.wins, mp.wins, 2); err != nil {
+		t.Errorf("engine vs 2-process topology (before=%v): %v", before, err)
+	}
+	if stats != mpStats {
+		t.Errorf("engine vs 2-process topology stats (before=%v): %+v vs %+v", before, stats, mpStats)
+	}
+
 	return col.wins, stats
 }
 

@@ -377,6 +377,24 @@ func Run(cfg Config) (*Outcome, error) {
 		return out, err
 	}
 
+	// Third executor: the same streams through a real multi-process
+	// topology — coordinator, shard nodes and a host-side router over the
+	// pipe transport, every hop through the wire codec. The process count
+	// maps the in-process shard axis onto the fabric sizes the acceptance
+	// gate pins (N ∈ {2,4}).
+	procs := 2
+	if cfg.Shards >= 4 {
+		procs = 4
+	}
+	topo := newPipeTopology(procs, opts, catalog)
+	defer topo.close()
+	planMP := plan
+	planMP.Text = src
+	cMP := collector{name: "multi"}
+	if err := topo.start(planMP, cMP.emit); err != nil {
+		return out, err
+	}
+
 	// The tick watermark is valid only once EVERY stream that will ever
 	// ship has reported: a minimum over a prefix of the streams runs
 	// ahead of the true watermark, and ticking with it would force-close
@@ -421,6 +439,9 @@ func Run(cfg Config) (*Outcome, error) {
 		}
 		eng.HandleBatch(transport.CloneBatch(b))
 		sh.HandleBatch(transport.CloneBatch(b))
+		if err := topo.router.SendBatch(transport.CloneBatch(b)); err != nil {
+			return out, fmt.Errorf("multiproc routing: %v", err)
+		}
 		if i%7 == 6 {
 			// Exact modes tick at the harness-tracked watermark — never
 			// ahead of what event time has justified, so ticking cannot
@@ -435,6 +456,7 @@ func Run(cfg Config) (*Outcome, error) {
 			}
 			eng.Tick(now)
 			sh.Tick(now)
+			topo.coord.Tick(now)
 		}
 	}
 	if cfg.Mode == modeChaos {
@@ -442,11 +464,14 @@ func Run(cfg Config) (*Outcome, error) {
 		vc.nanos += int64(ttl) + int64(5*time.Second)
 		eng.Tick(vc.nanos)
 		sh.Tick(vc.nanos)
+		topo.coord.Tick(vc.nanos)
 		eng.Tick(vc.nanos)
 		sh.Tick(vc.nanos)
+		topo.coord.Tick(vc.nanos)
 	}
 	engStats, _ := eng.StopQuery(plan.QueryID)
 	shStats, _ := sh.StopQuery(plan.QueryID)
+	mpStats, _ := topo.coord.StopQuery(plan.QueryID)
 
 	ew, sw := cEng.wins, cSh.wins
 	out.Windows = len(ew)
@@ -458,6 +483,15 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	if err := compareStats(engStats, shStats); err != nil {
 		return out, fmt.Errorf("cross-engine stats divergence (Engine vs %d-shard): %v\n  query: %s", cfg.Shards, err, src)
+	}
+
+	// --- contract D': the multi-process topology agrees too ---
+
+	if err := compareWindowLists(ew, cMP.wins, procs); err != nil {
+		return out, fmt.Errorf("cross-engine divergence (Engine vs %d-process topology): %v\n  query: %s", procs, err, src)
+	}
+	if err := compareStats(engStats, mpStats); err != nil {
+		return out, fmt.Errorf("cross-engine stats divergence (Engine vs %d-process topology): %v\n  query: %s", procs, err, src)
 	}
 
 	if cfg.Mode == modeChaos {

@@ -244,6 +244,15 @@ type ControlOptions struct {
 	// Metrics, when non-nil, counts control reconnect attempts
 	// (scrub_host_control_reconnects_total, labeled host=<id>).
 	Metrics *obs.Registry
+	// OnShardMap, when non-nil, receives shard-membership pushes from a
+	// distributed ScrubCentral. Wire it to a coord.Router's HandleShardMap
+	// so the host can split batches across shard processes.
+	OnShardMap func(transport.ShardMap)
+	// OnQueryPin is told each query's shard-epoch pin before the query
+	// starts (so no batch ships unrouted); OnQueryUnpin fires after a
+	// query stops. Wire to Router.PinQuery / Router.UnpinQuery.
+	OnQueryPin   func(queryID uint64, epoch uint32)
+	OnQueryUnpin func(queryID uint64)
 }
 
 func (o *ControlOptions) fillDefaults(hostID string) {
@@ -335,12 +344,24 @@ func (a *Agent) controlSession(ctx context.Context, serverAddr string, opt *Cont
 		}
 		switch m := msg.(type) {
 		case transport.HostQuery:
+			// Pin the routing epoch first: replay shipping may start
+			// pushing batches the moment the query object applies.
+			if opt.OnQueryPin != nil {
+				opt.OnQueryPin(m.QueryID, m.ShardEpoch)
+			}
 			// A rejected query object is reported by doing nothing: the
 			// server sees no data from this host. Catalog skew is logged
 			// via the error return path of Start in embedded setups.
 			_ = a.Start(m)
 		case transport.StopQuery:
 			a.Stop(m.QueryID)
+			if opt.OnQueryUnpin != nil {
+				opt.OnQueryUnpin(m.QueryID)
+			}
+		case transport.ShardMap:
+			if opt.OnShardMap != nil {
+				opt.OnShardMap(m)
+			}
 		case transport.Ping:
 			if err := conn.Send(transport.Pong{Nonce: m.Nonce}); err != nil {
 				return err

@@ -164,5 +164,36 @@ func (c *Client) List() ([]transport.QuerySummary, error) {
 	return ql.Queries, nil
 }
 
+// ShardStatus fetches the server's shard-fabric view: membership epoch,
+// merge counters, and one row per shard process. A single-process
+// deployment answers with an empty list (Epoch 0). Not usable while a
+// query stream is open on this client.
+func (c *Client) ShardStatus() (transport.ShardStatusList, error) {
+	c.mu.Lock()
+	if c.busy {
+		c.mu.Unlock()
+		return transport.ShardStatusList{}, fmt.Errorf("server: client has a running query")
+	}
+	c.busy = true
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.busy = false
+		c.mu.Unlock()
+	}()
+	if err := c.conn.Send(transport.ShardStatusReq{}); err != nil {
+		return transport.ShardStatusList{}, err
+	}
+	msg, err := c.conn.Recv()
+	if err != nil {
+		return transport.ShardStatusList{}, err
+	}
+	sl, ok := msg.(transport.ShardStatusList)
+	if !ok {
+		return transport.ShardStatusList{}, fmt.Errorf("server: unexpected response %s", transport.Name(msg))
+	}
+	return sl, nil
+}
+
 // Close drops the connection; any running query is torn down server-side.
 func (c *Client) Close() error { return c.conn.Close() }

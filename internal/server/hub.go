@@ -154,8 +154,12 @@ func (h *Hub) handleControl(conn *transport.Conn) {
 	srv := h.srv
 	h.mu.Unlock()
 	// A (re)connecting host missed any query objects dispatched while it
-	// was away; re-sync the ones that target it.
+	// was away; re-sync the ones that target it. The shard map goes first:
+	// re-synced queries carry epoch pins the host's router must resolve.
 	if srv != nil {
+		if m, ok := srv.CurrentShardMap(); ok {
+			_ = conn.Send(m)
+		}
 		srv.ResyncHost(reg.HostID)
 	}
 	defer func() {
@@ -202,12 +206,43 @@ func (h *Hub) handleData(conn *transport.Conn) {
 		if err != nil {
 			return
 		}
-		batch, ok := msg.(transport.TupleBatch)
-		if !ok {
+		switch m := msg.(type) {
+		case transport.TupleBatch:
+			srv.HandleBatch(m)
+		case transport.BatchManifest:
+			// A host router's folded batch report; the ack keeps the
+			// router's batch → shard-apply → manifest ordering synchronous.
+			srv.HandleManifest(m)
+			if err := conn.Send(transport.ManifestAck{Seq: m.Seq}); err != nil {
+				return
+			}
+		case transport.ShardHello:
+			if err := srv.HandleShardHello(m); err != nil {
+				h.logf("scrub: shard %s join: %v", m.ShardID, err)
+			}
+		case transport.Ping:
+			if err := conn.Send(transport.Pong{Nonce: m.Nonce}); err != nil {
+				return
+			}
+		default:
 			h.logf("scrub: unexpected data message %s", transport.Name(msg))
 			return
 		}
-		srv.HandleBatch(batch)
+	}
+}
+
+// BroadcastShardMap pushes a membership epoch to every registered host's
+// control connection. Wire it to the coordinator's OnShardMap hook via a
+// goroutine — the hook may fire under the coordinator's lock.
+func (h *Hub) BroadcastShardMap(m transport.ShardMap) {
+	h.mu.Lock()
+	conns := make([]*transport.Conn, 0, len(h.hosts))
+	for _, c := range h.hosts {
+		conns = append(conns, c)
+	}
+	h.mu.Unlock()
+	for _, c := range conns {
+		_ = c.Send(m)
 	}
 }
 
@@ -258,6 +293,8 @@ func (h *Hub) handleClient(conn *transport.Conn) {
 			}
 		case transport.ListQueries:
 			_ = conn.Send(transport.QueryList{Queries: srv.List()})
+		case transport.ShardStatusReq:
+			_ = conn.Send(srv.ShardStatus())
 		case transport.Ping:
 			_ = conn.Send(transport.Pong{Nonce: m.Nonce})
 		default:

@@ -1,0 +1,207 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/cluster"
+	"scrub/internal/coord"
+	"scrub/internal/event"
+	"scrub/internal/host"
+	"scrub/internal/transport"
+)
+
+// TestMultinodeSmoke stands up the full distributed deployment in one
+// test process: a coordinator-backed hub, two shard nodes (one enrolled
+// statically, one joining through the data plane's ShardHello path, the
+// way `scrubcentral -shard -join` does), and three host agents whose
+// routers have NO fallback sink — every tuple that reaches central
+// proves the whole control-plane relay worked: shard map push at
+// registration, epoch pin on HostQuery, request-id routing, shard acks,
+// and manifest folding. `make multinode-smoke` runs it under -race.
+func TestMultinodeSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multinode smoke needs a wall-clock query span")
+	}
+	registry := cluster.NewRegistry()
+	hub, err := NewHub(registry, "127.0.0.1:0", "127.0.0.1:0", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub.SetLogf(func(string, ...any) {})
+	coordEng := coord.NewCoordinator(central.Options{})
+	srv, err := New(Config{
+		Catalog:      testCatalog(),
+		Registry:     registry,
+		Engine:       coordEng,
+		Dispatcher:   hub,
+		TickInterval: 20 * time.Millisecond,
+	})
+	if err != nil {
+		hub.Close()
+		t.Fatal(err)
+	}
+	hub.SetServer(srv)
+	coordEng.OnShardMap(func(m transport.ShardMap) { go hub.BroadcastShardMap(m) })
+	hub.Serve()
+	t.Cleanup(func() {
+		srv.Close()
+		hub.Close()
+	})
+
+	// Shard 1: static enrollment, as -shard-addrs would.
+	shardA := coord.NewShardNode(testCatalog())
+	la, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { la.Close() })
+	go shardA.Serve(la)
+	if err := coordEng.AddShard(la.Addr()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Shard 2: dynamic join over the hub's data plane, as -join would.
+	shardB := coord.NewShardNode(testCatalog())
+	lb, err := transport.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lb.Close() })
+	go shardB.Serve(lb)
+	joinConn := dialT(t, hub.DataAddr())
+	if err := joinConn.Send(transport.DataHello{HostID: "shard:" + lb.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	if err := joinConn.Send(transport.ShardHello{ShardID: lb.Addr(), DataAddr: lb.Addr()}); err != nil {
+		t.Fatal(err)
+	}
+	waitCond(t, "both shards enrolled", func() bool {
+		return len(coordEng.ShardMap().Addrs) == 2
+	})
+
+	// Three host agents: router sink with no fallback — any routing gap
+	// (missing map, missing pin) would surface as host drops, not as
+	// silently correct single-process delivery.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var agents []*host.Agent
+	for i := 0; i < 3; i++ {
+		hostID := fmt.Sprintf("mh-%d", i)
+		mconn := dialT(t, hub.DataAddr())
+		if err := mconn.Send(transport.DataHello{HostID: hostID}); err != nil {
+			t.Fatal(err)
+		}
+		router := coord.NewRouter(coord.NewManifestClient(mconn), nil)
+		t.Cleanup(router.Close)
+		agent, err := host.New(host.Config{
+			HostID: hostID, Service: "BidServers", DC: "DC1",
+			Catalog:       testCatalog(),
+			Sink:          router,
+			FlushInterval: 20 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(agent.Close)
+		agents = append(agents, agent)
+		go func() {
+			_ = agent.RunControlWith(ctx, hub.ControlAddr(), host.ControlOptions{
+				OnShardMap:   router.HandleShardMap,
+				OnQueryPin:   router.PinQuery,
+				OnQueryUnpin: router.UnpinQuery,
+			})
+		}()
+	}
+	waitCond(t, "hosts registered", func() bool { return registry.Len() == 3 })
+
+	client, err := DialClient(hub.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	qs, err := client.Query(`select count(*) from bid window 500ms duration 3s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Event generators: one per host, request ids chosen to land on both
+	// shards. They run until the span expires.
+	var stop atomic.Bool
+	genDone := make(chan struct{})
+	for i, agent := range agents {
+		go func(i int, a *host.Agent) {
+			defer func() { genDone <- struct{}{} }()
+			schema, _ := testCatalog().Lookup("bid")
+			rid := uint64(i * 1_000_000)
+			for !stop.Load() {
+				rid++
+				a.Log(event.NewBuilder(schema).
+					SetRequestID(rid).
+					SetTime(time.Now()).
+					Int("user_id", int64(rid%5)).
+					Float("bid_price", 1.5).
+					MustBuild())
+				time.Sleep(2 * time.Millisecond)
+			}
+		}(i, agent)
+	}
+
+	// Mid-query operational view (the scrubql -stats path): both shards
+	// up, each carrying the query, each receiving its half of the id
+	// space.
+	viewer, err := DialClient(hub.ClientAddr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer viewer.Close()
+	waitCond(t, "both shards ingesting", func() bool {
+		sl, err := viewer.ShardStatus()
+		if err != nil || len(sl.Shards) != 2 {
+			return false
+		}
+		for _, s := range sl.Shards {
+			if s.Down || s.ActiveQueries != 1 || s.TuplesIn == 0 {
+				return false
+			}
+		}
+		return true
+	})
+
+	var total uint64
+	nWins := 0
+	for rw := range qs.Windows {
+		nWins++
+		if len(rw.Rows) == 1 {
+			n, _ := rw.Rows[0][0].AsInt()
+			total += uint64(n)
+		}
+		if rw.Degraded {
+			t.Errorf("window [%d,%d) degraded with all shards up", rw.WindowStart, rw.WindowEnd)
+		}
+	}
+	final, err := qs.Final()
+	stop.Store(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for range agents {
+		<-genDone
+	}
+	if nWins == 0 || final.TuplesIn == 0 {
+		t.Fatalf("no results: windows=%d stats=%+v", nWins, final)
+	}
+	if total != final.TuplesIn {
+		t.Errorf("window counts sum %d != TuplesIn %d", total, final.TuplesIn)
+	}
+	if final.HostDrops != 0 || final.LateDrops != 0 {
+		t.Errorf("lossless run dropped tuples: %+v", final)
+	}
+	if final.DegradedWindows != 0 {
+		t.Errorf("degraded windows with a healthy fabric: %+v", final)
+	}
+}

@@ -31,6 +31,17 @@ type DispatcherFunc func(host string, msg transport.Message) error
 // SendToHost implements Dispatcher.
 func (f DispatcherFunc) SendToHost(host string, msg transport.Message) error { return f(host, msg) }
 
+// shardFabric is the optional surface a distributed coordinator engine
+// (internal/coord) adds on top of central.Executor. The server detects it
+// by interface assertion so single-process deployments need no stubs.
+type shardFabric interface {
+	QueryEpoch(id uint64) (uint32, bool)
+	HandleManifest(m transport.BatchManifest)
+	HandleHello(h transport.ShardHello) error
+	Status() transport.ShardStatusList
+	ShardMap() transport.ShardMap
+}
+
 // Callbacks deliver a query's output to its submitter. Window and Done
 // must be non-nil; they may be called from internal goroutines and must
 // not block for long.
@@ -65,12 +76,13 @@ type Config struct {
 }
 
 type serverQuery struct {
-	info  QueryInfo
-	text  string
-	plan  *ql.Plan
-	cb    Callbacks
-	timer *time.Timer
-	done  bool
+	info       QueryInfo
+	text       string
+	plan       *ql.Plan
+	cb         Callbacks
+	timer      *time.Timer
+	done       bool
+	shardEpoch uint32 // shard-map epoch the query is pinned to; 0 single-process
 }
 
 // Server coordinates query execution. Create with New, stop with Close.
@@ -178,12 +190,20 @@ func (s *Server) Submit(text string, cb Callbacks) (QueryInfo, error) {
 
 	// Install the central query object first so no tuples race past it.
 	cp := central.FromPlan(plan, qid, start.UnixNano(), end.UnixNano(), len(hosts), len(chosen))
+	cp.Text = text // shard nodes re-analyze the text against their own catalogs
 	emit := func(rw transport.ResultWindow) { cb.Window(rw) }
 	if err := s.cfg.Engine.StartQuery(cp, emit); err != nil {
 		return QueryInfo{}, err
 	}
 
-	sq := &serverQuery{info: info, text: text, plan: plan, cb: cb}
+	// A distributed coordinator pins the query to the shard-map epoch
+	// current at registration; hosts route its batches by that epoch.
+	var shardEpoch uint32
+	if f, ok := s.cfg.Engine.(shardFabric); ok {
+		shardEpoch, _ = f.QueryEpoch(qid)
+	}
+
+	sq := &serverQuery{info: info, text: text, plan: plan, cb: cb, shardEpoch: shardEpoch}
 	s.mu.Lock()
 	s.queries[qid] = sq
 	s.mu.Unlock()
@@ -205,6 +225,7 @@ func (s *Server) Submit(text string, cb Callbacks) (QueryInfo, error) {
 			BudgetCPUPct:      plan.BudgetCPUPct,
 			BudgetBytesPerSec: plan.BudgetBytesPerSec,
 			ReplayNanos:       int64(plan.Replay),
+			ShardEpoch:        shardEpoch,
 		}
 		for _, h := range chosen {
 			_ = s.cfg.Dispatcher.SendToHost(h, hq)
@@ -311,6 +332,7 @@ func (s *Server) ResyncHost(hostName string) int {
 				EndNanos:          sq.info.End.UnixNano(),
 				BudgetCPUPct:      sq.plan.BudgetCPUPct,
 				BudgetBytesPerSec: sq.plan.BudgetBytesPerSec,
+				ShardEpoch:        sq.shardEpoch,
 				// A resync deliberately omits ReplayNanos: the restarted
 				// host's record stream is empty (or stale), and a second
 				// replay of a query already past its start would duplicate
@@ -353,6 +375,44 @@ func (s *Server) List() []transport.QuerySummary {
 // transport fronts and in-process testbeds share one path.
 func (s *Server) HandleBatch(b transport.TupleBatch) {
 	s.cfg.Engine.HandleBatch(b)
+}
+
+// HandleManifest forwards a host router's batch manifest to the shard
+// fabric. A single-process engine has no manifest plane; stray manifests
+// are dropped, matching how unknown-query batches are.
+func (s *Server) HandleManifest(m transport.BatchManifest) {
+	if f, ok := s.cfg.Engine.(shardFabric); ok {
+		f.HandleManifest(m)
+	}
+}
+
+// HandleShardHello enrolls a shard process announcing itself on the data
+// plane. Errors (including "not a shard-fabric deployment") are for the
+// hub's log; the shard retries by reconnecting.
+func (s *Server) HandleShardHello(m transport.ShardHello) error {
+	if f, ok := s.cfg.Engine.(shardFabric); ok {
+		return f.HandleHello(m)
+	}
+	return fmt.Errorf("server: not a shard-fabric deployment")
+}
+
+// ShardStatus reports the shard fabric's operational view; empty in a
+// single-process deployment.
+func (s *Server) ShardStatus() transport.ShardStatusList {
+	if f, ok := s.cfg.Engine.(shardFabric); ok {
+		return f.Status()
+	}
+	return transport.ShardStatusList{}
+}
+
+// CurrentShardMap returns the fabric's current membership, if any — the
+// hub pushes it to hosts on registration.
+func (s *Server) CurrentShardMap() (transport.ShardMap, bool) {
+	if f, ok := s.cfg.Engine.(shardFabric); ok {
+		m := f.ShardMap()
+		return m, m.Epoch > 0
+	}
+	return transport.ShardMap{}, false
 }
 
 // Close cancels every active query and stops the ticker.

@@ -1,0 +1,89 @@
+package sketch
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestSpaceSavingCodecRoundTrip checks that a decoded summary reports the
+// exact entries of the original and keeps behaving identically under
+// further additions and merges (the coordinator's partial-shipping path).
+func TestSpaceSavingCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		capacity := 1 + rng.Intn(40)
+		s := MustSpaceSaving(capacity)
+		adds := rng.Intn(500)
+		for i := 0; i < adds; i++ {
+			s.AddN(fmt.Sprintf("item-%d", rng.Intn(80)), uint64(1+rng.Intn(5)))
+		}
+		enc := s.AppendBinary(nil)
+		d, n, err := DecodeSpaceSaving(enc)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if n != len(enc) {
+			t.Fatalf("trial %d: consumed %d of %d bytes", trial, n, len(enc))
+		}
+		if d.Capacity() != s.Capacity() || d.Len() != s.Len() {
+			t.Fatalf("trial %d: capacity/len mismatch: %d/%d vs %d/%d",
+				trial, d.Capacity(), d.Len(), s.Capacity(), s.Len())
+		}
+		wantTop, gotTop := s.Top(s.Len()), d.Top(d.Len())
+		for i := range wantTop {
+			if wantTop[i] != gotTop[i] {
+				t.Fatalf("trial %d: entry %d: %+v vs %+v", trial, i, gotTop[i], wantTop[i])
+			}
+		}
+		// Behavioral equivalence: the same subsequent workload must leave
+		// both summaries with identical contents.
+		other := MustSpaceSaving(capacity)
+		for i := 0; i < 100; i++ {
+			other.AddN(fmt.Sprintf("other-%d", rng.Intn(30)), uint64(1+rng.Intn(3)))
+		}
+		for i := 0; i < 200; i++ {
+			item := fmt.Sprintf("item-%d", rng.Intn(100))
+			s.Add(item)
+			d.Add(item)
+		}
+		s.Merge(other)
+		d.Merge(other)
+		wantTop, gotTop = s.Top(s.Len()), d.Top(d.Len())
+		if len(wantTop) != len(gotTop) {
+			t.Fatalf("trial %d: post-workload len %d vs %d", trial, len(gotTop), len(wantTop))
+		}
+		for i := range wantTop {
+			if wantTop[i] != gotTop[i] {
+				t.Fatalf("trial %d: post-workload entry %d: %+v vs %+v", trial, i, gotTop[i], wantTop[i])
+			}
+		}
+	}
+}
+
+func TestSpaceSavingCodecEmpty(t *testing.T) {
+	s := MustSpaceSaving(8)
+	enc := s.AppendBinary(nil)
+	d, n, err := DecodeSpaceSaving(enc)
+	if err != nil {
+		t.Fatalf("decode empty: %v", err)
+	}
+	if n != len(enc) || d.Len() != 0 || d.Capacity() != 8 {
+		t.Fatalf("empty round-trip: n=%d len=%d cap=%d", n, d.Len(), d.Capacity())
+	}
+	d.Add("x")
+	if c, ok := d.Count("x"); !ok || c != 1 {
+		t.Fatalf("decoded empty summary unusable: count=%d ok=%v", c, ok)
+	}
+}
+
+func TestSpaceSavingDecodeErrors(t *testing.T) {
+	s := MustSpaceSaving(4)
+	s.Add("a")
+	enc := s.AppendBinary(nil)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, _, err := DecodeSpaceSaving(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d decoded without error", cut)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sketch
 
 import (
+	"encoding/binary"
 	"fmt"
 	"sort"
 )
@@ -280,6 +281,74 @@ func (s *SpaceSaving) rebuild(entries []Entry) {
 		prev.members[c] = struct{}{}
 		c.bucket = prev
 	}
+}
+
+// AppendBinary serializes the summary: capacity, entry count, then every
+// tracked entry in descending-count order (ties by item). A SpaceSaving's
+// observable behavior — counts, eviction victims, merge inheritance — is
+// fully determined by its (item, count, err) multiset plus capacity, so
+// this encoding is lossless even though the bucket list is not written.
+func (s *SpaceSaving) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(s.capacity))
+	entries := s.Top(len(s.counters))
+	dst = binary.AppendUvarint(dst, uint64(len(entries)))
+	for _, e := range entries {
+		dst = binary.AppendUvarint(dst, uint64(len(e.Item)))
+		dst = append(dst, e.Item...)
+		dst = binary.AppendUvarint(dst, e.Count)
+		dst = binary.AppendUvarint(dst, e.Err)
+	}
+	return dst
+}
+
+// DecodeSpaceSaving parses a summary serialized by AppendBinary, returning
+// bytes consumed. The decoded summary behaves identically to the encoded
+// one: rebuild reconstructs the canonical bucket layout from the entries.
+func DecodeSpaceSaving(b []byte) (*SpaceSaving, int, error) {
+	capacity, n := binary.Uvarint(b)
+	if n <= 0 {
+		return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: bad capacity")
+	}
+	cnt, sz := binary.Uvarint(b[n:])
+	if sz <= 0 {
+		return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: bad entry count")
+	}
+	n += sz
+	if cnt > capacity || cnt > uint64(len(b)) {
+		return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: implausible entry count %d (capacity %d)", cnt, capacity)
+	}
+	s, err := NewSpaceSaving(int(capacity))
+	if err != nil {
+		return nil, 0, err
+	}
+	entries := make([]Entry, 0, cnt)
+	for i := uint64(0); i < cnt; i++ {
+		ln, sz := binary.Uvarint(b[n:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: bad item length")
+		}
+		n += sz
+		if uint64(len(b)-n) < ln {
+			return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: short item")
+		}
+		item := string(b[n : n+int(ln)])
+		n += int(ln)
+		count, sz := binary.Uvarint(b[n:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: bad count")
+		}
+		n += sz
+		errVal, sz := binary.Uvarint(b[n:])
+		if sz <= 0 {
+			return nil, 0, fmt.Errorf("sketch: decode SpaceSaving: bad err")
+		}
+		n += sz
+		entries = append(entries, Entry{Item: item, Count: count, Err: errVal})
+	}
+	if len(entries) > 0 {
+		s.rebuild(entries)
+	}
+	return s, n, nil
 }
 
 // TotalCount returns the sum of all tracked counts (≥ the number of

@@ -1,6 +1,8 @@
 package stats
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -56,6 +58,36 @@ func (r *Running) Merge(o Running) {
 	r.m2 += o.m2 + delta*delta*n1*n2/tot
 	r.mean += delta * n2 / tot
 	r.n += o.n
+}
+
+// AppendBinary serializes the accumulator exactly: the observation count
+// plus the raw IEEE-754 bits of mean and m2, so a decoded copy merges and
+// reports bit-identically to the original.
+func (r Running) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(r.n))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.mean))
+	dst = append(dst, buf[:]...)
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.m2))
+	return append(dst, buf[:]...)
+}
+
+// DecodeRunning parses an accumulator serialized by AppendBinary,
+// returning bytes consumed.
+func DecodeRunning(b []byte) (Running, int, error) {
+	n64, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return Running{}, 0, fmt.Errorf("stats: decode Running: bad count")
+	}
+	if len(b) < sz+16 {
+		return Running{}, 0, fmt.Errorf("stats: decode Running: short moments")
+	}
+	r := Running{
+		n:    int(n64),
+		mean: math.Float64frombits(binary.LittleEndian.Uint64(b[sz : sz+8])),
+		m2:   math.Float64frombits(binary.LittleEndian.Uint64(b[sz+8 : sz+16])),
+	}
+	return r, sz + 16, nil
 }
 
 // MeanVar returns the sample mean and unbiased variance of xs.

@@ -315,6 +315,7 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 		w.f64(t.BudgetCPUPct)
 		w.f64(t.BudgetBytesPerSec)
 		w.i64(t.ReplayNanos)
+		w.u32(t.ShardEpoch)
 	case StopQuery:
 		w.u64(t.QueryID)
 	case DataHello:
@@ -358,8 +359,10 @@ func AppendEncode(dst []byte, m Message) ([]byte, error) {
 	case Pong:
 		w.u64(t.Nonce)
 	default:
-		//scrub:allowalloc(cold error path for unknown message types)
-		return nil, fmt.Errorf("transport: encode: unknown message %T", m)
+		if !appendEncodeCoord(w, m) {
+			//scrub:allowalloc(cold error path for unknown message types)
+			return nil, fmt.Errorf("transport: encode: unknown message %T", m)
+		}
 	}
 	if w.err != nil {
 		return nil, w.err
@@ -448,7 +451,7 @@ func Decode(b []byte) (Message, error) {
 			Pred: r.node(), Columns: r.strs(), SampleEvents: r.f64(),
 			StartNanos: r.i64(), EndNanos: r.i64(),
 			BudgetCPUPct: r.f64(), BudgetBytesPerSec: r.f64(),
-			ReplayNanos: r.i64(),
+			ReplayNanos: r.i64(), ShardEpoch: r.u32(),
 		}
 	case tagStopQuery:
 		m = StopQuery{QueryID: r.u64()}
@@ -510,7 +513,11 @@ func Decode(b []byte) (Message, error) {
 	case tagPong:
 		m = Pong{Nonce: r.u64()}
 	default:
-		return nil, fmt.Errorf("transport: decode: unknown tag %d", b[0])
+		cm, ok := decodeCoord(b[0], r)
+		if !ok {
+			return nil, fmt.Errorf("transport: decode: unknown tag %d", b[0])
+		}
+		m = cm
 	}
 	if err := r.finish(); err != nil {
 		return nil, err

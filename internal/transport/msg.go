@@ -170,6 +170,12 @@ type HostQuery struct {
 	// [StartNanos-ReplayNanos, StartNanos) through its record stream
 	// before the query goes live (REPLAY clause); 0 disables replay.
 	ReplayNanos int64
+	// ShardEpoch pins the query to a shard-map epoch when the central
+	// facility runs as a distributed fabric (internal/coord): agents route
+	// the query's batches by request id over exactly that epoch's shard
+	// set, so every host splits a request's tuples identically. 0 means
+	// single-process central — ship whole batches to the data address.
+	ShardEpoch uint32
 }
 
 // StopQuery deactivates a query on a host (cancel or span end).
@@ -301,6 +307,9 @@ func Name(m Message) string {
 	case Pong:
 		return "Pong"
 	default:
+		if name, ok := nameCoord(m); ok {
+			return name
+		}
 		return fmt.Sprintf("unknown(%T)", m)
 	}
 }

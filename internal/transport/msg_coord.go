@@ -1,0 +1,273 @@
+package transport
+
+// Coordination protocol for a distributed ScrubCentral (internal/coord):
+// a coordinator process owns query registration, shard membership and the
+// merge layer; shard processes run driven central engines; hosts (or the
+// coordinator's own data plane, for legacy hosts) route each batch's
+// tuples to shards by hash(request-id) mod shards and report the batch's
+// counters to the coordinator in a manifest.
+//
+// Three sub-conversations:
+//
+//   - coordinator → shard (control): ShardStart / ShardCollectReq /
+//     ShardStopReq / ShardStatsReq with their replies, plus Ping liveness
+//   - router → shard (data): ShardSubBatch → ShardBatchAck (synchronous,
+//     so shard application happens-before the manifest that reports it)
+//   - router → coordinator (data): BatchManifest → ManifestAck
+//   - shard → coordinator (membership): ShardHello; coordinator → host
+//     agents: ShardMap pushes with epoch-numbered membership
+//
+// New tags append after the base protocol's so old and new binaries never
+// reinterpret each other's messages.
+const (
+	tagShardStart byte = iota + tagQueryList + 1
+	tagShardAck
+	tagShardSubBatch
+	tagShardBatchAck
+	tagShardCollectReq
+	tagShardPartials
+	tagShardStopReq
+	tagShardStatsReq
+	tagShardStatsResp
+	tagBatchManifest
+	tagManifestAck
+	tagShardHello
+	tagShardMap
+	tagShardStatusReq
+	tagShardStatusList
+)
+
+// ShardStart installs a query on a shard process in driven mode. The
+// shard re-analyzes Text against its own catalog and applies the resolved
+// deployment facts, so plan distribution never serializes compiled
+// expression trees.
+type ShardStart struct {
+	Seq         uint64
+	QueryID     uint64
+	Text        string
+	StartNanos  int64
+	EndNanos    int64
+	ReplayNanos int64 // REPLAY span; extends the span filter back
+	// Estimator facts resolved at submission (central.Plan fields).
+	TotalHosts   uint32
+	SampledHosts uint32
+	SampleEvents float64 // post-override event-sampling rate; <= 0 keeps the parsed rate
+	Confidence   float64 // 0 keeps the default
+	// State bounds; 0 keeps the defaults.
+	MaxRawRows     uint32
+	MaxJoinPending uint32
+	// Host-impact budget, forwarded for plan parity.
+	BudgetCPUPct      float64
+	BudgetBytesPerSec float64
+}
+
+// ShardAck answers ShardStart (and ShardStopReq teardown races): an empty
+// Err means success.
+type ShardAck struct {
+	Seq uint64
+	Err string
+}
+
+// ShardSubBatch carries the slice of one host batch whose request ids
+// hash to this shard. Counters stay out: they belong to the manifest the
+// router sends the coordinator.
+type ShardSubBatch struct {
+	Seq     uint64
+	QueryID uint64
+	HostID  string
+	TypeIdx uint8
+	// Tuples may alias the sending router's caller-owned batch memory;
+	// the send serializes them before returning (see Sink contract).
+	//scrub:pooled
+	Tuples []Tuple
+}
+
+// ShardBatchAck answers ShardSubBatch with what the driven engine
+// observed while absorbing it. The router folds per-shard acks (OR HasTs,
+// max MaxTs, sum LateDelta) to recover exactly what an in-process
+// ShardedEngine would have seen around its synchronous fan-out.
+type ShardBatchAck struct {
+	Seq       uint64
+	Known     bool // false: the shard does not know the query (teardown race)
+	HasTs     bool
+	MaxTs     int64
+	LateDelta uint64 // window-late drops this sub-batch caused
+	Late      uint64 // cumulative window-late drops on this shard
+	Overflow  uint64 // cumulative overflow drops on this shard
+}
+
+// ShardCollectReq asks a shard to close every window of a query ending at
+// or before Bound and return the serialized partials.
+type ShardCollectReq struct {
+	Seq     uint64
+	QueryID uint64
+	Bound   int64
+}
+
+// WindowPartial is one closed window's serialized accumulated state
+// (central.EncodedPartial on the wire).
+type WindowPartial struct {
+	Start int64
+	End   int64
+	Data  []byte
+}
+
+// ShardPartials answers ShardCollectReq and ShardStopReq.
+type ShardPartials struct {
+	Seq      uint64
+	Found    bool
+	Partials []WindowPartial
+	Late     uint64 // cumulative window-late drops (stop: late+overflow total)
+	Overflow uint64 // cumulative overflow drops (stop: 0)
+}
+
+// ShardStopReq drains and removes a query from a shard.
+type ShardStopReq struct {
+	Seq     uint64
+	QueryID uint64
+}
+
+// ShardStatsReq polls a shard: QueryID > 0 asks for that query's absorbed
+// tuple count; QueryID == 0 asks for node-level status.
+type ShardStatsReq struct {
+	Seq     uint64
+	QueryID uint64
+}
+
+// ShardStatsResp answers ShardStatsReq.
+type ShardStatsResp struct {
+	Seq           uint64
+	Found         bool
+	TuplesIn      uint64
+	ActiveQueries uint32
+}
+
+// BatchManifest reports one whole host batch's counters to the
+// coordinator after its tuples were routed to shards. The coordinator
+// folds it into stream liveness and watermark state exactly like
+// ShardedEngine.HandleBatch folds a batch — minus the fan-out, which the
+// router already performed.
+type BatchManifest struct {
+	Seq       uint64
+	QueryID   uint64
+	HostID    string
+	TypeIdx   uint8
+	RawTuples uint64 // tuple count before the span filter (ingest accounting)
+	HasTs     bool   // any in-span tuple (folded from the shard acks)
+	MaxTs     int64  // max in-span event time
+	LateDelta uint64 // window-late drops this batch caused, attributed to this stream
+	// Per-shard cumulative drop counters as of this batch, indexed by the
+	// query's shard order. The coordinator caches them so emitted windows
+	// report the same totals ShardedEngine reads via dropsOf at emit.
+	ShardLate     []uint64
+	ShardOverflow []uint64
+	// The host batch's own cumulative counters (TupleBatch fields).
+	MatchedTotal uint64
+	SampledTotal uint64
+	QueueDrops   uint64 // host queue drops plus router send failures
+	EffRate      float64
+	BudgetShed   bool
+	CPUNs        uint64
+	ShipBytes    uint64
+	ReplayEpoch  uint32
+	ReplayDone   bool
+}
+
+// ManifestAck answers BatchManifest; the synchronous round-trip keeps
+// manifest processing ordered after the shard applications it reports.
+type ManifestAck struct {
+	Seq uint64
+}
+
+// ShardHello announces a shard process to the coordinator's membership
+// plane: the coordinator dials DataAddr back for control and data RPC.
+type ShardHello struct {
+	ShardID  string
+	DataAddr string
+}
+
+// ShardMap pushes epoch-numbered shard membership to host agents. A
+// query's routing is pinned to the epoch current at its start (carried on
+// HostQuery), so membership changes never split a running query's
+// request-id space across disagreeing hosts.
+type ShardMap struct {
+	Epoch uint32
+	Addrs []string // shard data addresses, index = shard position in rid % n
+}
+
+// ShardStatusReq asks the query server for its shard fabric status; a
+// single-process deployment answers with an empty list.
+type ShardStatusReq struct{}
+
+// ShardStatus is one shard's row in the operational view.
+type ShardStatus struct {
+	Index         uint32
+	Addr          string
+	Down          bool
+	LagNanos      int64 // time since the shard's last successful RPC
+	ActiveQueries uint32
+	TuplesIn      uint64
+}
+
+// ShardStatusList answers ShardStatusReq.
+type ShardStatusList struct {
+	Epoch          uint32
+	Merges         uint64 // partial-window merges performed
+	Rebalances     uint64 // membership epoch bumps
+	EvictedStreams uint32 // evicted streams across active queries
+	Shards         []ShardStatus
+}
+
+func (ShardStart) msgTag() byte      { return tagShardStart }
+func (ShardAck) msgTag() byte        { return tagShardAck }
+func (ShardSubBatch) msgTag() byte   { return tagShardSubBatch }
+func (ShardBatchAck) msgTag() byte   { return tagShardBatchAck }
+func (ShardCollectReq) msgTag() byte { return tagShardCollectReq }
+func (ShardPartials) msgTag() byte   { return tagShardPartials }
+func (ShardStopReq) msgTag() byte    { return tagShardStopReq }
+func (ShardStatsReq) msgTag() byte   { return tagShardStatsReq }
+func (ShardStatsResp) msgTag() byte  { return tagShardStatsResp }
+func (BatchManifest) msgTag() byte   { return tagBatchManifest }
+func (ManifestAck) msgTag() byte     { return tagManifestAck }
+func (ShardHello) msgTag() byte      { return tagShardHello }
+func (ShardMap) msgTag() byte        { return tagShardMap }
+func (ShardStatusReq) msgTag() byte  { return tagShardStatusReq }
+func (ShardStatusList) msgTag() byte { return tagShardStatusList }
+
+// nameCoord resolves the coordination messages for Name.
+func nameCoord(m Message) (string, bool) {
+	switch m.(type) {
+	case ShardStart:
+		return "ShardStart", true
+	case ShardAck:
+		return "ShardAck", true
+	case ShardSubBatch:
+		return "ShardSubBatch", true
+	case ShardBatchAck:
+		return "ShardBatchAck", true
+	case ShardCollectReq:
+		return "ShardCollectReq", true
+	case ShardPartials:
+		return "ShardPartials", true
+	case ShardStopReq:
+		return "ShardStopReq", true
+	case ShardStatsReq:
+		return "ShardStatsReq", true
+	case ShardStatsResp:
+		return "ShardStatsResp", true
+	case BatchManifest:
+		return "BatchManifest", true
+	case ManifestAck:
+		return "ManifestAck", true
+	case ShardHello:
+		return "ShardHello", true
+	case ShardMap:
+		return "ShardMap", true
+	case ShardStatusReq:
+		return "ShardStatusReq", true
+	case ShardStatusList:
+		return "ShardStatusList", true
+	default:
+		return "", false
+	}
+}

@@ -76,6 +76,59 @@ func sampleMessages() []Message {
 		QueryList{},
 		Ping{Nonce: 99},
 		Pong{Nonce: 99},
+		ShardStart{
+			Seq: 1, QueryID: 7, Text: "select count(*) from bid",
+			StartNanos: 100, EndNanos: 200, ReplayNanos: 30,
+			TotalHosts: 100, SampledHosts: 10, SampleEvents: 0.5,
+			Confidence: 0.99, MaxRawRows: 1000, MaxJoinPending: 4096,
+			BudgetCPUPct: 1.5, BudgetBytesPerSec: 1 << 20,
+		},
+		ShardAck{Seq: 1},
+		ShardAck{Seq: 2, Err: "no such query"},
+		ShardSubBatch{
+			Seq: 3, QueryID: 7, HostID: "bid-sj-1", TypeIdx: 1,
+			Tuples: []Tuple{
+				{RequestID: 4, TsNanos: 44, Values: []event.Value{event.Str("x")}},
+			},
+		},
+		ShardSubBatch{Seq: 4, QueryID: 7, HostID: "h"}, // empty split
+		ShardBatchAck{Seq: 3, Known: true, HasTs: true, MaxTs: 44, LateDelta: 1, Late: 2, Overflow: 3},
+		ShardBatchAck{Seq: 4},
+		ShardCollectReq{Seq: 5, QueryID: 7, Bound: 1000},
+		ShardPartials{
+			Seq: 5, Found: true,
+			Partials: []WindowPartial{
+				{Start: 0, End: 10, Data: []byte{1, 2, 3}},
+				{Start: 10, End: 20, Data: nil},
+			},
+			Late: 2, Overflow: 3,
+		},
+		ShardPartials{Seq: 6},
+		ShardStopReq{Seq: 7, QueryID: 7},
+		ShardStatsReq{Seq: 8, QueryID: 7},
+		ShardStatsResp{Seq: 8, Found: true, TuplesIn: 99, ActiveQueries: 2},
+		BatchManifest{
+			Seq: 9, QueryID: 7, HostID: "bid-sj-1", TypeIdx: 1,
+			RawTuples: 10, HasTs: true, MaxTs: 44, LateDelta: 1,
+			ShardLate: []uint64{0, 1}, ShardOverflow: []uint64{2, 0},
+			MatchedTotal: 100, SampledTotal: 10, QueueDrops: 3,
+			EffRate: 0.25, BudgetShed: true, CPUNs: 5, ShipBytes: 6,
+			ReplayEpoch: 1, ReplayDone: true,
+		},
+		BatchManifest{Seq: 10, QueryID: 8, HostID: "h"},
+		ManifestAck{Seq: 9},
+		ShardHello{ShardID: "shard-0", DataAddr: "127.0.0.1:7101"},
+		ShardMap{Epoch: 3, Addrs: []string{"127.0.0.1:7101", "127.0.0.1:7102"}},
+		ShardMap{},
+		ShardStatusReq{},
+		ShardStatusList{
+			Epoch: 3, Merges: 12, Rebalances: 2, EvictedStreams: 1,
+			Shards: []ShardStatus{
+				{Index: 0, Addr: "127.0.0.1:7101", ActiveQueries: 1, TuplesIn: 50},
+				{Index: 1, Addr: "127.0.0.1:7102", Down: true, LagNanos: 5e9},
+			},
+		},
+		ShardStatusList{},
 	}
 }
 
@@ -155,6 +208,23 @@ func normalize(m Message) Message {
 			if len(t.Queries[i].Columns) == 0 {
 				t.Queries[i].Columns = nil
 			}
+		}
+		return t
+	case ShardSubBatch:
+		if len(t.Tuples) == 0 {
+			t.Tuples = nil
+		}
+		return t
+	case ShardPartials:
+		for i := range t.Partials {
+			if len(t.Partials[i].Data) == 0 {
+				t.Partials[i].Data = nil
+			}
+		}
+		return t
+	case ShardMap:
+		if len(t.Addrs) == 0 {
+			t.Addrs = nil
 		}
 		return t
 	default:

@@ -29,6 +29,9 @@ make bench-smoke
 echo "== differential oracle sweep (200 seeded sims, -race) =="
 go test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeeds' -difftest.seeds=200
 
+echo "== multinode smoke (coordinator + 2 shards + 3 hosts, -race) =="
+go test -race -run TestMultinodeSmoke ./internal/server
+
 echo "== replay smoke (record/replay equivalence, hold release) =="
 go test -race -run 'TestReplay' ./internal/difftest ./internal/host ./internal/central ./internal/replay
 
