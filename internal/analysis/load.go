@@ -34,6 +34,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one analysis unit: a type-checked package with its syntax.
@@ -102,20 +103,36 @@ func Load(cfg LoadConfig) (*Program, error) {
 	if len(cfg.Patterns) == 0 {
 		cfg.Patterns = []string{"./..."}
 	}
-	pkgs, err := goList(cfg.Dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, cfg.Patterns...))
-	if err != nil {
-		return nil, err
+	// The package list and the export-data list are independent `go list`
+	// invocations; run them concurrently (the -export one compiles
+	// anything stale and dominates cold-cache wall time).
+	var (
+		pkgs, deps       []listedPkg
+		pkgsErr, depsErr error
+		listWG           sync.WaitGroup
+	)
+	listWG.Add(2)
+	go func() {
+		defer listWG.Done()
+		pkgs, pkgsErr = goList(cfg.Dir, append([]string{"-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles"}, cfg.Patterns...))
+	}()
+	go func() {
+		defer listWG.Done()
+		// Export data for every dependency, test-only dependencies
+		// included. ForTest variants (the "pkg [pkg.test]" shadow builds)
+		// are skipped: the plain build's export data is the canonical one.
+		depArgs := append([]string{"-deps", "-export", "-json=ImportPath,Export,ForTest"}, cfg.Patterns...)
+		if cfg.Tests {
+			depArgs = append([]string{"-test"}, depArgs...)
+		}
+		deps, depsErr = goList(cfg.Dir, depArgs)
+	}()
+	listWG.Wait()
+	if pkgsErr != nil {
+		return nil, pkgsErr
 	}
-	// Export data for every dependency, test-only dependencies included.
-	// ForTest variants (the "pkg [pkg.test]" shadow builds) are skipped:
-	// the plain build's export data is the canonical one.
-	depArgs := append([]string{"-deps", "-export", "-json=ImportPath,Export,ForTest"}, cfg.Patterns...)
-	if cfg.Tests {
-		depArgs = append([]string{"-test"}, depArgs...)
-	}
-	deps, err := goList(cfg.Dir, depArgs)
-	if err != nil {
-		return nil, err
+	if depsErr != nil {
+		return nil, depsErr
 	}
 	exports := make(map[string]string, len(deps))
 	for _, d := range deps {
@@ -128,15 +145,24 @@ func Load(cfg LoadConfig) (*Program, error) {
 	}
 
 	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+	imp := &lockedImporter{imp: importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
 		f, ok := exports[path]
 		if !ok {
 			return nil, fmt.Errorf("no export data for %q", path)
 		}
 		return os.Open(f)
-	})
+	})}
 
-	prog := &Program{Fset: fset, Funcs: make(map[string]*FuncNode)}
+	// Units never import each other in source form — every dependency
+	// resolves from export data — so parsing and type-checking fan out
+	// across units. The FileSet is internally synchronized; the shared
+	// export-data importer is serialized by lockedImporter.
+	type unitSpec struct {
+		path, name, dir string
+		files           []string
+		xtest           bool
+	}
+	var specs []unitSpec
 	for _, lp := range pkgs {
 		if lp.ForTest != "" {
 			continue
@@ -147,22 +173,46 @@ func Load(cfg LoadConfig) (*Program, error) {
 			files = append(append([]string{}, libFiles...), lp.TestGoFiles...)
 		}
 		if len(files) > 0 {
-			u, err := checkUnit(fset, imp, lp.ImportPath, lp.Name, lp.Dir, files, false)
-			if err != nil {
-				return nil, err
-			}
-			prog.Packages = append(prog.Packages, u)
+			specs = append(specs, unitSpec{lp.ImportPath, lp.Name, lp.Dir, files, false})
 		}
 		if cfg.Tests && len(lp.XTestGoFiles) > 0 {
-			u, err := checkUnit(fset, imp, lp.ImportPath+"_test", lp.Name+"_test", lp.Dir, lp.XTestGoFiles, true)
-			if err != nil {
-				return nil, err
-			}
-			prog.Packages = append(prog.Packages, u)
+			specs = append(specs, unitSpec{lp.ImportPath + "_test", lp.Name + "_test", lp.Dir, lp.XTestGoFiles, true})
 		}
 	}
+
+	units := make([]*Package, len(specs))
+	errs := make([]error, len(specs))
+	var wg sync.WaitGroup
+	for i, sp := range specs {
+		wg.Add(1)
+		go func(i int, sp unitSpec) {
+			defer wg.Done()
+			units[i], errs[i] = checkUnit(fset, imp, sp.path, sp.name, sp.dir, sp.files, sp.xtest)
+		}(i, sp)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	prog := &Program{Fset: fset, Packages: units, Funcs: make(map[string]*FuncNode)}
 	prog.index()
 	return prog, nil
+}
+
+// lockedImporter serializes a shared export-data importer (its package
+// cache is not safe for concurrent Import calls).
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (li *lockedImporter) Import(path string) (*types.Package, error) {
+	li.mu.Lock()
+	defer li.mu.Unlock()
+	return li.imp.Import(path)
 }
 
 // index builds the annotation index and the whole-program function map

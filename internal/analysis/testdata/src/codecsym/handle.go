@@ -1,0 +1,37 @@
+package codecsym
+
+// Handle is the dispatch evidence: every message type must be consumed
+// by a type-switch case or type assertion somewhere outside the codec
+// machinery. Undispatched is deliberately absent; Internal is absent but
+// suppressed at its declaration.
+func Handle(m Message) uint64 {
+	switch t := m.(type) {
+	case Put:
+		return t.Val
+	case Get:
+		return t.ID
+	case List:
+		return uint64(len(t.Items))
+	case Swap:
+		return t.N
+	case Count:
+		return t.A + t.B
+	case Grid:
+		return uint64(len(t.Items))
+	case Muted:
+		return uint64(len(t.S))
+	case Unnamed:
+		return t.V
+	case NoDecode:
+		return t.V
+	case Orphan:
+		return t.V
+	case Extra:
+		return t.ID
+	}
+	// A bare type assertion counts as dispatch evidence too.
+	if f, ok := m.(Flip); ok {
+		return f.V
+	}
+	return 0
+}

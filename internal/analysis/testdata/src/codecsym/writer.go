@@ -1,0 +1,100 @@
+package codecsym
+
+// writer/reader mirror the transport codec's primitives. A method that
+// assigns receiver state (buf, off) is a primitive leaf; a method built
+// purely from other ops is a derived helper, and derived pairs must
+// agree shape-for-shape.
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v uint8) { w.buf = append(w.buf, v) }
+
+func (w *writer) u64(v uint64) {
+	for i := 0; i < 8; i++ {
+		w.buf = append(w.buf, byte(v>>(8*i)))
+	}
+}
+
+func (w *writer) str(s string) {
+	w.u64(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// bool is derived: both branches write one u8, so the shape collapses to
+// a single op and pairs with the reader's boolv.
+func (w *writer) bool(b bool) {
+	if b {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+}
+
+// strs is a well-formed derived pair: count then a repeated group.
+func (w *writer) strs(ss []string) {
+	w.u64(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+// pair is a broken derived pair: the reader's side reads only one value.
+func (w *writer) pair(a, b uint64) {
+	w.u64(a)
+	w.u64(b) // want `codec asymmetry in helper pair pair: encode writes u64 \(element 2\) that decode never reads`
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err bool
+}
+
+func (r *reader) fail() { r.err = true }
+
+func (r *reader) u8() uint8 {
+	if r.off >= len(r.buf) {
+		r.fail()
+		return 0
+	}
+	v := r.buf[r.off]
+	r.off++
+	return v
+}
+
+func (r *reader) u64() uint64 {
+	var v uint64
+	if r.off+8 > len(r.buf) {
+		r.fail()
+		return 0
+	}
+	for i := 0; i < 8; i++ {
+		v |= uint64(r.buf[r.off+i]) << (8 * i)
+	}
+	r.off += 8
+	return v
+}
+
+func (r *reader) str() string {
+	n := int(r.u64())
+	if r.off+n > len(r.buf) {
+		r.fail()
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *reader) boolv() bool { return r.u8() == 1 }
+
+func (r *reader) strs() []string {
+	n := r.u64()
+	out := make([]string, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func (r *reader) pair() uint64 { return r.u64() }

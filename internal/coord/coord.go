@@ -25,6 +25,8 @@
 // later joins serve new queries only, and a shard death degrades the
 // queries pinned to it (results keep flowing, flagged Degraded) instead
 // of wedging their watermarks.
+//
+//scrub:longlived
 package coord
 
 import (

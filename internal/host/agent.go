@@ -22,6 +22,8 @@
 //   - No joins, group-bys, or aggregations ever run here — those belong
 //     to ScrubCentral. Selection and projection run on the host only
 //     because they shrink what must be shipped.
+//
+//scrub:longlived
 package host
 
 import (

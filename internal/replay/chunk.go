@@ -11,6 +11,8 @@
 // filter, min/max timestamp) and hands it to a background flusher that
 // tiers it to disk and enforces retention (max bytes, max age). Scans
 // prune whole chunks on the index before decoding a single event.
+//
+//scrub:longlived
 package replay
 
 import (

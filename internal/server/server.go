@@ -2,6 +2,8 @@
 // parses and validates queries, resolves their target-host sets, fans
 // query objects out to host agents and ScrubCentral, streams results back
 // to troubleshooters, and enforces query spans (paper §4, Figure 3).
+//
+//scrub:longlived
 package server
 
 import (

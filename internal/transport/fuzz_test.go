@@ -8,6 +8,38 @@ import (
 	"time"
 )
 
+// TestFuzzSeedsCoverAllTags pins the fuzz corpus to the wire protocol:
+// every registered tag — the 15 base messages and the 15 coordination
+// messages — must appear among the FuzzDecode seeds, so a message type
+// added without a sampleMessages entry fails here before the fuzzer
+// ever runs blind on it.
+func TestFuzzSeedsCoverAllTags(t *testing.T) {
+	seeded := make(map[byte]bool)
+	for _, m := range sampleMessages() {
+		seeded[m.msgTag()] = true
+	}
+	for tag := tagSubmitQuery; tag <= tagShardStatusList; tag++ {
+		if !seeded[tag] {
+			t.Errorf("no fuzz seed encodes %s (tag %d); add a sample to sampleMessages", Name(newMessageForTag(t, tag)), tag)
+		}
+	}
+	if got, want := len(seeded), int(tagShardStatusList); got != want {
+		t.Errorf("sampleMessages covers %d distinct tags, registry has %d", got, want)
+	}
+}
+
+// newMessageForTag decodes a minimal payload for the tag purely to
+// recover the type's Name for the error message; an undecodable tag
+// reports as its number.
+func newMessageForTag(t *testing.T, tag byte) Message {
+	t.Helper()
+	m, err := Decode(append([]byte{tag}, make([]byte, 64)...))
+	if err != nil {
+		return nil
+	}
+	return m
+}
+
 // FuzzDecode hammers the payload decoder with arbitrary bytes. The
 // contract under fuzz: Decode must return a message or an error — never
 // panic, never hang, never allocate proportionally to a lying length
@@ -27,8 +59,8 @@ func FuzzDecode(f *testing.F) {
 		}
 	}
 	f.Add([]byte{})
-	f.Add([]byte{0})                       // tag 0 is unused
-	f.Add([]byte{255, 1, 2, 3})            // garbage tag
+	f.Add([]byte{0})                                                             // tag 0 is unused
+	f.Add([]byte{255, 1, 2, 3})                                                  // garbage tag
 	f.Add([]byte{tagTupleBatch, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff}) // implausible counts
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)

@@ -8,8 +8,17 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
-echo "== scrubvet (internal/analysis: hotpath, poolsafe, atomicfield, metricname) =="
-go run ./cmd/scrubvet ./...
+echo "== analyzer golden tests (internal/analysis) =="
+go test ./internal/analysis/...
+
+echo "== scrubvet (hotpath, poolsafe, atomicfield, metricname, codecsym, lockorder, golifecycle) =="
+# On failure, re-run in -json mode so CI logs carry machine-readable
+# findings (one object per line: file/line/analyzer/message).
+if ! go run ./cmd/scrubvet ./...; then
+  echo "scrubvet findings (JSON):" >&2
+  go run ./cmd/scrubvet -json ./... >&2 || true
+  exit 1
+fi
 
 echo "== go build =="
 go build ./...
