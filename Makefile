@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci bench bench-p1 bench-ps bench-smoke bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak multinode-smoke
+.PHONY: build test race vet ci bench bench-p1 bench-ps bench-smoke bench-g1 fuzz-smoke chaos-soak metrics-smoke difftest difftest-soak multinode-smoke failover-smoke
 
 build:
 	$(GO) build ./...
@@ -87,3 +87,10 @@ difftest-soak:
 # wire protocol on loopback, under the race detector (DESIGN.md §16).
 multinode-smoke:
 	$(GO) test -race -run TestMultinodeSmoke ./internal/server
+
+# Coordinator HA smoke: replicating leader + warm standby + 2 shard
+# processes + 2 host agents on loopback, kill -9 the leader mid-query,
+# require the standby to promote, adopt the query and keep closing
+# windows. All children built with -race (DESIGN.md §16).
+failover-smoke:
+	$(GO) run ./scripts/failoversmoke

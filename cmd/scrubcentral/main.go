@@ -56,10 +56,20 @@ func main() {
 	shardListen := flag.String("shard", "", "run as a shard process serving shard RPC on this address (exclusive with -coord)")
 	joinAddr := flag.String("join", "", "coordinator data address to announce this shard to (with -shard)")
 	advertise := flag.String("advertise", "", "address the coordinator should dial this shard back on (with -shard -join; default: the bound -shard address)")
+	peers := flag.String("peers", "", "comma-separated standby replication addresses to stream the control-plane log to (with -coord)")
+	standbyListen := flag.String("standby", "", "run as a warm coordinator standby serving replication RPC on this address (exclusive with -coord/-shard)")
+	failoverTimeout := flag.Duration("failover-timeout", 2*time.Second, "leader silence before the standby promotes itself (with -standby)")
+	standbyRank := flag.Int("rank", 0, "standby rank: rank N waits (N+1) failover timeouts, so lower ranks promote first (with -standby)")
 	flag.Parse()
 
 	if *coordMode && *shardListen != "" {
 		log.Fatal("scrubcentral: -coord and -shard are mutually exclusive")
+	}
+	if *standbyListen != "" && (*coordMode || *shardListen != "") {
+		log.Fatal("scrubcentral: -standby is exclusive with -coord and -shard")
+	}
+	if *peers != "" && !*coordMode {
+		log.Fatal("scrubcentral: -peers requires -coord")
 	}
 
 	catalog := event.NewCatalog()
@@ -89,6 +99,15 @@ func main() {
 		runShard(catalog, *shardListen, *joinAddr, *advertise)
 		return
 	}
+	if *standbyListen != "" {
+		runStandby(standbyConfig{
+			catalog: catalog, listen: *standbyListen,
+			clientAddr: *clientAddr, controlAddr: *controlAddr, dataAddr: *dataAddr,
+			metricsAddr: *metricsAddr,
+			timeout:     *failoverTimeout, rank: *standbyRank,
+		})
+		return
+	}
 
 	registry := cluster.NewRegistry()
 	hub, err := server.NewHub(registry, *clientAddr, *controlAddr, *dataAddr)
@@ -112,6 +131,16 @@ func main() {
 			}
 			if err := coordEng.AddShard(addr); err != nil {
 				log.Fatalf("scrubcentral: enroll shard %s: %v", addr, err)
+			}
+		}
+		if *peers != "" {
+			// Replicate the control plane to warm standbys under fencing
+			// term 1; a standby that takes over promotes to term 2+.
+			coordEng.StartReplication(coord.ReplicationConfig{Term: 1})
+			for _, addr := range splitAddrs(*peers) {
+				if err := coordEng.AddStandby(addr); err != nil {
+					log.Fatalf("scrubcentral: add standby %s: %v", addr, err)
+				}
 			}
 		}
 		engine = coordEng
@@ -208,4 +237,132 @@ func runShard(catalog *event.Catalog, listen, join, advertise string) {
 	if joinConn != nil {
 		joinConn.Close()
 	}
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+type standbyConfig struct {
+	catalog                           *event.Catalog
+	listen                            string
+	clientAddr, controlAddr, dataAddr string
+	metricsAddr                       string
+	timeout                           time.Duration
+	rank                              int
+}
+
+// runStandby serves one warm coordinator standby: it shadows the leader's
+// replicated control-plane log, and when the leader falls silent for the
+// (rank-staggered) failover timeout, it promotes — fencing the shards
+// under a higher epoch, resuming every replicated query, and taking over
+// the leader's client/control/data addresses so host agents and
+// troubleshooters reconnect to it transparently.
+func runStandby(cfg standbyConfig) {
+	l, err := transport.Listen(cfg.listen)
+	if err != nil {
+		log.Fatalf("scrubcentral: standby listener: %v", err)
+	}
+	var reg *obs.Registry
+	if cfg.metricsAddr != "" {
+		reg = obs.NewRegistry()
+	}
+	sb := coord.NewStandby(coord.StandbyOptions{
+		Central:         central.Options{Metrics: reg},
+		Catalog:         cfg.catalog,
+		FailoverTimeout: cfg.timeout,
+		Rank:            cfg.rank,
+	})
+	go sb.Serve(l)
+	fmt.Printf("scrubcentral standby up\n  replication: %s\n  rank: %d  failover timeout: %s\n",
+		l.Addr(), cfg.rank, cfg.timeout*time.Duration(cfg.rank+1))
+
+	stop := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() { <-sig; close(stop) }()
+
+	if !sb.AwaitFailover(stop) {
+		fmt.Println("scrubcentral standby: shutting down")
+		l.Close()
+		return
+	}
+	term, applied, qids := sb.Snapshot()
+	fmt.Printf("scrubcentral standby: leader silent — promoting (term %d, %d log entries, queries %v)\n",
+		term, applied, qids)
+
+	coordEng, resumed, err := sb.Promote(func(rq coord.ResumedQuery, _ *central.Plan) central.EmitFunc {
+		// The submitter's client connection died with the leader; windows
+		// of resumed queries are printed until the span expires (a future
+		// re-attach surface would hook in here). Parseable line: the
+		// failover smoke counts these.
+		id := rq.QueryID
+		return func(rw transport.ResultWindow) {
+			fmt.Printf("scrubcentral adopted window: query %d [%d,%d) rows=%d degraded=%v\n",
+				id, rw.WindowStart, rw.WindowEnd, len(rw.Rows), rw.Degraded)
+		}
+	})
+	if err != nil {
+		log.Fatalf("scrubcentral: promote: %v", err)
+	}
+
+	// The leader is dead, so its addresses are free — but kernel teardown
+	// of a kill -9'd listener can lag a moment; retry briefly.
+	registry := cluster.NewRegistry()
+	var hub *server.Hub
+	for attempt := 0; ; attempt++ {
+		hub, err = server.NewHub(registry, cfg.clientAddr, cfg.controlAddr, cfg.dataAddr)
+		if err == nil {
+			break
+		}
+		if attempt >= 20 {
+			log.Fatalf("scrubcentral: bind leader addresses: %v", err)
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	srv, err := server.New(server.Config{
+		Catalog:    cfg.catalog,
+		Registry:   registry,
+		Engine:     coordEng,
+		Dispatcher: hub,
+	})
+	if err != nil {
+		log.Fatalf("scrubcentral: %v", err)
+	}
+	hub.SetMetrics(reg)
+	hub.SetServer(srv)
+	coordEng.OnShardMap(func(m transport.ShardMap) { go hub.BroadcastShardMap(m) })
+	for _, rq := range resumed {
+		id := rq.QueryID
+		_, err := srv.Adopt(id, rq.Text,
+			time.Unix(0, rq.StartNanos), time.Unix(0, rq.EndNanos), rq.PinEpoch,
+			server.Callbacks{Done: func(qd transport.QueryDone) {
+				log.Printf("scrubcentral: adopted query %d done: %+v", id, qd.Stats)
+			}})
+		if err != nil {
+			log.Printf("scrubcentral: adopt query %d: %v", id, err)
+		}
+	}
+	hub.Serve()
+
+	if reg != nil {
+		bound, err := obs.Serve(cfg.metricsAddr, reg)
+		if err != nil {
+			log.Fatalf("scrubcentral: metrics listener: %v", err)
+		}
+		fmt.Printf("scrubcentral metrics: http://%s/metrics\n", bound)
+	}
+	fmt.Printf("scrubcentral up (promoted leader, fence %d)\n  client:  %s\n  control: %s\n  data:    %s\n  resumed queries: %d\n",
+		coordEng.Fence(), hub.ClientAddr(), hub.ControlAddr(), hub.DataAddr(), len(resumed))
+
+	<-stop
+	fmt.Println("scrubcentral: shutting down")
+	srv.Close()
+	hub.Close()
 }

@@ -152,9 +152,20 @@ func (c *shardClient) apply(msg transport.ShardSubBatch) (transport.ShardBatchAc
 	return ack, nil
 }
 
-func (c *shardClient) collect(queryID uint64, bound int64) (transport.ShardPartials, error) {
+// staleErr latches the client down after a shard rejected the caller's
+// fencing epoch: the coordinator holding this client was deposed, and
+// every further RPC from it would be rejected the same way. Latching
+// down sends its queries into the ordinary degrade path — a deposed
+// leader stops emitting instead of emitting windows that conflict with
+// its successor's.
+func (c *shardClient) staleErr() error {
+	c.close()
+	return fmt.Errorf("coord: shard %s: stale fencing epoch (deposed)", c.addr)
+}
+
+func (c *shardClient) collect(queryID uint64, bound int64, fence uint64) (transport.ShardPartials, error) {
 	resp, seq, err := c.do(func(s uint64) transport.Message {
-		return transport.ShardCollectReq{Seq: s, QueryID: queryID, Bound: bound}
+		return transport.ShardCollectReq{Seq: s, Fence: fence, QueryID: queryID, Bound: bound}
 	})
 	if err != nil {
 		return transport.ShardPartials{}, err
@@ -162,13 +173,16 @@ func (c *shardClient) collect(queryID uint64, bound int64) (transport.ShardParti
 	sp, ok := resp.(transport.ShardPartials)
 	if !ok || sp.Seq != seq {
 		return transport.ShardPartials{}, c.seqErr(resp)
+	}
+	if sp.Stale {
+		return transport.ShardPartials{}, c.staleErr()
 	}
 	return sp, nil
 }
 
-func (c *shardClient) stop(queryID uint64) (transport.ShardPartials, error) {
+func (c *shardClient) stop(queryID uint64, fence uint64) (transport.ShardPartials, error) {
 	resp, seq, err := c.do(func(s uint64) transport.Message {
-		return transport.ShardStopReq{Seq: s, QueryID: queryID}
+		return transport.ShardStopReq{Seq: s, Fence: fence, QueryID: queryID}
 	})
 	if err != nil {
 		return transport.ShardPartials{}, err
@@ -177,7 +191,29 @@ func (c *shardClient) stop(queryID uint64) (transport.ShardPartials, error) {
 	if !ok || sp.Seq != seq {
 		return transport.ShardPartials{}, c.seqErr(resp)
 	}
+	if sp.Stale {
+		return transport.ShardPartials{}, c.staleErr()
+	}
 	return sp, nil
+}
+
+// fence installs the caller's fencing epoch on the shard and returns the
+// shard's active query ids for takeover reconciliation.
+func (c *shardClient) fence(f uint64) (transport.ShardFenceAck, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message {
+		return transport.ShardFence{Seq: s, Fence: f}
+	})
+	if err != nil {
+		return transport.ShardFenceAck{}, err
+	}
+	ack, ok := resp.(transport.ShardFenceAck)
+	if !ok || ack.Seq != seq {
+		return transport.ShardFenceAck{}, c.seqErr(resp)
+	}
+	if !ack.Ok {
+		return ack, c.staleErr()
+	}
+	return ack, nil
 }
 
 func (c *shardClient) stats(queryID uint64) (transport.ShardStatsResp, error) {
@@ -192,6 +228,23 @@ func (c *shardClient) stats(queryID uint64) (transport.ShardStatsResp, error) {
 		return transport.ShardStatsResp{}, c.seqErr(resp)
 	}
 	return sr, nil
+}
+
+// repAppend ships replication log entries (or a heartbeat, when entries
+// is empty) to a standby over the same serialized RPC channel shards
+// use.
+func (c *shardClient) repAppend(term, index uint64, entries []transport.RepEntry) (transport.RepAck, error) {
+	resp, seq, err := c.do(func(s uint64) transport.Message {
+		return transport.RepAppend{Seq: s, Term: term, Index: index, Entries: entries}
+	})
+	if err != nil {
+		return transport.RepAck{}, err
+	}
+	ack, ok := resp.(transport.RepAck)
+	if !ok || ack.Seq != seq {
+		return transport.RepAck{}, c.seqErr(resp)
+	}
+	return ack, nil
 }
 
 func (c *shardClient) ping(nonce uint64) error {

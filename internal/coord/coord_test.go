@@ -389,3 +389,458 @@ func TestMetricsMembershipSeries(t *testing.T) {
 		t.Fatal("per-shard lag gauge not unregistered on leave")
 	}
 }
+
+// TestStartQueryTwoPhase drives the install interleaving by hand: the
+// test plays shard 1 and, while the coordinator's StartQuery is blocked
+// on its ShardStart RPC, probes the half-installed query. The entry must
+// be invisible — manifests dropped, StopQuery/Stats unknown — so the
+// rollback after shard 1's refusal never races state someone else folded
+// in. (PR 10 bugfix: the query used to be published before install.)
+func TestStartQueryTwoPhase(t *testing.T) {
+	vc := &vclock{}
+	c := NewCoordinator(Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer c.Close()
+
+	// Shard 0: a real node. Shard 1: the test goroutine, speaking the
+	// shard protocol by hand.
+	node := NewShardNode(testCatalog())
+	cc0, cs0 := transport.Pipe()
+	go node.ServeConn(cs0)
+	c.AddShardConn(cc0, "shard-0")
+	cc1, cs1 := transport.Pipe()
+	c.AddShardConn(cc1, "shard-1")
+
+	q, err := ql.Parse(`select count(*) from ev window 10s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp, err := ql.Analyze(q, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := central.FromPlan(qp, 1, 0, 0, 1, 1)
+	plan.Text = `select count(*) from ev window 10s`
+
+	col := &collector{}
+	startErr := make(chan error, 1)
+	go func() { startErr <- c.StartQuery(plan, col.emit) }()
+
+	// Act as shard 1: the coordinator is now mid-install (shard 0
+	// accepted; we have not answered).
+	m, err := cs1.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	start, ok := m.(transport.ShardStart)
+	if !ok {
+		t.Fatalf("shard 1 received %s, want ShardStart", transport.Name(m))
+	}
+
+	// Probe the pending entry: it must be invisible to every Executor
+	// surface, and a manifest racing the install must be dropped.
+	c.HandleManifest(transport.BatchManifest{
+		QueryID: 1, HostID: "h1", RawTuples: 1, HasTs: true, MaxTs: 50 * sec,
+	})
+	if _, ok := c.Stats(1); ok {
+		t.Error("Stats sees a query whose install has not finished")
+	}
+	if _, ok := c.StopQuery(1); ok {
+		t.Error("StopQuery stopped a query whose install has not finished")
+	}
+	if ids := c.ActiveQueries(); len(ids) != 0 {
+		t.Errorf("ActiveQueries during install = %v, want none", ids)
+	}
+
+	// Refuse the start: the rollback must leave no trace.
+	if err := cs1.Send(transport.ShardAck{Seq: start.Seq, Err: "no capacity"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-startErr; err == nil {
+		t.Fatal("StartQuery succeeded despite shard refusal")
+	}
+	if ids := c.ActiveQueries(); len(ids) != 0 {
+		t.Errorf("ActiveQueries after rollback = %v, want none", ids)
+	}
+	if len(col.wins) != 0 {
+		t.Errorf("rolled-back query emitted %d windows", len(col.wins))
+	}
+	// The dropped manifest must not have left stream state behind: shard
+	// 0 no longer runs the query either (rollback stopped it).
+	if qs := node.Engine().ActiveQueries(); len(qs) != 0 {
+		t.Errorf("shard 0 still runs %v after rollback", qs)
+	}
+
+	// The same id must be startable again once the bad shard is gone.
+	cs1.Close()
+	if err := c.members[1].ping(1); err == nil {
+		t.Fatal("ping over closed conn should succeed... failing")
+	}
+	c.Tick(0) // sweep shard 1 out
+	if err := c.StartQuery(plan, col.emit); err != nil {
+		t.Fatalf("restart after rollback: %v", err)
+	}
+	if _, ok := c.StopQuery(1); !ok {
+		t.Fatal("restarted query not stoppable")
+	}
+}
+
+// TestStartQueryRollbackManifestRace is the -race companion of the
+// two-phase test: manifests and stops hammer the coordinator from other
+// goroutines while StartQuery installs against a shard that refuses
+// (empty catalog). Correctness here is "the detector stays quiet and
+// nothing leaks" — the deterministic interleaving is pinned above.
+func TestStartQueryRollbackManifestRace(t *testing.T) {
+	vc := &vclock{}
+	c := NewCoordinator(Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer c.Close()
+	good := NewShardNode(testCatalog())
+	cc0, cs0 := transport.Pipe()
+	go good.ServeConn(cs0)
+	c.AddShardConn(cc0, "shard-0")
+	// This shard's catalog cannot resolve "ev": every ShardStart fails.
+	bad := NewShardNode(event.NewCatalog())
+	cc1, cs1 := transport.Pipe()
+	go bad.ServeConn(cs1)
+	c.AddShardConn(cc1, "shard-1")
+
+	q, _ := ql.Parse(`select count(*) from ev window 10s`)
+	qp, err := ql.Analyze(q, testCatalog())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{}, 2)
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.HandleManifest(transport.BatchManifest{
+				QueryID: 1, HostID: "h1", RawTuples: 1, HasTs: true, MaxTs: i * sec,
+			})
+		}
+	}()
+	go func() {
+		defer func() { done <- struct{}{} }()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.StopQuery(1)
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		plan := central.FromPlan(qp, 1, 0, 0, 1, 1)
+		plan.Text = `select count(*) from ev window 10s`
+		if err := c.StartQuery(plan, func(transport.ResultWindow) {}); err == nil {
+			t.Fatal("StartQuery succeeded against a shard that cannot resolve the schema")
+		}
+	}
+	close(stop)
+	<-done
+	<-done
+	if ids := c.ActiveQueries(); len(ids) != 0 {
+		t.Errorf("queries leaked through rollback: %v", ids)
+	}
+	if qs := good.Engine().ActiveQueries(); len(qs) != 0 {
+		t.Errorf("good shard still runs %v after rollbacks", qs)
+	}
+}
+
+// TestManifestTupleFreeHasTs: a manifest whose tuples were all shard-side
+// filtered or late-dropped (RawTuples 0 with HasTs or LateDelta) must
+// still advance the stream's clock and fold its late drops — otherwise a
+// host in that state stalls the watermark for every host until its lease
+// expires. (PR 10 bugfix: the tuple-free early return skipped both.)
+func TestManifestTupleFreeHasTs(t *testing.T) {
+	vc := &vclock{}
+	tt := newTestTopo(t, 1, Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer tt.close()
+	col := &collector{}
+	tt.startQuery(t, 1, `select count(*) from ev window 10s`, time.Second, col)
+
+	// One real tuple in [0,10s).
+	vc.nanos = sec
+	tt.send(t, 1, 0, sec)
+	if len(col.wins) != 0 {
+		t.Fatalf("window closed early: %d", len(col.wins))
+	}
+
+	// A tuple-free manifest from the same stream carries the clock past
+	// the close bound — as when every tuple in the batch was late-dropped
+	// shard-side — plus a late-drop delta to fold.
+	vc.nanos = 12 * sec
+	tt.coord.HandleManifest(transport.BatchManifest{
+		QueryID: 1, HostID: "h1", TypeIdx: 0,
+		RawTuples: 0, HasTs: true, MaxTs: 12 * sec, LateDelta: 3,
+	})
+	if len(col.wins) != 1 {
+		t.Fatalf("tuple-free HasTs manifest did not close the window: %d windows", len(col.wins))
+	}
+	rw := col.wins[0]
+	if n := countOf(t, rw); n != 1 {
+		t.Errorf("window count = %d, want 1", n)
+	}
+	var lateDrops uint64
+	for _, s := range rw.Streams {
+		if s.HostID == "h1" {
+			lateDrops = s.LateDrops
+		}
+	}
+	if lateDrops != 3 {
+		t.Errorf("stream late drops = %d, want 3 (LateDelta folded before the tuple-free return)", lateDrops)
+	}
+}
+
+// TestStopAfterMemberRemoval stops a query after its pinned shard died
+// AND was swept out of the membership. The sweep must not tear down the
+// client object the query still holds: StopQuery takes the degrade path
+// against the latched-down client and drains the survivor cleanly.
+// (PR 10 bugfix: removeDownLocked used to close() the client it was
+// promising to keep.)
+func TestStopAfterMemberRemoval(t *testing.T) {
+	vc := &vclock{}
+	tt := newTestTopo(t, 2, Options{Clock: vc.now, LeaseTTL: time.Hour})
+	defer tt.close()
+	col := &collector{}
+	tt.startQuery(t, 1, `select count(*) from ev window 10s`, time.Second, col)
+
+	for i := 0; i < 6; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	tt.shards[1].kill()
+	// Latch the death into the coordinator's client (first failed RPC),
+	// then sweep the membership.
+	if _, ok := tt.coord.Stats(1); !ok {
+		t.Fatal("Stats missed")
+	}
+	epochBefore := tt.coord.ShardMap().Epoch
+	tt.coord.Tick(vc.nanos)
+	if m := tt.coord.ShardMap(); len(m.Addrs) != 1 || m.Epoch <= epochBefore {
+		t.Fatalf("sweep did not remove the dead shard: %+v", m)
+	}
+
+	// The stop after the sweep: survivor drained, dead shard degraded.
+	stats, ok := tt.coord.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery missed after member removal")
+	}
+	if len(col.wins) != 1 {
+		t.Fatalf("drain emitted %d windows, want 1", len(col.wins))
+	}
+	if rw := col.wins[0]; !rw.Degraded {
+		t.Error("drained window not flagged Degraded")
+	} else if n := countOf(t, rw); n != 3 {
+		t.Errorf("drained count = %d, want 3 (surviving shard)", n)
+	}
+	if stats.TuplesIn != 3 {
+		t.Errorf("stats.TuplesIn = %d, want 3", stats.TuplesIn)
+	}
+}
+
+// TestLeaderFailover is the tentpole scenario end to end, in-process: a
+// replicating leader with a standby loses a query mid-flight, the
+// standby promotes under a higher fencing term, re-pins the shards,
+// stops the leader's orphan registration, resumes the replicated query,
+// and finishes it with exact counts (honestly flagged Degraded) — while
+// the deposed leader, still alive, is fenced out of emitting anything.
+func TestLeaderFailover(t *testing.T) {
+	vc := &vclock{}
+	opts := Options{Clock: vc.now, LeaseTTL: time.Hour}
+	tt := newTestTopo(t, 2, opts)
+	defer tt.close()
+	// Heartbeat an hour out: replication in this test rides the
+	// synchronous appends only, keeping the interleaving deterministic.
+	tt.coord.StartReplication(ReplicationConfig{Term: 1, Heartbeat: time.Hour})
+	if tt.coord.Fence() != 1 {
+		t.Fatalf("leader fence = %d, want 1", tt.coord.Fence())
+	}
+
+	sb := NewStandby(StandbyOptions{
+		Central: opts,
+		Catalog: testCatalog(),
+		Dial: func(addr string) (*transport.Conn, error) {
+			for i, s := range tt.shards {
+				if addr == fmt.Sprintf("shard-%d", i) {
+					cc, cs := transport.Pipe()
+					go s.node.ServeConn(cs)
+					return cc, nil
+				}
+			}
+			return nil, fmt.Errorf("unknown shard %q", addr)
+		},
+	})
+	sbc, sbs := transport.Pipe()
+	go sb.ServeConn(sbs)
+	tt.coord.AddStandbyConn(sbc, "standby-0")
+
+	const src = `select count(*) from ev window 10s`
+	col1 := &collector{}
+	tt.startQuery(t, 1, src, time.Second, col1)
+
+	// Pre-failover traffic: six tuples in [0,10s), then one at 12s that
+	// closes the first window on the leader.
+	for i := 0; i < 6; i++ {
+		vc.nanos = int64(i+1) * sec
+		tt.send(t, 1, uint64(i), int64(i+1)*sec)
+	}
+	vc.nanos = 12 * sec
+	tt.send(t, 1, 6, 12*sec)
+	if len(col1.wins) != 1 {
+		t.Fatalf("leader emitted %d windows pre-failover, want 1", len(col1.wins))
+	}
+	if n := countOf(t, col1.wins[0]); n != 6 {
+		t.Fatalf("pre-failover count = %d, want 6", n)
+	}
+	if col1.wins[0].Degraded {
+		t.Error("pre-failover window flagged Degraded")
+	}
+
+	// The standby shadows the registration.
+	if term, _, qs := sb.Snapshot(); term != 1 || len(qs) != 1 || qs[0] != 1 {
+		t.Fatalf("standby snapshot term=%d queries=%v, want term 1 queries [1]", term, qs)
+	}
+
+	// An orphan: the leader died mid-StartQuery — installed on shard 0,
+	// never replicated. Takeover must stop it.
+	{
+		q, err := ql.Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qp, err := ql.Analyze(q, testCatalog())
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan7 := central.FromPlan(qp, 7, 0, 0, 1, 1)
+		plan7.Text = src
+		if err := tt.shards[0].node.Engine().StartDriven(plan7); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Promote while the old leader still runs: fencing, not leader
+	// death, is what keeps this safe.
+	old := tt.coord
+	col2 := &collector{}
+	promoted, resumed, err := sb.Promote(func(rq ResumedQuery, plan *central.Plan) central.EmitFunc {
+		return col2.emit
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer old.Close()
+	tt.coord = promoted // manifests and Stop/Tick now target the new leader
+
+	if promoted.Fence() != 2 {
+		t.Errorf("promoted fence = %d, want 2", promoted.Fence())
+	}
+	if len(resumed) != 1 || resumed[0].QueryID != 1 || resumed[0].Text != src {
+		t.Fatalf("resumed = %+v, want query 1 with original text", resumed)
+	}
+	if resumed[0].PinEpoch != 2 {
+		t.Errorf("resumed pin epoch = %d, want 2", resumed[0].PinEpoch)
+	}
+	for i, s := range tt.shards {
+		if f := s.node.Fence(); f != 2 {
+			t.Errorf("shard %d fence = %d, want 2", i, f)
+		}
+	}
+	if qs := tt.shards[0].node.Engine().ActiveQueries(); len(qs) != 1 || qs[0] != 1 {
+		t.Errorf("shard 0 active queries after takeover = %v, want [1] (orphan stopped)", qs)
+	}
+	if _, _, err := sb.Promote(nil); err == nil {
+		t.Error("second Promote did not error")
+	}
+
+	// The new leader's map (fence 2) applies; the deposed leader's push
+	// (fence 1) must be ignored.
+	tt.router.HandleShardMap(promoted.ShardMap())
+	tt.router.HandleShardMap(transport.ShardMap{Epoch: 99, Fence: 1, Addrs: []string{"bogus"}})
+	tt.router.mu.Lock()
+	_, leaked := tt.router.maps[99]
+	tt.router.mu.Unlock()
+	if leaked {
+		t.Error("router applied a shard map from a deposed leader")
+	}
+
+	// Post-failover traffic: [10,20s) holds the 12s tuple absorbed under
+	// the old leader plus six new ones — exact count across the takeover.
+	for i := 0; i < 6; i++ {
+		vc.nanos = int64(13+i) * sec
+		tt.send(t, 1, uint64(12+i), int64(13+i)*sec)
+	}
+	vc.nanos = 30 * sec
+	tt.send(t, 1, 30, 30*sec)
+	if len(col2.wins) != 1 {
+		t.Fatalf("promoted leader emitted %d windows, want 1", len(col2.wins))
+	}
+	if n := countOf(t, col2.wins[0]); n != 7 {
+		t.Errorf("post-failover count = %d, want 7 (1 pre-kill + 6 post)", n)
+	}
+	if !col2.wins[0].Degraded {
+		t.Error("post-failover window not flagged Degraded")
+	}
+	if s, e := col2.wins[0].WindowStart, col2.wins[0].WindowEnd; s != 10*sec || e != 20*sec {
+		t.Errorf("post-failover window [%d,%d), want [10s,20s)", s, e)
+	}
+
+	// The zombie: its collect/stop RPCs are stale on every shard, so it
+	// can emit nothing — not even on an explicit drain.
+	pre := len(col1.wins)
+	old.Tick(vc.nanos)
+	if _, ok := old.StopQuery(1); !ok {
+		t.Error("zombie StopQuery lost its own registration")
+	}
+	if len(col1.wins) != pre {
+		t.Errorf("zombie emitted %d windows after being fenced", len(col1.wins)-pre)
+	}
+
+	// The survivor drains cleanly: the 30s tuple is still pending.
+	stats, ok := tt.coord.StopQuery(1)
+	if !ok {
+		t.Fatal("StopQuery on promoted leader missed")
+	}
+	if stats.DegradedWindows == 0 {
+		t.Error("post-failover stats counted no degraded windows")
+	}
+	if len(col2.wins) != 2 {
+		t.Fatalf("drain emitted %d total windows, want 2", len(col2.wins))
+	}
+	if n := countOf(t, col2.wins[1]); n != 1 {
+		t.Errorf("drained count = %d, want 1", n)
+	}
+}
+
+// TestStandbyAwaitFailover pins the failover trigger contract: never
+// before the first leader contact, and only after the configured
+// silence once contact was made.
+func TestStandbyAwaitFailover(t *testing.T) {
+	sb := NewStandby(StandbyOptions{FailoverTimeout: 50 * time.Millisecond})
+	stop := make(chan struct{})
+	defer close(stop)
+	fired := make(chan bool, 1)
+	go func() { fired <- sb.AwaitFailover(stop) }()
+	select {
+	case <-fired:
+		t.Fatal("failover fired without ever hearing a leader")
+	case <-time.After(200 * time.Millisecond):
+	}
+	if ack := sb.handleAppend(transport.RepAppend{Term: 1}); !ack.Ok {
+		t.Fatalf("heartbeat append NAKed: %+v", ack)
+	}
+	select {
+	case ok := <-fired:
+		if !ok {
+			t.Fatal("AwaitFailover returned false without stop")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("failover did not fire after leader silence")
+	}
+}

@@ -29,6 +29,13 @@ type Coordinator struct {
 	opt central.Options
 	met *coordMetrics
 
+	// fence is this coordinator's fencing epoch, stamped into every
+	// start/collect/stop RPC and shard-map push. Standalone deployments
+	// run at 0; a leader with standbys runs at its replication term, and
+	// a promoted standby takes over at a strictly higher term, so shards
+	// reject the deposed leader's RPCs. Immutable after construction.
+	fence uint64
+
 	mu         sync.Mutex
 	members    []*shardClient
 	epoch      uint32
@@ -36,6 +43,7 @@ type Coordinator struct {
 	rebalances uint64
 	queries    map[uint64]*coordQuery
 	onMap      func(transport.ShardMap)
+	rep        *replicator // nil unless StartReplication was called
 }
 
 var _ central.Executor = (*Coordinator)(nil)
@@ -50,6 +58,13 @@ var _ central.Executor = (*Coordinator)(nil)
 type coordQuery struct {
 	qr   *central.QueryRuntime
 	emit central.EmitFunc
+
+	// installed flips true once every pinned shard accepted the start.
+	// Until then the entry only reserves the query id: manifests and
+	// batches are dropped (their tuples never reached a registered shard
+	// query) and StopQuery reports the query unknown, so a rolled-back
+	// start never races concurrent traffic folding state into it.
+	installed bool
 
 	// Topology pinned at StartQuery: the shard list of the then-current
 	// epoch. Membership changes never touch a running query.
@@ -142,10 +157,16 @@ func (c *Coordinator) bumpEpochLocked() {
 	if c.onMap != nil {
 		c.onMap(c.shardMapLocked())
 	}
+	if c.rep != nil {
+		m := c.shardMapLocked()
+		c.rep.append(transport.RepEntry{
+			Kind: transport.RepMembership, MapEpoch: m.Epoch, Addrs: m.Addrs,
+		})
+	}
 }
 
 func (c *Coordinator) shardMapLocked() transport.ShardMap {
-	m := transport.ShardMap{Epoch: c.epoch}
+	m := transport.ShardMap{Epoch: c.epoch, Fence: c.fence}
 	for _, sc := range c.members {
 		m.Addrs = append(m.Addrs, sc.addr)
 	}
@@ -186,6 +207,13 @@ func (c *Coordinator) QueryEpoch(id uint64) (uint32, bool) {
 // removeDownLocked drops dead shards from the membership (their pinned
 // queries keep their clients and degrade; only new queries see the
 // shrunken map) and bumps the epoch if anything changed.
+//
+// The dead client is NOT closed here: it is already latched down (down
+// latches exactly when failLocked closed the connection, and the latch is
+// never cleared), and queries pinned to it still hold it in cq.shards.
+// Their collect/stop calls keep failing fast on the latch and take the
+// degrade path — drop caches folded, Degraded flagged — rather than
+// dereferencing a client whose contract was torn up underneath them.
 func (c *Coordinator) removeDownLocked() {
 	kept := c.members[:0]
 	changed := false
@@ -193,7 +221,6 @@ func (c *Coordinator) removeDownLocked() {
 		if sc.isDown() {
 			changed = true
 			c.met.dropShard(sc.addr)
-			sc.close()
 			continue
 		}
 		kept = append(kept, sc)
@@ -244,14 +271,19 @@ func (c *Coordinator) StartQuery(p central.Plan, emit central.EmitFunc) error {
 		cq.replayHold = true
 		cq.replayDeadline = c.opt.Clock().UnixNano() + 2*int64(c.opt.LeaseTTL)
 	}
+	// Two-phase install: the entry is published pending (reserving the id
+	// against duplicate submissions) but absorbs no traffic until every
+	// shard accepted the start — a manifest racing the install would
+	// otherwise fold stream state into a query the rollback then deletes.
 	c.queries[plan.QueryID] = cq
 	c.mu.Unlock()
 
 	msg := ShardStartFromPlan(plan)
+	msg.Fence = c.fence
 	for i, sc := range cq.shards {
 		if err := sc.start(msg); err != nil {
 			for j := 0; j < i; j++ {
-				cq.shards[j].stop(plan.QueryID)
+				cq.shards[j].stop(plan.QueryID, c.fence)
 			}
 			c.mu.Lock()
 			delete(c.queries, plan.QueryID)
@@ -259,6 +291,69 @@ func (c *Coordinator) StartQuery(p central.Plan, emit central.EmitFunc) error {
 			return err
 		}
 	}
+	c.mu.Lock()
+	cq.installed = true
+	if c.rep != nil {
+		c.rep.append(startEntry(plan, cq))
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// resumeQuery installs a replicated registration on a promoted
+// coordinator. Unlike StartQuery it never rolls back: a shard that
+// refuses or died contributes degraded windows, exactly as if it had
+// died mid-query — at takeover, availability wins over atomicity. The
+// query resumes with topoDegraded latched: the manifest-gap during
+// failover lost stream/watermark accounting the new leader cannot
+// recover, so every window it emits is honestly flagged.
+func (c *Coordinator) resumeQuery(plan *central.Plan, pinEpoch uint32, replayDeadline int64, emit central.EmitFunc) error {
+	if emit == nil {
+		return fmt.Errorf("coord: nil emit")
+	}
+	qr, err := central.CompileQuery(*plan)
+	if err != nil {
+		return err
+	}
+	plan = qr.Plan()
+
+	c.mu.Lock()
+	if _, dup := c.queries[plan.QueryID]; dup {
+		c.mu.Unlock()
+		return fmt.Errorf("central: query %d already active", plan.QueryID)
+	}
+	cq := &coordQuery{
+		qr: qr, emit: emit,
+		epoch:        pinEpoch,
+		shards:       append([]*shardClient(nil), c.members...),
+		streams:      liveness.NewTable(c.opt.LeaseTTL),
+		pending:      make(map[int64]*central.PartialWindow),
+		routeDrops:   make(map[liveness.Key]uint64),
+		topoDegraded: true,
+	}
+	cq.shardLate = make([]uint64, len(cq.shards))
+	cq.shardOverflow = make([]uint64, len(cq.shards))
+	if plan.Replay > 0 && replayDeadline > c.opt.Clock().UnixNano() {
+		cq.replayHold = true
+		cq.replayDeadline = replayDeadline
+	}
+	c.queries[plan.QueryID] = cq
+	c.mu.Unlock()
+
+	msg := ShardStartFromPlan(plan)
+	msg.Fence = c.fence
+	for _, sc := range cq.shards {
+		if sc.isDown() {
+			continue
+		}
+		sc.start(msg) // idempotent; failure latches the client down
+	}
+	c.mu.Lock()
+	cq.installed = true
+	if c.rep != nil {
+		c.rep.append(startEntry(plan, cq))
+	}
+	c.mu.Unlock()
 	return nil
 }
 
@@ -269,7 +364,7 @@ func (c *Coordinator) HandleManifest(m transport.BatchManifest) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cq, ok := c.queries[m.QueryID]
-	if !ok {
+	if !ok || !cq.installed {
 		return
 	}
 	if int(m.TypeIdx) >= len(cq.qr.Plan().Types) {
@@ -304,14 +399,19 @@ func (c *Coordinator) manifestLocked(cq *coordQuery, m transport.BatchManifest) 
 	for i := 0; i < len(cq.shards) && i < len(m.ShardOverflow); i++ {
 		cq.shardOverflow[i] = max(cq.shardOverflow[i], m.ShardOverflow[i])
 	}
-	// Mirror the engines: a tuple-free batch is worth processing only when
-	// its ReplayDone marker just released the replay hold.
-	if m.RawTuples == 0 && !released {
-		return
-	}
+	// Fold timestamp and late-drop state unconditionally, mirroring
+	// Engine.HandleBatch: a manifest whose tuples were all shard-side
+	// filtered or late-dropped still advances this stream's clock — an
+	// early return here would stall the watermark (and so window closure
+	// for every stream) until the host's lease expired.
 	st.LateDrops += m.LateDelta
 	if m.HasTs {
 		st.ObserveTs(m.MaxTs)
+	}
+	// Mirror the engines: with nothing observed and no replay release,
+	// there is no close decision to make.
+	if m.RawTuples == 0 && !m.HasTs && m.LateDelta == 0 && !released {
+		return
 	}
 	if !holding && (m.HasTs || released) {
 		if wm, wok := cq.streams.Watermark(); wok {
@@ -351,6 +451,9 @@ func (c *Coordinator) Tick(nowNanos int64) {
 	c.removeDownLocked()
 	leaseNow := c.opt.Clock().UnixNano()
 	for id, cq := range c.queries {
+		if !cq.installed {
+			continue
+		}
 		evicted := cq.streams.Expire(leaseNow)
 		wasHolding := cq.replayHold
 		if central.ReplayHolding(&cq.replayHold, cq.replayDeadline, cq.streams, leaseNow) {
@@ -387,7 +490,7 @@ func (c *Coordinator) collectLocked(id uint64, cq *coordQuery, bound int64) {
 			cq.topoDegraded = true
 			continue
 		}
-		sp, err := sc.collect(id, bound)
+		sp, err := sc.collect(id, bound, c.fence)
 		if err != nil {
 			cq.topoDegraded = true
 			continue
@@ -474,7 +577,7 @@ func (c *Coordinator) StopQuery(id uint64) (transport.QueryStats, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cq, ok := c.queries[id]
-	if !ok {
+	if !ok || !cq.installed {
 		return transport.QueryStats{}, false
 	}
 	var lateDrops uint64
@@ -484,7 +587,7 @@ func (c *Coordinator) StopQuery(id uint64) (transport.QueryStats, bool) {
 			lateDrops += cq.shardLate[i] + cq.shardOverflow[i]
 			continue
 		}
-		sp, err := sc.stop(id)
+		sp, err := sc.stop(id, c.fence)
 		if err != nil {
 			cq.topoDegraded = true
 			lateDrops += cq.shardLate[i] + cq.shardOverflow[i]
@@ -505,6 +608,9 @@ func (c *Coordinator) StopQuery(id uint64) (transport.QueryStats, bool) {
 	cq.stats.LateDrops = lateDrops + cq.mergeDrops
 	cq.stats.HostDrops = cq.streams.HostDrops()
 	delete(c.queries, id)
+	if c.rep != nil {
+		c.rep.append(transport.RepEntry{Kind: transport.RepQueryStop, QueryID: id})
+	}
 	return cq.stats, true
 }
 
@@ -514,7 +620,7 @@ func (c *Coordinator) Stats(id uint64) (transport.QueryStats, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cq, ok := c.queries[id]
-	if !ok {
+	if !ok || !cq.installed {
 		return transport.QueryStats{}, false
 	}
 	st := cq.stats
@@ -538,7 +644,10 @@ func (c *Coordinator) ActiveQueries() []uint64 {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]uint64, 0, len(c.queries))
-	for id := range c.queries {
+	for id, cq := range c.queries {
+		if !cq.installed {
+			continue
+		}
 		out = append(out, id)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -617,10 +726,12 @@ func (c *Coordinator) ServeConn(conn *transport.Conn) {
 	}
 }
 
-// Close tears down every shard connection. Queries are not drained.
+// Close tears down every shard connection and stops replication to
+// standbys. Queries are not drained.
 func (c *Coordinator) Close() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	rep := c.rep
+	c.rep = nil
 	for _, sc := range c.members {
 		sc.close()
 	}
@@ -628,5 +739,9 @@ func (c *Coordinator) Close() {
 		for _, sc := range cq.shards {
 			sc.close()
 		}
+	}
+	c.mu.Unlock()
+	if rep != nil {
+		rep.stop()
 	}
 }

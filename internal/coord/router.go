@@ -60,6 +60,9 @@ type Router struct {
 	pins    map[uint64]uint32   // query -> pinned epoch
 	clients map[string]*shardClient
 	drops   map[routeKey]uint64
+	// fence is the highest coordinator fencing epoch seen on a ShardMap
+	// push; pushes below it come from a deposed leader and are ignored.
+	fence uint64
 }
 
 // NewRouter creates a router reporting manifests through manifest.
@@ -86,8 +89,20 @@ func (r *Router) SetMap(epoch uint32, addrs []string) {
 	r.maps[epoch] = append([]string(nil), addrs...)
 }
 
-// HandleShardMap is SetMap for a received push message.
-func (r *Router) HandleShardMap(m transport.ShardMap) { r.SetMap(m.Epoch, m.Addrs) }
+// HandleShardMap is SetMap for a received push message, with fencing: a
+// push whose Fence is below the highest seen is a deposed leader trying
+// to redirect routing and is dropped. Fences only ratchet up, so pushes
+// from the current leader (same fence) keep applying.
+func (r *Router) HandleShardMap(m transport.ShardMap) {
+	r.mu.Lock()
+	if m.Fence < r.fence {
+		r.mu.Unlock()
+		return
+	}
+	r.fence = m.Fence
+	r.mu.Unlock()
+	r.SetMap(m.Epoch, m.Addrs)
+}
 
 // PinQuery pins a query's routing to a shard-map epoch (from
 // HostQuery.ShardEpoch). Epoch 0 means unpinned: the fallback sink

@@ -2,6 +2,7 @@ package coord
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
 	"scrub/internal/central"
@@ -14,9 +15,16 @@ import (
 // behind a per-connection RPC loop. Windows never close here — the
 // coordinator's collect barriers are the only close authority — so a
 // shard holds state, absorbs sub-batches, and answers collect/stop/stats.
+//
+// The node also enforces coordinator fencing: it latches the highest
+// fencing epoch any start/collect/stop/fence RPC has carried and rejects
+// state-draining RPCs from lower epochs. A deposed leader therefore
+// cannot collect or drain windows after a standby took over — the
+// takeover's higher epoch fences it out on first contact.
 type ShardNode struct {
-	eng *central.Engine
-	cat *event.Catalog
+	eng   *central.Engine
+	cat   *event.Catalog
+	fence atomic.Uint64
 }
 
 // NewShardNode creates a shard node over cat. The engine never registers
@@ -28,6 +36,24 @@ func NewShardNode(cat *event.Catalog) *ShardNode {
 
 // Engine exposes the underlying driven engine (tests).
 func (n *ShardNode) Engine() *central.Engine { return n.eng }
+
+// Fence reports the highest fencing epoch the node has latched.
+func (n *ShardNode) Fence() uint64 { return n.fence.Load() }
+
+// admitFence latches f if it is at least the current fencing epoch and
+// reports whether the caller is current. Equal epochs are admitted: the
+// same leader may speak over many connections.
+func (n *ShardNode) admitFence(f uint64) bool {
+	for {
+		cur := n.fence.Load()
+		if f < cur {
+			return false
+		}
+		if f == cur || n.fence.CompareAndSwap(cur, f) {
+			return true
+		}
+	}
+}
 
 // Serve accepts connections until the listener closes. Each connection
 // gets its own RPC loop; the engine serializes internally.
@@ -64,17 +90,32 @@ func (n *ShardNode) ServeConn(c *transport.Conn) {
 				LateDelta: ack.LateDelta, Late: ack.Late, Overflow: ack.Overflow,
 			}
 		case transport.ShardCollectReq:
+			if !n.admitFence(t.Fence) {
+				resp = transport.ShardPartials{Seq: t.Seq, Stale: true}
+				break
+			}
 			partials, late, overflow, found := n.eng.CollectDriven(t.QueryID, t.Bound)
 			resp = transport.ShardPartials{
 				Seq: t.Seq, Found: found, Partials: toWirePartials(partials),
 				Late: late, Overflow: overflow,
 			}
 		case transport.ShardStopReq:
+			if !n.admitFence(t.Fence) {
+				resp = transport.ShardPartials{Seq: t.Seq, Stale: true}
+				break
+			}
 			partials, drops, found := n.eng.DrainDriven(t.QueryID)
 			resp = transport.ShardPartials{
 				Seq: t.Seq, Found: found, Partials: toWirePartials(partials),
 				Late: drops,
 			}
+		case transport.ShardFence:
+			ack := transport.ShardFenceAck{Seq: t.Seq, Ok: n.admitFence(t.Fence)}
+			ack.Fence = n.fence.Load()
+			if ack.Ok {
+				ack.Queries = n.eng.ActiveQueries()
+			}
+			resp = ack
 		case transport.ShardStatsReq:
 			resp = n.handleStats(t)
 		case transport.Ping:
@@ -95,7 +136,19 @@ func (n *ShardNode) ServeConn(c *transport.Conn) {
 // installs the query in driven mode. Re-analysis (rather than shipping a
 // compiled plan) keeps the wire format free of expression trees; the
 // differential oracle holds both analyses to identical semantics.
+//
+// Starts are idempotent per query id: a promoted standby re-installs
+// every replicated registration, and a shard that already runs the query
+// must keep its absorbed window state rather than error or reset.
 func (n *ShardNode) handleStart(t transport.ShardStart) transport.ShardAck {
+	if !n.admitFence(t.Fence) {
+		return transport.ShardAck{Seq: t.Seq, Err: "stale fencing epoch"}
+	}
+	for _, id := range n.eng.ActiveQueries() {
+		if id == t.QueryID {
+			return transport.ShardAck{Seq: t.Seq}
+		}
+	}
 	cp, err := PlanFromShardStart(t, n.cat)
 	if err != nil {
 		return transport.ShardAck{Seq: t.Seq, Err: err.Error()}

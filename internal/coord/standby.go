@@ -1,0 +1,304 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"scrub/internal/central"
+	"scrub/internal/event"
+	"scrub/internal/transport"
+)
+
+// Standby is the passive half of coordinator high availability: it
+// applies the leader's replicated control-plane log into a shadow state
+// machine (query registrations and shard membership — never window
+// state) and, on leader silence, promotes itself into a live Coordinator
+// under a strictly higher fencing term.
+//
+// Election is deliberately not quorum-based: the shards are the ground
+// truth and the fence. A promoted standby's first act is installing its
+// higher fencing epoch on every shard, after which the old leader's
+// collect/stop RPCs are rejected — so even if both believe they lead,
+// only one can drain window state and emit. Multiple standbys stagger
+// their failover timeouts by Rank so the lowest rank wins the race in
+// the common case, and fencing arbitrates the rest.
+type Standby struct {
+	opt StandbyOptions
+
+	mu         sync.Mutex
+	term       uint64
+	applied    uint64
+	queries    map[uint64]transport.RepEntry // live registrations by query id
+	membership transport.ShardMap
+	promoted   bool
+
+	// lastContact is the wall time of the last append from a live
+	// leader; 0 until the first one, so a standby that never saw a
+	// leader does not promote an empty state machine over a booting one.
+	lastContact atomic.Int64
+}
+
+// StandbyOptions configures a Standby.
+type StandbyOptions struct {
+	// Central configures the Coordinator built at promotion. Clock and
+	// LeaseTTL must match the dead leader's for the differential
+	// contracts to keep holding.
+	Central Options
+	// Catalog re-analyzes replicated query text at promotion.
+	Catalog *event.Catalog
+	// Dial opens shard connections at promotion; nil uses transport.Dial
+	// with the standard RPC timeout.
+	Dial func(addr string) (*transport.Conn, error)
+	// FailoverTimeout is how long the leader must be silent before
+	// AwaitFailover fires; 0 means 2s. The leader heartbeats every 250ms
+	// by default, so the default tolerates several missed beats.
+	FailoverTimeout time.Duration
+	// Rank staggers multiple standbys: the effective timeout is
+	// FailoverTimeout * (Rank + 1), so rank 0 promotes first.
+	Rank int
+}
+
+// NewStandby creates a standby with an empty state machine. Serve (or
+// ServeConn) feeds it the leader's replication stream.
+func NewStandby(opt StandbyOptions) *Standby {
+	if opt.FailoverTimeout <= 0 {
+		opt.FailoverTimeout = 2 * time.Second
+	}
+	return &Standby{
+		opt:     opt,
+		queries: make(map[uint64]transport.RepEntry),
+	}
+}
+
+// Serve accepts replication connections until the listener closes.
+func (s *Standby) Serve(l *transport.Listener) {
+	for {
+		c, err := l.Accept()
+		if err != nil {
+			return
+		}
+		go s.ServeConn(c)
+	}
+}
+
+// ServeConn answers replication RPCs on one connection until it fails
+// or closes.
+func (s *Standby) ServeConn(c *transport.Conn) {
+	defer c.Close()
+	for {
+		m, err := c.Recv()
+		if err != nil {
+			return
+		}
+		var resp transport.Message
+		switch t := m.(type) {
+		case transport.RepAppend:
+			resp = s.handleAppend(t)
+		case transport.Ping:
+			resp = transport.Pong{Nonce: t.Nonce}
+		default:
+			continue
+		}
+		if err := c.Send(resp); err != nil {
+			return
+		}
+	}
+}
+
+// handleAppend applies one append. A promoted standby — or one that has
+// seen a higher term — NAKs with its term so a deposed leader learns it
+// is stale; an append ahead of the applied index NAKs with the applied
+// index to request retransmission from there.
+func (s *Standby) handleAppend(t transport.RepAppend) transport.RepAck {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.promoted || t.Term < s.term {
+		return transport.RepAck{Seq: t.Seq, Term: s.term, Index: s.applied}
+	}
+	s.term = t.Term
+	if t.Index > s.applied {
+		return transport.RepAck{Seq: t.Seq, Term: s.term, Index: s.applied}
+	}
+	for i, e := range t.Entries {
+		if t.Index+uint64(i) < s.applied {
+			continue // duplicate of an already-applied entry
+		}
+		s.applyLocked(e)
+		s.applied++
+	}
+	s.lastContact.Store(time.Now().UnixNano())
+	return transport.RepAck{Seq: t.Seq, Term: s.term, Index: s.applied, Ok: true}
+}
+
+func (s *Standby) applyLocked(e transport.RepEntry) {
+	switch e.Kind {
+	case transport.RepQueryStart:
+		s.queries[e.Start.QueryID] = e
+	case transport.RepQueryStop:
+		delete(s.queries, e.QueryID)
+	case transport.RepMembership:
+		s.membership = transport.ShardMap{Epoch: e.MapEpoch, Addrs: e.Addrs}
+	}
+}
+
+// Snapshot reports the standby's replication state (observability,
+// tests): the highest term seen, applied log length, and live query ids.
+func (s *Standby) Snapshot() (term, applied uint64, queries []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for id := range s.queries {
+		queries = append(queries, id)
+	}
+	sort.Slice(queries, func(i, j int) bool { return queries[i] < queries[j] })
+	return s.term, s.applied, queries
+}
+
+// AwaitFailover blocks until the leader has been silent for the
+// configured (rank-staggered) timeout and reports true, or until stop
+// closes and reports false. A standby that never heard a leader waits
+// indefinitely: it has nothing to take over.
+func (s *Standby) AwaitFailover(stop <-chan struct{}) bool {
+	timeout := s.opt.FailoverTimeout * time.Duration(s.opt.Rank+1)
+	t := time.NewTicker(timeout / 4)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return false
+		case <-t.C:
+			lc := s.lastContact.Load()
+			if lc == 0 {
+				continue
+			}
+			if time.Now().UnixNano()-lc > int64(timeout) {
+				return true
+			}
+		}
+	}
+}
+
+// ResumedQuery describes one registration a promotion carried over,
+// with what a serving layer needs to re-adopt it (text for host
+// re-registration fan-out, the span for expiry timers).
+type ResumedQuery struct {
+	QueryID    uint64
+	Text       string
+	StartNanos int64
+	EndNanos   int64
+	PinEpoch   uint32
+}
+
+// Promote assumes leadership: it builds a live Coordinator under term+1
+// (strictly above anything the dead leader stamped), reconstructs the
+// replicated membership at its replicated epoch and order — order
+// matters, it is the rid%n routing order every host pins — fences every
+// live shard, stops orphan queries a dead leader installed but never
+// committed, and re-installs every replicated registration (idempotent
+// shard-side, so absorbed window state survives).
+//
+// emitFor supplies the emit hook per resumed query. Every resumed query
+// starts with its Degraded latch set: the manifest-gap during failover
+// lost stream/watermark accounting this coordinator cannot recover, so
+// its windows are honestly flagged rather than silently incomplete.
+//
+// Promotion is one-shot; a second call errors. Shard or query failures
+// do not abort it — at takeover, availability wins — they latch clients
+// down and degrade, exactly like a mid-query shard death.
+func (s *Standby) Promote(emitFor func(q ResumedQuery, plan *central.Plan) central.EmitFunc) (*Coordinator, []ResumedQuery, error) {
+	s.mu.Lock()
+	if s.promoted {
+		s.mu.Unlock()
+		return nil, nil, fmt.Errorf("coord: standby already promoted")
+	}
+	s.promoted = true
+	s.term++
+	term := s.term
+	membership := s.membership
+	entries := make([]transport.RepEntry, 0, len(s.queries))
+	for _, e := range s.queries {
+		entries = append(entries, e)
+	}
+	s.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		return entries[i].Start.QueryID < entries[j].Start.QueryID
+	})
+
+	dial := s.opt.Dial
+	if dial == nil {
+		dial = func(addr string) (*transport.Conn, error) {
+			return transport.Dial(addr, rpcTimeout)
+		}
+	}
+
+	c := NewCoordinator(s.opt.Central)
+	c.fence = term
+	c.mu.Lock()
+	c.epoch = membership.Epoch
+	for _, addr := range membership.Addrs {
+		conn, err := dial(addr)
+		if err != nil {
+			// The shard is unreachable right now: keep its slot (routing
+			// order must not shift) but latched down, like a dead shard.
+			sc := newShardClient(nil, addr)
+			sc.down.Store(true)
+			c.members = append(c.members, sc)
+			continue
+		}
+		c.members = append(c.members, newShardClient(conn, addr))
+	}
+	c.met.setMembership(len(c.members), c.epoch)
+	members := append([]*shardClient(nil), c.members...)
+	c.mu.Unlock()
+
+	// Fence first: from here the old leader's collect/stop RPCs are
+	// rejected on every shard that answered. The acks also reveal orphan
+	// queries — installed by the dead leader but never replicated (it
+	// died mid-StartQuery, so the submitter saw an error or will retry);
+	// stop them so they do not leak shard memory.
+	replicated := make(map[uint64]bool, len(entries))
+	for _, e := range entries {
+		replicated[e.Start.QueryID] = true
+	}
+	for _, sc := range members {
+		if sc.isDown() {
+			continue
+		}
+		ack, err := sc.fence(term)
+		if err != nil {
+			continue // latched down; queries pinned to it degrade
+		}
+		for _, id := range ack.Queries {
+			if !replicated[id] {
+				sc.stop(id, term)
+			}
+		}
+	}
+
+	// Resume the registrations in ascending query-id order.
+	var resumed []ResumedQuery
+	for _, e := range entries {
+		plan, err := PlanFromShardStart(e.Start, s.opt.Catalog)
+		if err != nil {
+			continue // unresolvable text (catalog drift); nothing to resume
+		}
+		rq := ResumedQuery{
+			QueryID:    e.Start.QueryID,
+			Text:       e.Start.Text,
+			StartNanos: e.Start.StartNanos,
+			EndNanos:   e.Start.EndNanos,
+			PinEpoch:   e.PinEpoch,
+		}
+		emit := emitFor(rq, &plan)
+		if emit == nil {
+			continue
+		}
+		if err := c.resumeQuery(&plan, e.PinEpoch, e.ReplayDeadline, emit); err != nil {
+			continue
+		}
+		resumed = append(resumed, rq)
+	}
+	return c, resumed, nil
+}

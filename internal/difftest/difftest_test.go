@@ -89,7 +89,14 @@ func runSeed(t *testing.T, seed int64) *Outcome {
 //     the within-host variance term assumed the per-window cluster size
 //     Mᵢ was known, so for COUNT (every sampled value 1, s²ᵢ = 0) the
 //     bound collapsed to zero while the estimate mᵢ/q carried full
-//     binomial error — sweep coverage sat near 0.79 instead of ≥0.95.
+//     binomial error — sweep coverage sat near 0.79 instead of ≥0.95;
+//   - the coordinator published a query before installing it on shards
+//     (manifests could fold into a registration that was later rolled
+//     back) and skipped LateDelta/ObserveTs on tuple-free manifests; the
+//     failover arm kills the replicating leader mid-delivery on every
+//     seed, so any of these — or a takeover that loses a registration,
+//     double-emits a collected window, or forgets the Degraded latch —
+//     diverges against the Engine.
 //
 // The seeds below cover each family in exact mode at multiple shard
 // counts plus chaos mode at several shard counts (mode cycle: 24-seed
@@ -113,6 +120,8 @@ func TestRegressionSeeds(t *testing.T) {
 		87, // topk,     4 shards, chaos: stop-flush drop accounting
 		93, // topk,     8 shards, chaos: stop-flush drop accounting
 		95, // join,     8 shards, chaos: degraded-window agreement
+		13, // grouped,  4 shards, exact: leader killed mid-query, standby resumes
+		69, // topk,     8 shards, hostsample: failover under host subsetting
 	}
 	for _, seed := range seeds {
 		runSeed(t, seed)

@@ -2,6 +2,7 @@ package difftest
 
 import (
 	"fmt"
+	"time"
 
 	"scrub/internal/central"
 	"scrub/internal/coord"
@@ -66,6 +67,130 @@ func (t *pipeTopology) start(p central.Plan, emit central.EmitFunc) error {
 // close tears down every connection; the per-connection serve loops exit
 // on their next Recv.
 func (t *pipeTopology) close() {
+	t.router.Close()
+	t.coord.Close()
+	t.mconn.Close()
+}
+
+// failoverTopology is the fourth executor arm: the same fabric as
+// pipeTopology, but the coordinator replicates its control plane to a
+// standby, and the harness kills the leader mid-query. The standby
+// promotes under a higher fencing term, resumes the replicated
+// registration against the still-live shard nodes, and finishes the
+// query — so every sweep seed exercises the takeover path, not just the
+// dedicated failover tests.
+type failoverTopology struct {
+	coord   *coord.Coordinator
+	standby *coord.Standby
+	router  *coord.Router
+	nodes   []*coord.ShardNode
+
+	// manifest is the router's current target; failover() swaps it to the
+	// promoted coordinator. The harness is single-threaded, so a plain
+	// field suffices.
+	manifest coord.ManifestFunc
+	mconn    *transport.Conn
+	emit     central.EmitFunc
+	queryID  uint64
+	promoted bool
+}
+
+func newFailoverTopology(shards int, opts central.Options, cat func() *event.Catalog) *failoverTopology {
+	t := &failoverTopology{coord: coord.NewCoordinator(opts)}
+	// Heartbeats an hour out: replication rides the synchronous appends
+	// only, so the single-threaded harness stays deterministic.
+	t.coord.StartReplication(coord.ReplicationConfig{Term: 1, Heartbeat: time.Hour})
+	t.standby = coord.NewStandby(coord.StandbyOptions{
+		Central: coordOptions(opts),
+		Catalog: cat(),
+		Dial: func(addr string) (*transport.Conn, error) {
+			for i, node := range t.nodes {
+				if addr == fmt.Sprintf("shard-%d", i) {
+					cc, cs := transport.Pipe()
+					go node.ServeConn(cs)
+					return cc, nil
+				}
+			}
+			return nil, fmt.Errorf("difftest: unknown shard %q", addr)
+		},
+	})
+	sbc, sbs := transport.Pipe()
+	go t.standby.ServeConn(sbs)
+	t.coord.AddStandbyConn(sbc, "standby-0")
+
+	mc, ms := transport.Pipe()
+	t.mconn = mc
+	go t.coord.ServeConn(ms)
+	t.manifest = coord.NewManifestClient(mc)
+	t.router = coord.NewRouter(func(m transport.BatchManifest) error {
+		return t.manifest(m)
+	}, nil)
+	for i := 0; i < shards; i++ {
+		node := coord.NewShardNode(cat())
+		t.nodes = append(t.nodes, node)
+		addr := fmt.Sprintf("shard-%d", i)
+		cc, cs := transport.Pipe()
+		go node.ServeConn(cs)
+		t.coord.AddShardConn(cc, addr)
+		rc, rs := transport.Pipe()
+		go node.ServeConn(rs)
+		t.router.AddShardConn(addr, rc)
+	}
+	return t
+}
+
+// coordOptions passes the leader's clock/lease config through to the
+// coordinator a promotion builds (the contracts need both on one clock).
+func coordOptions(opts central.Options) coord.Options {
+	return coord.Options{Clock: opts.Clock, LeaseTTL: opts.LeaseTTL}
+}
+
+func (t *failoverTopology) start(p central.Plan, emit central.EmitFunc) error {
+	t.emit = emit
+	t.queryID = p.QueryID
+	if err := t.coord.StartQuery(p, emit); err != nil {
+		return err
+	}
+	epoch, ok := t.coord.QueryEpoch(p.QueryID)
+	if !ok {
+		return fmt.Errorf("difftest: query %d vanished after StartQuery", p.QueryID)
+	}
+	t.router.HandleShardMap(t.coord.ShardMap())
+	t.router.PinQuery(p.QueryID, epoch)
+	return nil
+}
+
+// failover kills the leader and promotes the standby. The replicated
+// registration must survive: losing it would drop the query on the floor,
+// which is exactly the bug class the tentpole exists to prevent.
+func (t *failoverTopology) failover() error {
+	t.coord.Close()
+	t.mconn.Close()
+	promoted, resumed, err := t.standby.Promote(
+		func(coord.ResumedQuery, *central.Plan) central.EmitFunc { return t.emit })
+	if err != nil {
+		return fmt.Errorf("difftest: promote: %v", err)
+	}
+	found := false
+	for _, rq := range resumed {
+		if rq.QueryID == t.queryID {
+			found = true
+		}
+	}
+	if !found {
+		return fmt.Errorf("difftest: leader death lost query %d (resumed: %v)", t.queryID, resumed)
+	}
+	t.coord = promoted
+	t.promoted = true
+	mc, ms := transport.Pipe()
+	t.mconn = mc
+	go promoted.ServeConn(ms)
+	t.manifest = coord.NewManifestClient(mc)
+	t.router.HandleShardMap(promoted.ShardMap())
+	return nil
+}
+
+func (t *failoverTopology) close() {
 	t.router.Close()
 	t.coord.Close()
 	t.mconn.Close()

@@ -395,6 +395,24 @@ func Run(cfg Config) (*Outcome, error) {
 		return out, err
 	}
 
+	// Fourth executor: the same fabric under a replicating leader the
+	// harness kills halfway through the delivery sequence. The standby
+	// promotes under a higher fencing term and finishes the query against
+	// the surviving shard nodes.
+	fo := newFailoverTopology(procs, opts, catalog)
+	defer fo.close()
+	planFO := plan
+	planFO.Text = src
+	cFO := collector{name: "failover"}
+	if err := fo.start(planFO, cFO.emit); err != nil {
+		return out, err
+	}
+	killAt := -1
+	if len(deliveries) >= 4 {
+		killAt = len(deliveries) / 2
+	}
+	foPre := -1 // leader-emitted window count at the kill; -1 = never killed
+
 	// The tick watermark is valid only once EVERY stream that will ever
 	// ship has reported: a minimum over a prefix of the streams runs
 	// ahead of the true watermark, and ticking with it would force-close
@@ -437,10 +455,22 @@ func Run(cfg Config) (*Outcome, error) {
 				streamMax[k] = mts
 			}
 		}
+		if i == killAt {
+			foPre = len(cFO.wins)
+			if debugTrace {
+				fmt.Printf("failover: killing leader before delivery %d (%d windows emitted)\n", i, foPre)
+			}
+			if err := fo.failover(); err != nil {
+				return out, err
+			}
+		}
 		eng.HandleBatch(transport.CloneBatch(b))
 		sh.HandleBatch(transport.CloneBatch(b))
 		if err := topo.router.SendBatch(transport.CloneBatch(b)); err != nil {
 			return out, fmt.Errorf("multiproc routing: %v", err)
+		}
+		if err := fo.router.SendBatch(transport.CloneBatch(b)); err != nil {
+			return out, fmt.Errorf("failover routing: %v", err)
 		}
 		if i%7 == 6 {
 			// Exact modes tick at the harness-tracked watermark — never
@@ -457,6 +487,7 @@ func Run(cfg Config) (*Outcome, error) {
 			eng.Tick(now)
 			sh.Tick(now)
 			topo.coord.Tick(now)
+			fo.coord.Tick(now)
 		}
 	}
 	if cfg.Mode == modeChaos {
@@ -465,13 +496,19 @@ func Run(cfg Config) (*Outcome, error) {
 		eng.Tick(vc.nanos)
 		sh.Tick(vc.nanos)
 		topo.coord.Tick(vc.nanos)
+		fo.coord.Tick(vc.nanos)
 		eng.Tick(vc.nanos)
 		sh.Tick(vc.nanos)
 		topo.coord.Tick(vc.nanos)
+		fo.coord.Tick(vc.nanos)
 	}
 	engStats, _ := eng.StopQuery(plan.QueryID)
 	shStats, _ := sh.StopQuery(plan.QueryID)
 	mpStats, _ := topo.coord.StopQuery(plan.QueryID)
+	foStats, foOK := fo.coord.StopQuery(plan.QueryID)
+	if !foOK {
+		return out, fmt.Errorf("failover topology lost query %d at StopQuery\n  query: %s", plan.QueryID, src)
+	}
 
 	ew, sw := cEng.wins, cSh.wins
 	out.Windows = len(ew)
@@ -492,6 +529,22 @@ func Run(cfg Config) (*Outcome, error) {
 	}
 	if err := compareStats(engStats, mpStats); err != nil {
 		return out, fmt.Errorf("cross-engine stats divergence (Engine vs %d-process topology): %v\n  query: %s", procs, err, src)
+	}
+
+	// --- contract D'': the failover topology survives its leader kill ---
+
+	if foPre < 0 {
+		// Too few deliveries to kill mid-query: the leader ran the whole
+		// sim and must be bit-identical like the other arms (replication
+		// on, fencing at term 1 — neither may perturb results).
+		if err := compareWindowLists(ew, cFO.wins, procs); err != nil {
+			return out, fmt.Errorf("cross-engine divergence (Engine vs replicating leader): %v\n  query: %s", err, src)
+		}
+		if err := compareStats(engStats, foStats); err != nil {
+			return out, fmt.Errorf("cross-engine stats divergence (Engine vs replicating leader): %v\n  query: %s", err, src)
+		}
+	} else if err := compareFailoverWindows(ew, cFO.wins, foPre, procs); err != nil {
+		return out, fmt.Errorf("failover divergence (Engine vs promoted standby, %d-process): %v\n  query: %s", procs, err, src)
 	}
 
 	if cfg.Mode == modeChaos {
@@ -707,6 +760,42 @@ func compareWindowLists(ew, sw []transport.ResultWindow, shards int) error {
 func compareStats(a, b transport.QueryStats) error {
 	if a != b {
 		return fmt.Errorf("final stats: %+v vs %+v", a, b)
+	}
+	return nil
+}
+
+// compareFailoverWindows enforces contract D'': windows the leader
+// emitted before its kill are bit-identical to the Engine's prefix, and
+// the promoted standby's windows afterwards are an ordered subsequence
+// of the Engine's remaining spans, every one honestly flagged Degraded.
+//
+// Rows are deliberately not compared post-failover: the promoted
+// coordinator rebuilds its watermark from post-kill manifests only, so a
+// stream that went quiet before the kill no longer holds the minimum
+// back — stragglers' tuples can drop late at the shards, and a window
+// whose every tuple dropped that way never materializes at all. Spans
+// can only come from partials of tuples the Engine also absorbed, so
+// the subsequence relation (and the Degraded flag) is what takeover
+// guarantees.
+func compareFailoverWindows(ew, fw []transport.ResultWindow, pre, shards int) error {
+	if pre > len(fw) || pre > len(ew) {
+		return fmt.Errorf("pre-kill window count %d exceeds emitted (engine %d, failover %d)", pre, len(ew), len(fw))
+	}
+	if err := compareWindowLists(ew[:pre], fw[:pre], shards); err != nil {
+		return fmt.Errorf("pre-kill prefix: %v", err)
+	}
+	j := pre
+	for _, w := range fw[pre:] {
+		if !w.Degraded {
+			return fmt.Errorf("post-failover window [%d,%d) not flagged Degraded", w.WindowStart, w.WindowEnd)
+		}
+		for j < len(ew) && (ew[j].WindowStart != w.WindowStart || ew[j].WindowEnd != w.WindowEnd) {
+			j++
+		}
+		if j == len(ew) {
+			return fmt.Errorf("post-failover window [%d,%d) has no Engine counterpart in order", w.WindowStart, w.WindowEnd)
+		}
+		j++
 	}
 	return nil
 }

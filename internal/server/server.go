@@ -85,6 +85,10 @@ type serverQuery struct {
 	timer      *time.Timer
 	done       bool
 	shardEpoch uint32 // shard-map epoch the query is pinned to; 0 single-process
+	// adopted marks a query resumed from a dead leader's replicated log
+	// (Adopt): its host set is discovered incrementally as hosts register,
+	// not fixed at submission.
+	adopted bool
 }
 
 // Server coordinates query execution. Create with New, stop with Close.
@@ -256,6 +260,61 @@ func columnLabels(p *ql.Plan) []string {
 	return out
 }
 
+// Adopt registers a query that is already running in the engine — a
+// promoted coordinator resumed it from the dead leader's replicated
+// control-plane log — so span expiry, listing, cancellation and host
+// resync treat it like any accepted query. The engine side is not
+// started here: the promotion installed it with its own emit hook, so
+// cb.Window is optional and cb.Done fires at span expiry or Cancel.
+//
+// The host set starts empty on purpose. At takeover the fleet has not
+// re-registered with this server, so the target resolves to nothing;
+// ResyncHost re-resolves it as each host registers (host sampling is
+// deterministic in the query id, so the same hosts are chosen the dead
+// leader chose), and finish stops exactly the hosts that showed up.
+func (s *Server) Adopt(qid uint64, text string, start, end time.Time, shardEpoch uint32, cb Callbacks) (QueryInfo, error) {
+	if cb.Done == nil {
+		return QueryInfo{}, fmt.Errorf("server: Done callback is required")
+	}
+	q, err := ql.Parse(text)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	plan, err := ql.Analyze(q, s.cfg.Catalog)
+	if err != nil {
+		return QueryInfo{}, err
+	}
+	info := QueryInfo{ID: qid, Columns: columnLabels(plan), Start: start, End: end}
+	sq := &serverQuery{info: info, text: text, plan: plan, cb: cb, shardEpoch: shardEpoch, adopted: true}
+	s.mu.Lock()
+	if _, dup := s.queries[qid]; dup {
+		s.mu.Unlock()
+		return QueryInfo{}, fmt.Errorf("server: query %d already registered", qid)
+	}
+	s.queries[qid] = sq
+	// Future submissions must not collide with adopted ids.
+	if qid > s.nextID {
+		s.nextID = qid
+	}
+	s.mu.Unlock()
+
+	// Span expiry; a span that lapsed during the failover gap finishes
+	// immediately (still off the caller's goroutine).
+	d := end.Sub(s.cfg.Clock())
+	if d < 0 {
+		d = 0
+	}
+	t := time.AfterFunc(d, func() { s.finish(qid) })
+	s.mu.Lock()
+	if sq.done {
+		t.Stop()
+	} else {
+		sq.timer = t
+	}
+	s.mu.Unlock()
+	return info, nil
+}
+
 // finish tears a query down everywhere and reports Done exactly once.
 func (s *Server) finish(qid uint64) {
 	s.mu.Lock()
@@ -309,16 +368,46 @@ func (s *Server) Active() []uint64 {
 // dark until the span expires.
 func (s *Server) ResyncHost(hostName string) int {
 	s.mu.Lock()
-	var targeted []*serverQuery
+	var targeted, adopted []*serverQuery
 	for _, sq := range s.queries {
+		listed := false
 		for _, h := range sq.info.Hosts {
 			if h == hostName {
-				targeted = append(targeted, sq)
+				listed = true
 				break
 			}
 		}
+		switch {
+		case listed:
+			targeted = append(targeted, sq)
+		case sq.adopted:
+			adopted = append(adopted, sq)
+		}
 	}
 	s.mu.Unlock()
+
+	// Adopted queries discover their hosts here: the dead leader's chosen
+	// set was not replicated, but host sampling is deterministic in the
+	// query id, so re-resolving the target against the registry this host
+	// just joined reselects the same set the leader activated.
+	for _, sq := range adopted {
+		hosts := s.cfg.Registry.Resolve(sq.plan.Target)
+		chosen := sampling.SelectHosts(cluster.Names(hosts), sq.plan.SampleHosts, sq.info.ID)
+		for _, h := range chosen {
+			if h != hostName {
+				continue
+			}
+			s.mu.Lock()
+			if !sq.done {
+				sq.info.Hosts = append(sq.info.Hosts, hostName)
+				sq.info.NumHosts = len(hosts)
+				sq.info.SampledHosts = len(sq.info.Hosts)
+				targeted = append(targeted, sq)
+			}
+			s.mu.Unlock()
+			break
+		}
+	}
 
 	n := 0
 	for _, sq := range targeted {

@@ -80,25 +80,88 @@ func (r *reader) windowPartials() []WindowPartial {
 	return out
 }
 
+// shardStartBody encodes a ShardStart's fields; shared between the
+// ShardStart arm and the replication log codec (RepEntry nests the wire
+// registration verbatim, so both stay symmetric by construction).
+func (w *writer) shardStartBody(t ShardStart) {
+	w.u64(t.Seq)
+	w.u64(t.Fence)
+	w.u64(t.QueryID)
+	w.str(t.Text)
+	w.i64(t.StartNanos)
+	w.i64(t.EndNanos)
+	w.i64(t.ReplayNanos)
+	w.u32(t.TotalHosts)
+	w.u32(t.SampledHosts)
+	w.f64(t.SampleEvents)
+	w.f64(t.Confidence)
+	w.u32(t.MaxRawRows)
+	w.u32(t.MaxJoinPending)
+	w.f64(t.BudgetCPUPct)
+	w.f64(t.BudgetBytesPerSec)
+}
+
+func (r *reader) shardStartBody() ShardStart {
+	return ShardStart{
+		Seq: r.u64(), Fence: r.u64(), QueryID: r.u64(), Text: r.str(),
+		StartNanos: r.i64(), EndNanos: r.i64(), ReplayNanos: r.i64(),
+		TotalHosts: r.u32(), SampledHosts: r.u32(),
+		SampleEvents: r.f64(), Confidence: r.f64(),
+		MaxRawRows: r.u32(), MaxJoinPending: r.u32(),
+		BudgetCPUPct: r.f64(), BudgetBytesPerSec: r.f64(),
+	}
+}
+
+func (w *writer) repEntry(e RepEntry) {
+	w.u8(e.Kind)
+	w.shardStartBody(e.Start)
+	w.u32(e.PinEpoch)
+	w.i64(e.ReplayDeadline)
+	w.u64(e.QueryID)
+	w.u32(e.MapEpoch)
+	w.strs(e.Addrs)
+}
+
+func (r *reader) repEntry() RepEntry {
+	return RepEntry{
+		Kind: r.u8(), Start: r.shardStartBody(),
+		PinEpoch: r.u32(), ReplayDeadline: r.i64(),
+		QueryID: r.u64(), MapEpoch: r.u32(), Addrs: r.strs(),
+	}
+}
+
+func (w *writer) repEntries(es []RepEntry) {
+	w.uvarint(uint64(len(es)))
+	for _, e := range es {
+		w.repEntry(e)
+	}
+}
+
+func (r *reader) repEntries() []RepEntry {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.buf)) {
+		r.fail("implausible entry count")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]RepEntry, 0, n)
+	for i := uint64(0); i < n && r.err == nil; i++ {
+		out = append(out, r.repEntry())
+	}
+	return out
+}
+
 // appendEncodeCoord encodes the coordination messages; it reports false
 // for messages it does not know (the caller errors).
 func appendEncodeCoord(w *writer, m Message) bool {
 	switch t := m.(type) {
 	case ShardStart:
-		w.u64(t.Seq)
-		w.u64(t.QueryID)
-		w.str(t.Text)
-		w.i64(t.StartNanos)
-		w.i64(t.EndNanos)
-		w.i64(t.ReplayNanos)
-		w.u32(t.TotalHosts)
-		w.u32(t.SampledHosts)
-		w.f64(t.SampleEvents)
-		w.f64(t.Confidence)
-		w.u32(t.MaxRawRows)
-		w.u32(t.MaxJoinPending)
-		w.f64(t.BudgetCPUPct)
-		w.f64(t.BudgetBytesPerSec)
+		w.shardStartBody(t)
 	case ShardAck:
 		w.u64(t.Seq)
 		w.str(t.Err)
@@ -126,16 +189,19 @@ func appendEncodeCoord(w *writer, m Message) bool {
 		w.u64(t.Overflow)
 	case ShardCollectReq:
 		w.u64(t.Seq)
+		w.u64(t.Fence)
 		w.u64(t.QueryID)
 		w.i64(t.Bound)
 	case ShardPartials:
 		w.u64(t.Seq)
+		w.bool(t.Stale)
 		w.bool(t.Found)
 		w.windowPartials(t.Partials)
 		w.u64(t.Late)
 		w.u64(t.Overflow)
 	case ShardStopReq:
 		w.u64(t.Seq)
+		w.u64(t.Fence)
 		w.u64(t.QueryID)
 	case ShardStatsReq:
 		w.u64(t.Seq)
@@ -172,6 +238,7 @@ func appendEncodeCoord(w *writer, m Message) bool {
 		w.str(t.DataAddr)
 	case ShardMap:
 		w.u32(t.Epoch)
+		w.u64(t.Fence)
 		w.strs(t.Addrs)
 	case ShardStatusReq:
 		// no payload
@@ -189,6 +256,24 @@ func appendEncodeCoord(w *writer, m Message) bool {
 			w.u32(s.ActiveQueries)
 			w.u64(s.TuplesIn)
 		}
+	case ShardFence:
+		w.u64(t.Seq)
+		w.u64(t.Fence)
+	case ShardFenceAck:
+		w.u64(t.Seq)
+		w.u64(t.Fence)
+		w.bool(t.Ok)
+		w.u64s(t.Queries)
+	case RepAppend:
+		w.u64(t.Seq)
+		w.u64(t.Term)
+		w.u64(t.Index)
+		w.repEntries(t.Entries)
+	case RepAck:
+		w.u64(t.Seq)
+		w.u64(t.Term)
+		w.u64(t.Index)
+		w.bool(t.Ok)
 	default:
 		return false
 	}
@@ -200,14 +285,7 @@ func appendEncodeCoord(w *writer, m Message) bool {
 func decodeCoord(tag byte, r *reader) (Message, bool) {
 	switch tag {
 	case tagShardStart:
-		return ShardStart{
-			Seq: r.u64(), QueryID: r.u64(), Text: r.str(),
-			StartNanos: r.i64(), EndNanos: r.i64(), ReplayNanos: r.i64(),
-			TotalHosts: r.u32(), SampledHosts: r.u32(),
-			SampleEvents: r.f64(), Confidence: r.f64(),
-			MaxRawRows: r.u32(), MaxJoinPending: r.u32(),
-			BudgetCPUPct: r.f64(), BudgetBytesPerSec: r.f64(),
-		}, true
+		return r.shardStartBody(), true
 	case tagShardAck:
 		return ShardAck{Seq: r.u64(), Err: r.str()}, true
 	case tagShardSubBatch:
@@ -243,14 +321,14 @@ func decodeCoord(tag byte, r *reader) (Message, bool) {
 			LateDelta: r.u64(), Late: r.u64(), Overflow: r.u64(),
 		}, true
 	case tagShardCollectReq:
-		return ShardCollectReq{Seq: r.u64(), QueryID: r.u64(), Bound: r.i64()}, true
+		return ShardCollectReq{Seq: r.u64(), Fence: r.u64(), QueryID: r.u64(), Bound: r.i64()}, true
 	case tagShardPartials:
 		return ShardPartials{
-			Seq: r.u64(), Found: r.boolv(), Partials: r.windowPartials(),
+			Seq: r.u64(), Stale: r.boolv(), Found: r.boolv(), Partials: r.windowPartials(),
 			Late: r.u64(), Overflow: r.u64(),
 		}, true
 	case tagShardStopReq:
-		return ShardStopReq{Seq: r.u64(), QueryID: r.u64()}, true
+		return ShardStopReq{Seq: r.u64(), Fence: r.u64(), QueryID: r.u64()}, true
 	case tagShardStatsReq:
 		return ShardStatsReq{Seq: r.u64(), QueryID: r.u64()}, true
 	case tagShardStatsResp:
@@ -273,7 +351,7 @@ func decodeCoord(tag byte, r *reader) (Message, bool) {
 	case tagShardHello:
 		return ShardHello{ShardID: r.str(), DataAddr: r.str()}, true
 	case tagShardMap:
-		return ShardMap{Epoch: r.u32(), Addrs: r.strs()}, true
+		return ShardMap{Epoch: r.u32(), Fence: r.u64(), Addrs: r.strs()}, true
 	case tagShardStatusReq:
 		return ShardStatusReq{}, true
 	case tagShardStatusList:
@@ -295,6 +373,18 @@ func decodeCoord(tag byte, r *reader) (Message, bool) {
 			}
 		}
 		return sl, true
+	case tagShardFence:
+		return ShardFence{Seq: r.u64(), Fence: r.u64()}, true
+	case tagShardFenceAck:
+		return ShardFenceAck{
+			Seq: r.u64(), Fence: r.u64(), Ok: r.boolv(), Queries: r.u64s(),
+		}, true
+	case tagRepAppend:
+		return RepAppend{
+			Seq: r.u64(), Term: r.u64(), Index: r.u64(), Entries: r.repEntries(),
+		}, true
+	case tagRepAck:
+		return RepAck{Seq: r.u64(), Term: r.u64(), Index: r.u64(), Ok: r.boolv()}, true
 	default:
 		return nil, false
 	}

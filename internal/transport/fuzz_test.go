@@ -9,7 +9,7 @@ import (
 )
 
 // TestFuzzSeedsCoverAllTags pins the fuzz corpus to the wire protocol:
-// every registered tag — the 15 base messages and the 15 coordination
+// every registered tag — the 15 base messages and the 19 coordination
 // messages — must appear among the FuzzDecode seeds, so a message type
 // added without a sampleMessages entry fails here before the fuzzer
 // ever runs blind on it.
@@ -18,12 +18,12 @@ func TestFuzzSeedsCoverAllTags(t *testing.T) {
 	for _, m := range sampleMessages() {
 		seeded[m.msgTag()] = true
 	}
-	for tag := tagSubmitQuery; tag <= tagShardStatusList; tag++ {
+	for tag := tagSubmitQuery; tag <= tagRepAck; tag++ {
 		if !seeded[tag] {
 			t.Errorf("no fuzz seed encodes %s (tag %d); add a sample to sampleMessages", Name(newMessageForTag(t, tag)), tag)
 		}
 	}
-	if got, want := len(seeded), int(tagShardStatusList); got != want {
+	if got, want := len(seeded), int(tagRepAck); got != want {
 		t.Errorf("sampleMessages covers %d distinct tags, registry has %d", got, want)
 	}
 }

@@ -17,6 +17,15 @@ package transport
 //   - shard → coordinator (membership): ShardHello; coordinator → host
 //     agents: ShardMap pushes with epoch-numbered membership
 //
+// A fourth sub-conversation serves coordinator high availability:
+//
+//   - leader → standby (replication): RepAppend → RepAck carries the
+//     control-plane log (query registrations, membership transitions);
+//     an empty RepAppend doubles as the leader heartbeat
+//   - coordinator → shard (fencing): ShardFence → ShardFenceAck installs
+//     a fencing epoch; ShardStart/ShardCollectReq/ShardStopReq carry the
+//     caller's epoch so a deposed leader's RPCs are rejected
+//
 // New tags append after the base protocol's so old and new binaries never
 // reinterpret each other's messages.
 const (
@@ -35,6 +44,10 @@ const (
 	tagShardMap
 	tagShardStatusReq
 	tagShardStatusList
+	tagShardFence
+	tagShardFenceAck
+	tagRepAppend
+	tagRepAck
 )
 
 // ShardStart installs a query on a shard process in driven mode. The
@@ -42,7 +55,11 @@ const (
 // deployment facts, so plan distribution never serializes compiled
 // expression trees.
 type ShardStart struct {
-	Seq         uint64
+	Seq uint64
+	// Fence is the sending coordinator's fencing epoch; a shard rejects
+	// starts from an epoch below the highest it has seen. 0 (standalone
+	// deployments) is never below anything.
+	Fence       uint64
 	QueryID     uint64
 	Text        string
 	StartNanos  int64
@@ -100,6 +117,7 @@ type ShardBatchAck struct {
 // or before Bound and return the serialized partials.
 type ShardCollectReq struct {
 	Seq     uint64
+	Fence   uint64 // sender's fencing epoch (see ShardStart.Fence)
 	QueryID uint64
 	Bound   int64
 }
@@ -114,7 +132,10 @@ type WindowPartial struct {
 
 // ShardPartials answers ShardCollectReq and ShardStopReq.
 type ShardPartials struct {
-	Seq      uint64
+	Seq uint64
+	// Stale reports the request carried a fencing epoch below the shard's:
+	// the caller was deposed and got no state (Found false, no partials).
+	Stale    bool
 	Found    bool
 	Partials []WindowPartial
 	Late     uint64 // cumulative window-late drops (stop: late+overflow total)
@@ -124,6 +145,7 @@ type ShardPartials struct {
 // ShardStopReq drains and removes a query from a shard.
 type ShardStopReq struct {
 	Seq     uint64
+	Fence   uint64 // sender's fencing epoch (see ShardStart.Fence)
 	QueryID uint64
 }
 
@@ -192,6 +214,10 @@ type ShardHello struct {
 // request-id space across disagreeing hosts.
 type ShardMap struct {
 	Epoch uint32
+	// Fence is the fencing epoch of the coordinator that pushed the map;
+	// routers ignore maps from an epoch below the highest they have seen,
+	// so a deposed leader cannot redirect routing.
+	Fence uint64
 	Addrs []string // shard data addresses, index = shard position in rid % n
 }
 
@@ -218,6 +244,75 @@ type ShardStatusList struct {
 	Shards         []ShardStatus
 }
 
+// ShardFence installs a coordinator's fencing epoch on a shard at
+// takeover. The shard latches the highest epoch it has seen and from then
+// on rejects collect/stop/start RPCs from any lower epoch, so a deposed
+// leader can never drain state or emit a conflicting window.
+type ShardFence struct {
+	Seq   uint64
+	Fence uint64
+}
+
+// ShardFenceAck answers ShardFence. Queries lists the shard's active
+// query ids so the new leader can reconcile: re-install what it knows
+// (idempotent) and stop orphans a dead leader installed but never
+// committed to the replication log.
+type ShardFenceAck struct {
+	Seq     uint64
+	Fence   uint64 // the shard's fencing epoch after the call
+	Ok      bool   // false: the caller's epoch was below the shard's
+	Queries []uint64
+}
+
+// RepEntry is one replicated coordinator state transition. Only the
+// control plane is logged — query registrations and membership — never
+// the manifest/partial flow: window state lives on shards and any merger
+// can re-collect it.
+//
+// Kind selects which fields are meaningful.
+type RepEntry struct {
+	Kind uint8 // 1 = query start, 2 = query stop, 3 = membership
+	// Kind 1: the query's wire-form registration (Seq/Fence unused) plus
+	// the shard-map epoch it pinned and its replay-hold deadline.
+	Start          ShardStart
+	PinEpoch       uint32
+	ReplayDeadline int64
+	// Kind 2: the stopped query.
+	QueryID uint64
+	// Kind 3: the full membership after the transition (a snapshot, not a
+	// delta, so applying the latest entry alone is sufficient).
+	MapEpoch uint32
+	Addrs    []string
+}
+
+// RepEntry kinds.
+const (
+	RepQueryStart uint8 = 1
+	RepQueryStop  uint8 = 2
+	RepMembership uint8 = 3
+)
+
+// RepAppend replicates log entries from the leader to a standby. Index is
+// the log position of the first entry; an entry-free append is the leader
+// heartbeat. Term is the leader's fencing epoch: a standby ignores
+// appends from a term below the highest it has acknowledged.
+type RepAppend struct {
+	Seq     uint64
+	Term    uint64
+	Index   uint64
+	Entries []RepEntry
+}
+
+// RepAck answers RepAppend. Ok false with the receiver's Term above the
+// sender's means the sender was deposed; Ok false with Index below the
+// sender's asks for retransmission from Index (the receiver is behind).
+type RepAck struct {
+	Seq   uint64
+	Term  uint64 // receiver's highest term
+	Index uint64 // receiver's applied log length
+	Ok    bool
+}
+
 func (ShardStart) msgTag() byte      { return tagShardStart }
 func (ShardAck) msgTag() byte        { return tagShardAck }
 func (ShardSubBatch) msgTag() byte   { return tagShardSubBatch }
@@ -233,6 +328,10 @@ func (ShardHello) msgTag() byte      { return tagShardHello }
 func (ShardMap) msgTag() byte        { return tagShardMap }
 func (ShardStatusReq) msgTag() byte  { return tagShardStatusReq }
 func (ShardStatusList) msgTag() byte { return tagShardStatusList }
+func (ShardFence) msgTag() byte      { return tagShardFence }
+func (ShardFenceAck) msgTag() byte   { return tagShardFenceAck }
+func (RepAppend) msgTag() byte       { return tagRepAppend }
+func (RepAck) msgTag() byte          { return tagRepAck }
 
 // nameCoord resolves the coordination messages for Name.
 func nameCoord(m Message) (string, bool) {
@@ -267,6 +366,14 @@ func nameCoord(m Message) (string, bool) {
 		return "ShardStatusReq", true
 	case ShardStatusList:
 		return "ShardStatusList", true
+	case ShardFence:
+		return "ShardFence", true
+	case ShardFenceAck:
+		return "ShardFenceAck", true
+	case RepAppend:
+		return "RepAppend", true
+	case RepAck:
+		return "RepAck", true
 	default:
 		return "", false
 	}

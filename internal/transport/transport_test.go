@@ -77,7 +77,7 @@ func sampleMessages() []Message {
 		Ping{Nonce: 99},
 		Pong{Nonce: 99},
 		ShardStart{
-			Seq: 1, QueryID: 7, Text: "select count(*) from bid",
+			Seq: 1, Fence: 2, QueryID: 7, Text: "select count(*) from bid",
 			StartNanos: 100, EndNanos: 200, ReplayNanos: 30,
 			TotalHosts: 100, SampledHosts: 10, SampleEvents: 0.5,
 			Confidence: 0.99, MaxRawRows: 1000, MaxJoinPending: 4096,
@@ -94,7 +94,7 @@ func sampleMessages() []Message {
 		ShardSubBatch{Seq: 4, QueryID: 7, HostID: "h"}, // empty split
 		ShardBatchAck{Seq: 3, Known: true, HasTs: true, MaxTs: 44, LateDelta: 1, Late: 2, Overflow: 3},
 		ShardBatchAck{Seq: 4},
-		ShardCollectReq{Seq: 5, QueryID: 7, Bound: 1000},
+		ShardCollectReq{Seq: 5, Fence: 2, QueryID: 7, Bound: 1000},
 		ShardPartials{
 			Seq: 5, Found: true,
 			Partials: []WindowPartial{
@@ -104,7 +104,8 @@ func sampleMessages() []Message {
 			Late: 2, Overflow: 3,
 		},
 		ShardPartials{Seq: 6},
-		ShardStopReq{Seq: 7, QueryID: 7},
+		ShardPartials{Seq: 7, Stale: true},
+		ShardStopReq{Seq: 7, Fence: 2, QueryID: 7},
 		ShardStatsReq{Seq: 8, QueryID: 7},
 		ShardStatsResp{Seq: 8, Found: true, TuplesIn: 99, ActiveQueries: 2},
 		BatchManifest{
@@ -118,7 +119,7 @@ func sampleMessages() []Message {
 		BatchManifest{Seq: 10, QueryID: 8, HostID: "h"},
 		ManifestAck{Seq: 9},
 		ShardHello{ShardID: "shard-0", DataAddr: "127.0.0.1:7101"},
-		ShardMap{Epoch: 3, Addrs: []string{"127.0.0.1:7101", "127.0.0.1:7102"}},
+		ShardMap{Epoch: 3, Fence: 2, Addrs: []string{"127.0.0.1:7101", "127.0.0.1:7102"}},
 		ShardMap{},
 		ShardStatusReq{},
 		ShardStatusList{
@@ -129,6 +130,27 @@ func sampleMessages() []Message {
 			},
 		},
 		ShardStatusList{},
+		ShardFence{Seq: 11, Fence: 3},
+		ShardFenceAck{Seq: 11, Fence: 3, Ok: true, Queries: []uint64{7, 9}},
+		ShardFenceAck{Seq: 12, Fence: 4},
+		RepAppend{
+			Seq: 13, Term: 2, Index: 1,
+			Entries: []RepEntry{
+				{
+					Kind: RepQueryStart,
+					Start: ShardStart{
+						QueryID: 7, Text: "select count(*) from bid",
+						StartNanos: 100, EndNanos: 200, TotalHosts: 3, SampledHosts: 3,
+					},
+					PinEpoch: 2, ReplayDeadline: 500,
+				},
+				{Kind: RepQueryStop, QueryID: 9},
+				{Kind: RepMembership, MapEpoch: 2, Addrs: []string{"127.0.0.1:7101", "127.0.0.1:7102"}},
+			},
+		},
+		RepAppend{Seq: 14, Term: 2, Index: 4}, // heartbeat
+		RepAck{Seq: 13, Term: 2, Index: 4, Ok: true},
+		RepAck{Seq: 15, Term: 3, Index: 1},
 	}
 }
 
@@ -225,6 +247,13 @@ func normalize(m Message) Message {
 	case ShardMap:
 		if len(t.Addrs) == 0 {
 			t.Addrs = nil
+		}
+		return t
+	case RepAppend:
+		for i := range t.Entries {
+			if len(t.Entries[i].Addrs) == 0 {
+				t.Entries[i].Addrs = nil
+			}
 		}
 		return t
 	default:

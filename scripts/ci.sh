@@ -41,6 +41,9 @@ go test -race ./internal/difftest -run 'TestDifferentialSweep|TestRegressionSeed
 echo "== multinode smoke (coordinator + 2 shards + 3 hosts, -race) =="
 go test -race -run TestMultinodeSmoke ./internal/server
 
+echo "== failover smoke (kill -9 leader mid-query, standby promotes, -race) =="
+go run ./scripts/failoversmoke
+
 echo "== replay smoke (record/replay equivalence, hold release) =="
 go test -race -run 'TestReplay' ./internal/difftest ./internal/host ./internal/central ./internal/replay
 

@@ -1,0 +1,258 @@
+// Command failoversmoke is the CI gate for coordinator high availability:
+// it boots a real distributed deployment on loopback — two shard
+// processes, a warm standby, a replicating coordinator, two host agents
+// generating demo events, and a troubleshooter running a live query —
+// then kill -9s the coordinator mid-query and fails unless the standby
+// promotes, adopts the query, and keeps closing result windows.
+//
+// All children are built with -race so the takeover path runs under the
+// detector in CI. Run it from the repo root (make failover-smoke does):
+//
+//	go run ./scripts/failoversmoke
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "failover-smoke: FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println("failover-smoke: OK")
+}
+
+func run() error {
+	tmp, err := os.MkdirTemp("", "failoversmoke")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(tmp)
+
+	for _, cmd := range []string{"scrubcentral", "scrubd", "scrubql"} {
+		build := exec.Command("go", "build", "-race", "-o", filepath.Join(tmp, cmd), "./cmd/"+cmd)
+		build.Stderr = os.Stderr
+		if err := build.Run(); err != nil {
+			return fmt.Errorf("build %s: %w", cmd, err)
+		}
+	}
+	central := filepath.Join(tmp, "scrubcentral")
+
+	// The standby takes over the leader's addresses after the kill, so
+	// they must be fixed up front (ephemeral :0 would differ per process).
+	clientAddr, err := pickPort()
+	if err != nil {
+		return err
+	}
+	controlAddr, err := pickPort()
+	if err != nil {
+		return err
+	}
+	dataAddr, err := pickPort()
+	if err != nil {
+		return err
+	}
+
+	// Two shard processes: they outlive the leader and hold the windows.
+	var shardAddrs []string
+	for i := 0; i < 2; i++ {
+		shard := newDaemon(central, "-adplatform", "-shard", "127.0.0.1:0")
+		if err := shard.start(); err != nil {
+			return err
+		}
+		defer shard.stop()
+		addr, err := shard.await("  shard rpc: ")
+		if err != nil {
+			return err
+		}
+		shardAddrs = append(shardAddrs, addr)
+	}
+
+	// The warm standby: shadows the replicated log, and on leader silence
+	// rebinds the leader's client/control/data addresses.
+	standby := newDaemon(central, "-adplatform",
+		"-standby", "127.0.0.1:0", "-failover-timeout", "750ms",
+		"-client", clientAddr, "-control", controlAddr, "-data", dataAddr)
+	if err := standby.start(); err != nil {
+		return err
+	}
+	defer standby.stop()
+	repAddr, err := standby.await("  replication: ")
+	if err != nil {
+		return err
+	}
+
+	// The leader: replicating coordinator over both shards.
+	leader := newDaemon(central, "-adplatform", "-coord",
+		"-client", clientAddr, "-control", controlAddr, "-data", dataAddr,
+		"-shard-addrs", strings.Join(shardAddrs, ","),
+		"-peers", repAddr)
+	if err := leader.start(); err != nil {
+		return err
+	}
+	defer leader.stop()
+	if _, err := leader.await("scrubcentral up"); err != nil {
+		return err
+	}
+
+	// Two host agents generating demo bid events.
+	for i := 0; i < 2; i++ {
+		agent := newDaemon(filepath.Join(tmp, "scrubd"),
+			"-host", fmt.Sprintf("fo-%d", i+1), "-service", "BidServers", "-adplatform",
+			"-control", controlAddr, "-data", dataAddr,
+			"-demo", "bid=300", "-seed", fmt.Sprintf("%d", i+1))
+		if err := agent.start(); err != nil {
+			return err
+		}
+		defer agent.stop()
+		if _, err := agent.await("scrubd up:"); err != nil {
+			return err
+		}
+	}
+
+	// The troubleshooter: a live query spanning well past the kill. Its
+	// client connection dies with the leader; the promoted standby owns
+	// the query afterwards and prints its windows itself.
+	query := newDaemon(filepath.Join(tmp, "scrubql"),
+		"-server", clientAddr, "-quiet",
+		"select count(*) from bid window 2s duration 2m")
+	if err := query.start(); err != nil {
+		return err
+	}
+	defer query.stop()
+
+	// Windows must flow on the leader before the kill is meaningful.
+	if err := awaitWindows(filepath.Join(tmp, "scrubql"), clientAddr, 20*time.Second); err != nil {
+		return fmt.Errorf("pre-kill: %w", err)
+	}
+	fmt.Println("failover-smoke: query running on leader, windows closing — killing leader")
+
+	// kill -9: no shutdown path runs; the standby must notice via silence.
+	if err := leader.cmd.Process.Kill(); err != nil {
+		return err
+	}
+	_, _ = leader.cmd.Process.Wait()
+
+	if _, err := standby.await("scrubcentral standby: leader silent"); err != nil {
+		return err
+	}
+	promoted, err := standby.await("scrubcentral up (promoted leader, fence ")
+	if err != nil {
+		return err
+	}
+	fmt.Printf("failover-smoke: standby promoted (fence %s\n", promoted)
+
+	// The adopted query must keep closing windows on the new leader —
+	// several of them, proving the merge resumed, not just survived.
+	for n := 0; n < 3; n++ {
+		if _, err := standby.await("scrubcentral adopted window: query 1 "); err != nil {
+			return fmt.Errorf("post-failover window %d: %w", n+1, err)
+		}
+	}
+
+	// And the query is visible (and accumulating) through the re-bound
+	// client plane, so a reconnecting troubleshooter can find it.
+	if err := awaitWindows(filepath.Join(tmp, "scrubql"), clientAddr, 20*time.Second); err != nil {
+		return fmt.Errorf("post-failover list: %w", err)
+	}
+	fmt.Println("failover-smoke: promoted leader closing windows for the adopted query")
+	return nil
+}
+
+// awaitWindows polls `scrubql -list` until query 1 reports at least one
+// closed window.
+func awaitWindows(scrubql, clientAddr string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		out, err := exec.Command(scrubql, "-server", clientAddr, "-list").CombinedOutput()
+		if err == nil {
+			for _, line := range strings.Split(string(out), "\n") {
+				if strings.HasPrefix(line, "query 1 ") && !strings.Contains(line, "windows=0 ") {
+					return nil
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("query 1 closed no windows within %s (last list: %q, err %v)", timeout, string(out), err)
+		}
+		time.Sleep(300 * time.Millisecond)
+	}
+}
+
+// pickPort reserves a loopback port by binding and releasing it.
+func pickPort() (string, error) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr, nil
+}
+
+// daemon wraps a child process whose stdout is scanned for marker lines.
+type daemon struct {
+	cmd   *exec.Cmd
+	lines chan string
+}
+
+func newDaemon(bin string, args ...string) *daemon {
+	return &daemon{cmd: exec.Command(bin, args...), lines: make(chan string, 256)}
+}
+
+func (d *daemon) start() error {
+	out, err := d.cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	d.cmd.Stderr = os.Stderr
+	if err := d.cmd.Start(); err != nil {
+		return err
+	}
+	go func() {
+		sc := bufio.NewScanner(out)
+		for sc.Scan() {
+			select {
+			case d.lines <- sc.Text():
+			default: // never block the child on our buffer
+			}
+		}
+		close(d.lines)
+	}()
+	return nil
+}
+
+// await returns the remainder of the first stdout line starting with
+// prefix, waiting up to 30s (promotion waits out the failover timeout,
+// and -race children are slow).
+func (d *daemon) await(prefix string) (string, error) {
+	deadline := time.After(30 * time.Second)
+	for {
+		select {
+		case line, ok := <-d.lines:
+			if !ok {
+				return "", fmt.Errorf("%s exited before printing %q", d.cmd.Path, prefix)
+			}
+			if strings.HasPrefix(line, prefix) {
+				return strings.TrimSpace(strings.TrimPrefix(line, prefix)), nil
+			}
+		case <-deadline:
+			return "", fmt.Errorf("timed out waiting for %q from %s", prefix, d.cmd.Path)
+		}
+	}
+}
+
+func (d *daemon) stop() {
+	if d.cmd.Process != nil {
+		_ = d.cmd.Process.Kill()
+		_, _ = d.cmd.Process.Wait()
+	}
+}
